@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// runExp drives the CLI entry point at a tiny scale.
+func runExp(t *testing.T, exp string, extra ...string) {
+	t.Helper()
+	args := append([]string{
+		"-exp", exp, "-files", "250", "-dirs", "30", "-scale", "0.25",
+		"-samples", "6", "-workers", "2",
+	}, extra...)
+	if err := run(args); err != nil {
+		t.Fatalf("cdbench -exp %s: %v", exp, err)
+	}
+}
+
+func TestCLITable1(t *testing.T)    { runExp(t, "table1") }
+func TestCLIFig3(t *testing.T)      { runExp(t, "fig3") }
+func TestCLIFig5(t *testing.T)      { runExp(t, "fig5") }
+func TestCLIUnion(t *testing.T)     { runExp(t, "union") }
+func TestCLISmallFile(t *testing.T) { runExp(t, "smallfile") }
+func TestCLIEvasion(t *testing.T)   { runExp(t, "evasion") }
+
+func TestCLIFig4WritesDOT(t *testing.T) {
+	dir := t.TempDir()
+	runExp(t, "fig4", "-dot", dir)
+}
+
+func TestCLIPerf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf sweep")
+	}
+	runExp(t, "perf")
+}
+
+func TestCLIUnknownExperiment(t *testing.T) {
+	err := run([]string{"-exp", "nonsense"})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCLIBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestBuildRosterQuickDedupes(t *testing.T) {
+	cfg := config{quick: true, seed: 1}
+	roster := buildRoster(cfg)
+	if len(roster) != 25 { // one per family/class combination
+		t.Fatalf("quick roster = %d samples, want 25", len(roster))
+	}
+	cfg = config{seed: 1, samples: 10}
+	if got := len(buildRoster(cfg)); got != 10 {
+		t.Fatalf("capped roster = %d", got)
+	}
+	cfg = config{seed: 1}
+	if got := len(buildRoster(cfg)); got != 492 {
+		t.Fatalf("full roster = %d", got)
+	}
+}

@@ -1,0 +1,19 @@
+//go:build linux
+
+package main
+
+import "cryptodrop/internal/livewatch"
+
+// inotifySource wraps the Linux inotify scanner with a uniform close hook.
+type inotifySource struct{ *livewatch.InotifyScanner }
+
+func (s inotifySource) close() { _ = s.InotifyScanner.Close() }
+
+// newInotifySource opens the Linux inotify event source.
+func newInotifySource(dir string) (inotifySource, error) {
+	sc, err := livewatch.NewInotifyScanner(dir)
+	if err != nil {
+		return inotifySource{}, err
+	}
+	return inotifySource{sc}, nil
+}

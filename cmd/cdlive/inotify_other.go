@@ -1,0 +1,19 @@
+//go:build !linux
+
+package main
+
+import (
+	"errors"
+
+	"cryptodrop/internal/livewatch"
+)
+
+// inotifySource is unavailable off Linux.
+type inotifySource struct{ livewatch.Source }
+
+func (s inotifySource) close() {}
+
+// newInotifySource reports that inotify is Linux-only.
+func newInotifySource(dir string) (inotifySource, error) {
+	return inotifySource{}, errors.New("cdlive: -inotify is only available on Linux")
+}

@@ -1,0 +1,163 @@
+// Command cdlive runs the fsnotify-style live monitor against a real
+// directory on disk — the deployable (degraded) variant of CryptoDrop that
+// works without kernel hooks (see internal/livewatch):
+//
+//	cdlive -dir ~/Documents                # watch until interrupted
+//	cdlive -selftest                       # stage a corpus in a temp dir,
+//	                                       # encrypt it, and show the alert
+package main
+
+import (
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"cryptodrop/internal/corpus"
+	"cryptodrop/internal/livewatch"
+	"cryptodrop/internal/vfs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cdlive:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cdlive", flag.ContinueOnError)
+	var (
+		dir        = fs.String("dir", "", "directory to watch")
+		interval   = fs.Duration("interval", time.Second, "poll/drain interval")
+		selftest   = fs.Bool("selftest", false, "stage a corpus in a temp dir and simulate an attack")
+		useInotify = fs.Bool("inotify", false, "use the Linux inotify source instead of polling (Linux only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *selftest {
+		return runSelftest(*interval, *useInotify)
+	}
+	if *dir == "" {
+		return fmt.Errorf("pass -dir <directory> or -selftest")
+	}
+	return watch(*dir, *interval, *useInotify, nil)
+}
+
+// watch runs the watcher until interrupted (or until attack, if non-nil,
+// finishes and the alert fires).
+func watch(dir string, interval time.Duration, useInotify bool, attack func() error) error {
+	alerts := make(chan livewatch.Alert, 1)
+	cfg := livewatch.AnalyzerConfig{
+		OnAlert: func(a livewatch.Alert) {
+			select {
+			case alerts <- a:
+			default:
+			}
+		},
+	}
+	var w *livewatch.Watcher
+	if useInotify {
+		src, err := newInotifySource(dir)
+		if err != nil {
+			return err
+		}
+		defer src.close()
+		w = livewatch.NewWatcherWithSource(src, interval, cfg)
+	} else {
+		w = livewatch.NewWatcher(dir, interval, cfg)
+	}
+	fmt.Printf("baselining %s...\n", dir)
+	if err := w.Start(); err != nil {
+		return err
+	}
+	defer w.Stop()
+	fmt.Printf("watching (poll every %v). Ctrl-C to stop.\n", interval)
+
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt)
+	defer signal.Stop(interrupt)
+
+	attackDone := make(chan error, 1)
+	if attack != nil {
+		go func() { attackDone <- attack() }()
+	}
+
+	ticker := time.NewTicker(5 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case a := <-alerts:
+			fmt.Printf("\n!! ALERT: suspicious bulk transformation (score %.1f, union=%v,\n"+
+				"          %d files transformed, %d deleted)\n",
+				a.Score, a.Union, a.FilesTransformed, a.Deletions)
+			return nil
+		case err := <-attackDone:
+			if err != nil {
+				return fmt.Errorf("selftest attack: %w", err)
+			}
+			attackDone = nil // keep waiting for the alert
+		case <-ticker.C:
+			fmt.Printf("  score %.1f after %d scans\n", w.Analyzer().Score(), w.Scans())
+		case <-interrupt:
+			fmt.Printf("\nstopped: final score %.1f after %d scans\n", w.Analyzer().Score(), w.Scans())
+			return nil
+		}
+	}
+}
+
+// runSelftest stages a real corpus in a temp directory and encrypts it
+// while the watcher runs.
+func runSelftest(interval time.Duration, useInotify bool) error {
+	stage, err := os.MkdirTemp("", "cryptodrop-selftest-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(stage)
+
+	mem := vfs.New()
+	m, err := corpus.Build(mem, corpus.Spec{Seed: 99, Files: 150, Dirs: 15, SizeScale: 0.2, ReadOnlyFraction: -1})
+	if err != nil {
+		return err
+	}
+	for _, e := range m.Entries {
+		rel := strings.TrimPrefix(e.Path, m.Root+"/")
+		dst := filepath.Join(stage, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			return err
+		}
+		content, err := mem.ReadFileRaw(e.Path)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(dst, content, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("staged %d files under %s\n", len(m.Entries), stage)
+
+	attack := func() error {
+		time.Sleep(2 * interval) // let the watcher settle
+		fmt.Println("  (selftest: encrypting staged files...)")
+		return filepath.WalkDir(stage, func(p string, d os.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return err
+			}
+			info, err := d.Info()
+			if err != nil {
+				return err
+			}
+			enc := make([]byte, info.Size())
+			if _, err := rand.Read(enc); err != nil {
+				return err
+			}
+			return os.WriteFile(p, enc, 0o644)
+		})
+	}
+	return watch(stage, interval, useInotify, attack)
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCDLiveSelftest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second watcher loop")
+	}
+	done := make(chan error, 1)
+	go func() { done <- runSelftest(150*time.Millisecond, false) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("selftest did not alert within 60s")
+	}
+}
+
+func TestCDLiveRequiresDir(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing -dir accepted")
+	}
+}
+
+func TestCDLiveBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestCDLiveSelftestInotify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second watcher loop")
+	}
+	done := make(chan error, 1)
+	go func() { done <- runSelftest(150*time.Millisecond, true) }()
+	select {
+	case err := <-done:
+		if err != nil && !strings.Contains(err.Error(), "only available on Linux") {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("inotify selftest did not alert within 60s")
+	}
+}

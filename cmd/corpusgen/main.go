@@ -1,0 +1,71 @@
+// Command corpusgen materialises the synthetic user-document corpus onto
+// the real filesystem for inspection or external use:
+//
+//	corpusgen -out /tmp/corpus -files 500 -dirs 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cryptodrop/internal/corpus"
+	"cryptodrop/internal/vfs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "corpusgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("corpusgen", flag.ContinueOnError)
+	var (
+		out     = fs.String("out", "", "output directory (required)")
+		seed    = fs.Int64("seed", 2016, "generation seed")
+		files   = fs.Int("files", corpus.DefaultFiles, "file count")
+		dirs    = fs.Int("dirs", corpus.DefaultDirs, "directory count")
+		scale   = fs.Float64("scale", 1.0, "size scale")
+		minSize = fs.Int("minsize", 0, "drop files smaller than this many bytes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	mem := vfs.New()
+	m, err := corpus.Build(mem, corpus.Spec{
+		Seed: *seed, Files: *files, Dirs: *dirs, SizeScale: *scale, MinSize: *minSize,
+	})
+	if err != nil {
+		return err
+	}
+	var bytes int64
+	for _, e := range m.Entries {
+		rel := strings.TrimPrefix(e.Path, m.Root+"/")
+		dst := filepath.Join(*out, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			return err
+		}
+		content, err := mem.ReadFileRaw(e.Path)
+		if err != nil {
+			return err
+		}
+		mode := os.FileMode(0o644)
+		if e.ReadOnly {
+			mode = 0o444
+		}
+		if err := os.WriteFile(dst, content, mode); err != nil {
+			return err
+		}
+		bytes += int64(len(content))
+	}
+	fmt.Printf("wrote %d files (%d directories, %.1f MiB) to %s\n",
+		len(m.Entries), m.DirCount, float64(bytes)/(1<<20), *out)
+	return nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCorpusgenWritesTree(t *testing.T) {
+	out := t.TempDir()
+	if err := run([]string{"-out", out, "-files", "60", "-dirs", "8", "-scale", "0.2"}); err != nil {
+		t.Fatal(err)
+	}
+	files := 0
+	readonly := 0
+	err := filepath.WalkDir(out, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		files++
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		if info.Mode().Perm()&0o200 == 0 {
+			readonly++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files != 60 {
+		t.Fatalf("wrote %d files, want 60", files)
+	}
+	_ = readonly // read-only fraction is probabilistic; presence not asserted
+}
+
+func TestCorpusgenRequiresOut(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing -out accepted")
+	}
+}
+
+func TestCorpusgenMinSize(t *testing.T) {
+	out := t.TempDir()
+	if err := run([]string{"-out", out, "-files", "80", "-dirs", "8", "-minsize", "512"}); err != nil {
+		t.Fatal(err)
+	}
+	err := filepath.WalkDir(out, func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		if info.Size() < 512 {
+			t.Errorf("%s is %d bytes, below the floor", p, info.Size())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func small(args ...string) []string {
+	return append(args, "-files", "250", "-dirs", "30", "-scale", "0.25")
+}
+
+func TestCLIList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIFamilyRun(t *testing.T) {
+	if err := run(small("-family", "TeslaCrypt", "-v")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIFamilyWithClass(t *testing.T) {
+	if err := run(small("-family", "Filecoder", "-class", "C")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIAppRun(t *testing.T) {
+	if err := run(small("-app", "Microsoft Word")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIUnknownFamily(t *testing.T) {
+	err := run(small("-family", "NopeWare"))
+	if err == nil || !strings.Contains(err.Error(), "no sample") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCLIUnknownApp(t *testing.T) {
+	err := run(small("-app", "Totally Real App"))
+	if err == nil || !strings.Contains(err.Error(), "unknown application") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCLINoArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no-arg invocation accepted")
+	}
+}

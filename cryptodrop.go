@@ -1,0 +1,267 @@
+// Package cryptodrop is an early-warning detection system for encrypting
+// ransomware, reproducing "CryptoLock (and Drop It): Stopping Ransomware
+// Attacks on User Data" (Scaife, Carter, Traynor, Butler — ICDCS 2016).
+//
+// A Monitor attaches the CryptoDrop analysis engine to a virtual filesystem
+// through a minifilter chain, watches every read, write, rename and delete
+// under the user's protected documents tree, and scores each process on a
+// reputation scoreboard built from three primary indicators (file type
+// change, similarity loss, entropy delta) and two secondary ones (bulk
+// deletion, file-type funneling). When a process crosses its detection
+// threshold, the monitor suspends the process family's disk access and
+// reports the detection.
+//
+// Quickstart:
+//
+//	fsys := vfs.New()
+//	corpus.Build(fsys, corpus.Spec{Seed: 1})
+//	procs := proc.NewTable()
+//	mon, err := cryptodrop.NewMonitor(fsys, procs)
+//	// ... run workloads; consult mon.Detections() / mon.Report(pid).
+package cryptodrop
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"cryptodrop/internal/core"
+	"cryptodrop/internal/corpus"
+	"cryptodrop/internal/filter"
+	"cryptodrop/internal/proc"
+	"cryptodrop/internal/vfs"
+)
+
+// ErrSuspended is returned to a process whose disk access CryptoDrop has
+// suspended pending user review.
+var ErrSuspended = errors.New("cryptodrop: process suspended pending user review")
+
+// Re-exported engine types forming the public API surface.
+type (
+	// Detection reports a process crossing its detection threshold.
+	Detection = core.Detection
+	// Indicator identifies a behavioural indicator.
+	Indicator = core.Indicator
+	// ProcessReport is a scoreboard snapshot for one process.
+	ProcessReport = core.ProcessReport
+	// ScorePoint is one step of a process's score trajectory.
+	ScorePoint = core.ScorePoint
+	// Points are the per-indicator score values.
+	Points = core.Points
+)
+
+// Re-exported indicator constants.
+const (
+	IndicatorTypeChange   = core.IndicatorTypeChange
+	IndicatorSimilarity   = core.IndicatorSimilarity
+	IndicatorEntropyDelta = core.IndicatorEntropyDelta
+	IndicatorDeletion     = core.IndicatorDeletion
+	IndicatorFunneling    = core.IndicatorFunneling
+)
+
+// Filter altitudes: CryptoDrop sits in the anti-virus filter range; the
+// enforcement filter sits above everything so suspended processes are cut
+// off before any other filter sees their operations.
+const (
+	altitudeEnforce = 400000
+	altitudeEngine  = 328000
+)
+
+// DefaultProtectedRoot is the documents tree monitored by default.
+const DefaultProtectedRoot = corpus.DefaultRoot
+
+// Option configures a Monitor.
+type Option func(*options)
+
+type options struct {
+	cfg           core.Config
+	onDetection   func(Detection)
+	enforce       bool
+	familyScoring bool
+}
+
+// WithRoot sets the protected documents directory (default
+// DefaultProtectedRoot).
+func WithRoot(root string) Option {
+	return func(o *options) { o.cfg.ProtectedRoot = root }
+}
+
+// WithNonUnionThreshold overrides the non-union detection threshold
+// (default 200, the paper's experimental setting).
+func WithNonUnionThreshold(t float64) Option {
+	return func(o *options) { o.cfg.NonUnionThreshold = t }
+}
+
+// WithUnionThreshold overrides the effective threshold applied once union
+// indication has fired.
+func WithUnionThreshold(t float64) Option {
+	return func(o *options) { o.cfg.UnionThreshold = t }
+}
+
+// WithPoints overrides the per-indicator score values.
+func WithPoints(p Points) Option {
+	return func(o *options) { o.cfg.Points = p }
+}
+
+// DefaultPoints returns the calibrated default per-indicator score values,
+// as a starting point for WithPoints adjustments.
+func DefaultPoints() Points { return core.DefaultPoints() }
+
+// WithUnionDisabled turns union indication off (ablation studies).
+func WithUnionDisabled() Option {
+	return func(o *options) { o.cfg.DisableUnion = true }
+}
+
+// WithUnweightedEntropy replaces the paper's entropy-operation weighting
+// with plain byte weighting (ablation studies).
+func WithUnweightedEntropy() Option {
+	return func(o *options) { o.cfg.UnweightedEntropy = true }
+}
+
+// WithDisabledIndicators suppresses the listed indicators (ablation
+// studies).
+func WithDisabledIndicators(inds ...Indicator) Option {
+	return func(o *options) { o.cfg.DisabledIndicators = append(o.cfg.DisabledIndicators, inds...) }
+}
+
+// WithFamilyScoring aggregates scores across process families: every
+// process is scored against its root ancestor's scoreboard entry, so
+// malware cannot dilute its reputation by spreading the attack over spawned
+// workers. The detection then names (and suspends) the family root.
+func WithFamilyScoring() Option {
+	return func(o *options) { o.familyScoring = true }
+}
+
+// WithDetectionHandler registers a callback invoked once per detection,
+// after the process family has been suspended.
+func WithDetectionHandler(fn func(Detection)) Option {
+	return func(o *options) { o.onDetection = fn }
+}
+
+// WithoutEnforcement disables process suspension: detections are recorded
+// but flagged processes keep running (measurement-only mode, used by the
+// false-positive threshold sweeps).
+func WithoutEnforcement() Option {
+	return func(o *options) { o.enforce = false }
+}
+
+// Monitor binds the CryptoDrop analysis engine, a filter chain and a
+// process table to one filesystem.
+type Monitor struct {
+	fs     *vfs.FS
+	procs  *proc.Table
+	chain  *filter.Chain
+	engine *core.Engine
+
+	mu         sync.Mutex
+	exempt     map[int]bool
+	detections []Detection
+
+	onDetection func(Detection)
+	enforce     bool
+}
+
+// enforcement vetoes operations from suspended, non-exempt processes.
+type enforcement struct{ m *Monitor }
+
+var _ filter.Filter = (*enforcement)(nil)
+
+// Name identifies the enforcement filter.
+func (enforcement) Name() string { return "cryptodrop-enforce" }
+
+// PreOp denies suspended processes.
+func (f enforcement) PreOp(op *vfs.Op) error {
+	if f.m.procs.Suspended(op.PID) && !f.m.isExempt(op.PID) {
+		return fmt.Errorf("pid %d: %w", op.PID, ErrSuspended)
+	}
+	return nil
+}
+
+// PostOp is a no-op for the enforcement filter.
+func (enforcement) PostOp(op *vfs.Op) {}
+
+var _ filter.Filter = (*core.Engine)(nil)
+
+// NewMonitor attaches CryptoDrop to fsys, scoring processes registered in
+// procs. The filesystem's interceptor is replaced with the monitor's filter
+// chain; other filters (e.g. a simulated anti-virus) may be attached to
+// Chain afterwards.
+func NewMonitor(fsys *vfs.FS, procs *proc.Table, opts ...Option) (*Monitor, error) {
+	o := options{cfg: core.DefaultConfig(DefaultProtectedRoot), enforce: true}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	m := &Monitor{
+		fs:          fsys,
+		procs:       procs,
+		chain:       &filter.Chain{},
+		exempt:      make(map[int]bool),
+		onDetection: o.onDetection,
+		enforce:     o.enforce,
+	}
+	o.cfg.OnDetection = m.handleDetection
+	if o.familyScoring {
+		o.cfg.FamilyOf = procs.RootOf
+	}
+	m.engine = core.New(o.cfg, fsys)
+	if err := m.chain.Attach(altitudeEnforce, enforcement{m}); err != nil {
+		return nil, fmt.Errorf("attach enforcement: %w", err)
+	}
+	if err := m.chain.Attach(altitudeEngine, m.engine); err != nil {
+		return nil, fmt.Errorf("attach engine: %w", err)
+	}
+	fsys.SetInterceptor(m.chain)
+	return m, nil
+}
+
+// handleDetection suspends the flagged family and records the detection.
+func (m *Monitor) handleDetection(d Detection) {
+	if m.enforce {
+		m.procs.SuspendFamily(d.PID)
+	}
+	m.mu.Lock()
+	m.detections = append(m.detections, d)
+	cb := m.onDetection
+	m.mu.Unlock()
+	if cb != nil {
+		cb(d)
+	}
+}
+
+func (m *Monitor) isExempt(pid int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.exempt[pid]
+}
+
+// Allow records the user's decision to let a flagged process continue: the
+// process family is resumed and exempted from further enforcement.
+func (m *Monitor) Allow(pid int) error {
+	m.mu.Lock()
+	m.exempt[pid] = true
+	m.mu.Unlock()
+	return m.procs.Resume(pid)
+}
+
+// Chain exposes the filter chain so additional filters (anti-virus and the
+// like) can be attached; CryptoDrop's behaviour is independent of their
+// relative altitude.
+func (m *Monitor) Chain() *filter.Chain { return m.chain }
+
+// Detections returns all detections in occurrence order.
+func (m *Monitor) Detections() []Detection {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Detection, len(m.detections))
+	copy(out, m.detections)
+	return out
+}
+
+// Report returns the scoreboard snapshot for pid.
+func (m *Monitor) Report(pid int) (ProcessReport, bool) { return m.engine.Report(pid) }
+
+// Reports returns snapshots for every scored process, ordered by PID.
+func (m *Monitor) Reports() []ProcessReport { return m.engine.Reports() }
+
+// OpCount returns the number of protected-scope operations analysed.
+func (m *Monitor) OpCount() int64 { return m.engine.OpIndex() }

@@ -1,0 +1,50 @@
+package cryptodrop_test
+
+import (
+	"fmt"
+
+	"cryptodrop"
+	"cryptodrop/internal/corpus"
+	"cryptodrop/internal/proc"
+	"cryptodrop/internal/ransomware"
+	"cryptodrop/internal/vfs"
+)
+
+// Example demonstrates the full pipeline: build a victim corpus, attach the
+// monitor, release a ransomware specimen, and observe the suspension.
+func Example() {
+	fsys := vfs.New()
+	manifest, err := corpus.Build(fsys, corpus.Spec{Seed: 42, Files: 400, Dirs: 40, SizeScale: 0.25})
+	if err != nil {
+		fmt.Println("corpus:", err)
+		return
+	}
+	procs := proc.NewTable()
+	mon, err := cryptodrop.NewMonitor(fsys, procs, cryptodrop.WithRoot(manifest.Root))
+	if err != nil {
+		fmt.Println("monitor:", err)
+		return
+	}
+
+	var sample ransomware.Sample
+	for _, s := range ransomware.Roster(42) {
+		if s.Profile.Family == "Xorist" {
+			sample = s
+			break
+		}
+	}
+	pid := procs.Spawn(sample.ID)
+	res, err := sample.Run(fsys, pid, manifest.Root, func() bool { return procs.Suspended(pid) })
+	if err != nil {
+		fmt.Println("run:", err)
+		return
+	}
+
+	fmt.Println("suspended:", res.Suspended)
+	fmt.Println("detections:", len(mon.Detections()))
+	fmt.Println("corpus mostly intact:", res.FilesAttacked < len(manifest.Entries)/10)
+	// Output:
+	// suspended: true
+	// detections: 1
+	// corpus mostly intact: true
+}

@@ -1,0 +1,81 @@
+// Script ransomware (§V-E): PoshCoder showed that ransomware "does not need
+// to be a compiled binary" — it can be typed straight into an interpreter,
+// morphing trivially past signature scanners. This example runs a
+// PoshCoder-like script and a comment/identifier-morphed variant of it under
+// the monitor: the source bytes differ completely (no signature survives),
+// the behaviour — and the detection — are identical.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cryptodrop"
+	"cryptodrop/internal/corpus"
+	"cryptodrop/internal/proc"
+	"cryptodrop/internal/script"
+	"cryptodrop/internal/vfs"
+)
+
+const poshCoder = `
+# PoshCoder-like encrypting ransomware
+key k 16
+targets *.docx *.pdf *.txt *.xlsx *.jpg *.csv
+note HOW_TO_RECOVER.txt "ALL YOUR FILES ARE ENCRYPTED. PAY 1 BTC."
+foreach f
+  read $f buf
+  encrypt buf k
+  write $f buf
+  rename $f $f.poshcoder
+end
+`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	variants := []struct {
+		name string
+		src  string
+	}{
+		{"original script", poshCoder},
+		{"morphed variant", script.Morph(poshCoder, 424242)},
+	}
+	for _, v := range variants {
+		fsys := vfs.New()
+		m, err := corpus.Build(fsys, corpus.Spec{Seed: 23, Files: 600, Dirs: 60, SizeScale: 0.3})
+		if err != nil {
+			return err
+		}
+		procs := proc.NewTable()
+		mon, err := cryptodrop.NewMonitor(fsys, procs, cryptodrop.WithRoot(m.Root))
+		if err != nil {
+			return err
+		}
+		prog, err := script.Parse(v.src)
+		if err != nil {
+			return err
+		}
+		pid := procs.Spawn("powershell.exe")
+		res, err := script.NewInterp(fsys, pid, m.Root, 23, func() bool { return procs.Suspended(pid) }).Run(prog)
+		if err != nil {
+			return err
+		}
+		verdict := "escaped"
+		var score float64
+		if rep, ok := mon.Report(pid); ok {
+			score = rep.Score
+			if rep.Detected {
+				verdict = "DETECTED and suspended"
+			}
+		}
+		fmt.Printf("%-16s %s after %d files (score %.1f, %d bytes of source)\n",
+			v.name+":", verdict, res.FilesProcessed, score, len(v.src))
+	}
+	fmt.Println("\nboth variants perform the same data transformation, so CryptoDrop")
+	fmt.Println("scores them identically — no signature required.")
+	return nil
+}

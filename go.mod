@@ -1,0 +1,3 @@
+module cryptodrop
+
+go 1.22

@@ -1,0 +1,608 @@
+// Package benign simulates the thirty Windows application workloads of the
+// paper's false-positive analysis (§V-F). Each workload reproduces the
+// filesystem behaviour of its application against the protected documents
+// tree — which is all CryptoDrop can observe.
+//
+// The five applications analysed in depth (Fig. 6) follow the paper's test
+// scripts: Adobe Lightroom imports and tones a large photo set and writes
+// catalog/preview data; ImageMagick batch-rotates JPEGs in place; iTunes
+// converts an audio library to AAC; Microsoft Word edits and saves a
+// document; Microsoft Excel builds spreadsheets across several sessions.
+// 7-zip archives the documents folder — the one expected detection.
+package benign
+
+import (
+	"fmt"
+	"math/rand"
+	"path"
+	"strings"
+
+	"cryptodrop/internal/corpus"
+	"cryptodrop/internal/vfs"
+)
+
+// Workload is one benign application's filesystem behaviour.
+type Workload struct {
+	// Name is the application name as listed in §V-F.
+	Name string
+	// Description summarises the simulated activity.
+	Description string
+	// Detailed marks the five applications of Fig. 6 plus 7-zip.
+	Detailed bool
+	// ExpectDetection marks workloads the paper expects CryptoDrop to
+	// flag (7-zip archiving the documents tree).
+	ExpectDetection bool
+	// Run performs the workload as pid against the documents tree rooted
+	// at root. Operation errors from a suspension are returned.
+	Run func(fsys *vfs.FS, pid int, root string) error
+}
+
+// listByExt returns protected files with one of the given extensions.
+func listByExt(fsys *vfs.FS, root string, exts ...string) ([]vfs.FileInfo, error) {
+	want := make(map[string]bool, len(exts))
+	for _, e := range exts {
+		want[e] = true
+	}
+	var out []vfs.FileInfo
+	err := fsys.Walk(root, func(info vfs.FileInfo) error {
+		if info.IsDir || info.ReadOnly {
+			// Benign editors skip files they cannot write.
+			return nil
+		}
+		ext := strings.ToLower(strings.TrimPrefix(path.Ext(info.Path), "."))
+		if want[ext] {
+			out = append(out, info)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// readWhole reads a file through the filter in chunks.
+func readWhole(fsys *vfs.FS, pid int, p string, chunk int) ([]byte, error) {
+	h, err := fsys.Open(pid, p, vfs.ReadOnly)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = h.Close() }()
+	var content []byte
+	buf := make([]byte, chunk)
+	for {
+		n, err := h.Read(buf)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return content, nil
+		}
+		content = append(content, buf[:n]...)
+	}
+}
+
+// writeWhole writes content in chunks to a (possibly new) file.
+func writeWhole(fsys *vfs.FS, pid int, p string, content []byte, chunk int) error {
+	h, err := fsys.Open(pid, p, vfs.WriteOnly|vfs.Create|vfs.Truncate)
+	if err != nil {
+		return err
+	}
+	for off := 0; off < len(content); off += chunk {
+		end := off + chunk
+		if end > len(content) {
+			end = len(content)
+		}
+		if _, err := h.Write(content[off:end]); err != nil {
+			_ = h.Close()
+			return err
+		}
+	}
+	return h.Close()
+}
+
+// All returns the thirty §V-F workloads.
+func All() []Workload {
+	detailed := []Workload{
+		sevenZip(), lightroom(), imageMagick(), iTunes(), word(), excel(),
+	}
+	var out []Workload
+	out = append(out, detailed...)
+	out = append(out,
+		readerApp("Avast Anti-Virus", "scans (reads) every protected file"),
+		readerApp("Microsoft Office Viewers", "opens and reads office documents"),
+		readerApp("SumatraPDF", "opens and reads PDF documents"),
+		readerApp("Picasa", "indexes (reads) every image"),
+		readerApp("Launchy", "indexes file names, reads a few documents"),
+		mediaPlayer("VLC Media Player"),
+		mediaPlayer("MusicBee"),
+		editorApp("LibreOffice Writer", "docx"),
+		editorApp("LibreOffice Calc", "xlsx"),
+		editorApp("GIMP", "png"),
+		editorApp("Paint.NET", "png"),
+		noteTaker("ResophNotes"),
+		noteTaker("Sticky Notes"),
+		downloader("Chrome", 2),
+		downloader("Dropbox", 4),
+		downloader("uTorrent", 1),
+		outsideApp("F.lux", "touches only its own settings outside Documents"),
+		outsideApp("Piriform CCleaner", "cleans temp files outside Documents"),
+		outsideApp("Private Internet Access VPN", "writes logs outside Documents"),
+		outsideApp("Pidgin", "chat logs outside Documents"),
+		outsideApp("Skype", "chat database outside Documents"),
+		outsideApp("Spotify", "cache outside Documents"),
+		outsideApp("Chocolate Doom", "save games outside Documents"),
+		outsideApp("PhraseExpress", "phrase database outside Documents"),
+	)
+	return out
+}
+
+// Detailed returns the Fig. 6 applications plus 7-zip.
+func Detailed() []Workload {
+	var out []Workload
+	for _, w := range All() {
+		if w.Detailed {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// ByName returns the named workload.
+func ByName(name string) (Workload, bool) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// sevenZip archives the entire documents directory: it reads every file
+// (disparate types) and writes one high-entropy archive — the behaviour the
+// paper expects CryptoDrop to flag (§V-F/G).
+func sevenZip() Workload {
+	return Workload{
+		Name:            "7-zip",
+		Description:     "creates an archive of the user documents directory",
+		Detailed:        true,
+		ExpectDetection: true,
+		Run: func(fsys *vfs.FS, pid int, root string) error {
+			archive := path.Join(root, "Documents.7z")
+			h, err := fsys.Open(pid, archive, vfs.WriteOnly|vfs.Create|vfs.Truncate)
+			if err != nil {
+				return err
+			}
+			defer func() { _ = h.Close() }()
+			if _, err := h.Write([]byte{'7', 'z', 0xBC, 0xAF, 0x27, 0x1C, 0, 4}); err != nil {
+				return err
+			}
+			rng := rand.New(rand.NewSource(77))
+			var files []vfs.FileInfo
+			werr := fsys.Walk(root, func(info vfs.FileInfo) error {
+				if !info.IsDir && info.Path != archive {
+					files = append(files, info)
+				}
+				return nil
+			})
+			if werr != nil {
+				return werr
+			}
+			for _, info := range files {
+				content, err := readWhole(fsys, pid, info.Path, 64*1024)
+				if err != nil {
+					return err
+				}
+				// Compressed block ≈ a third of the input, keystream-like,
+				// streamed out in 8 KiB chunks.
+				block := make([]byte, len(content)/3+64)
+				rng.Read(block)
+				for off := 0; off < len(block); off += 8192 {
+					end := off + 8192
+					if end > len(block) {
+						end = len(block)
+					}
+					if _, err := h.Write(block[off:end]); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// lightroom imports a large photo set: reads every JPEG and its low-entropy
+// sidecar metadata, writes compressed preview/catalog data under Documents
+// (Lightroom's default catalog location), with periodic journal churn.
+func lightroom() Workload {
+	return Workload{
+		Name:        "Adobe Lightroom",
+		Description: "imports 1,073 JPEGs, applies automatic tone, exports 5",
+		Detailed:    true,
+		Run: func(fsys *vfs.FS, pid int, root string) error {
+			jpgs, err := listByExt(fsys, root, "jpg", "jpeg")
+			if err != nil {
+				return err
+			}
+			if len(jpgs) == 0 {
+				return fmt.Errorf("lightroom: no photos under %s", root)
+			}
+			catDir := path.Join(root, "Lightroom")
+			if err := fsys.MkdirAll(catDir); err != nil {
+				return err
+			}
+			rng := rand.New(rand.NewSource(1073))
+			catalog := path.Join(catDir, "Catalog.lrcat")
+			// The catalog is SQLite with embedded preview blobs. Lightroom
+			// seeds the schema/index pages (structured, mid entropy), then
+			// per import batch re-reads the schema region and appends
+			// compressed preview pages — a read-low/write-high database
+			// pattern.
+			schema := corpus.Generate("doc", 55, 1<<20)
+			if err := writeWhole(fsys, pid, catalog, schema, 64*1024); err != nil {
+				return err
+			}
+			cat, err := fsys.Open(pid, catalog, vfs.ReadWrite|vfs.Append)
+			if err != nil {
+				return err
+			}
+			defer func() { _ = cat.Close() }()
+			const imports = 1073
+			schemaBuf := make([]byte, 256*1024)
+			preview := make([]byte, 64*1024)
+			for i := 0; i < imports; i++ {
+				photo := jpgs[i%len(jpgs)]
+				if _, err := readWhole(fsys, pid, photo.Path, 128*1024); err != nil {
+					return err
+				}
+				// Per ~10-photo batch: one catalog transaction.
+				if i%10 == 0 {
+					cat.SeekTo(int64((i / 10 % 3) * 256 * 1024))
+					if _, err := cat.Read(schemaBuf); err != nil {
+						return err
+					}
+					for c := 0; c < 3; c++ {
+						rng.Read(preview)
+						if _, err := cat.Write(preview); err != nil {
+							return err
+						}
+					}
+				}
+				// Journal churn: the write-ahead log appears and is
+				// removed as transactions commit.
+				if i%64 == 0 {
+					wal := catalog + ".wal"
+					if err := writeWhole(fsys, pid, wal, corpus.Generate("doc", int64(i), 16<<10), 16384); err != nil {
+						return err
+					}
+					if err := fsys.Delete(pid, wal); err != nil {
+						return err
+					}
+				}
+			}
+			// Export five black-and-white conversions to Documents.
+			for i := 0; i < 5; i++ {
+				out := path.Join(root, fmt.Sprintf("export_bw_%d.jpg", i))
+				if err := writeWhole(fsys, pid, out, corpus.Generate("jpg", int64(900+i), 48<<10), 32*1024); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// imageMagick batch-rotates every JPEG in place: the output keeps the JPEG
+// header and metadata (so type and similarity hold) with rewritten scan
+// data.
+func imageMagick() Workload {
+	return Workload{
+		Name:        "ImageMagick",
+		Description: "mogrify: rotates 1,073 JPEGs 90° in place",
+		Detailed:    true,
+		Run: func(fsys *vfs.FS, pid int, root string) error {
+			jpgs, err := listByExt(fsys, root, "jpg", "jpeg")
+			if err != nil {
+				return err
+			}
+			if len(jpgs) == 0 {
+				return fmt.Errorf("imagemagick: no photos under %s", root)
+			}
+			rng := rand.New(rand.NewSource(90))
+			const rotations = 1073
+			for i := 0; i < rotations; i++ {
+				p := jpgs[i%len(jpgs)].Path
+				content, err := readWhole(fsys, pid, p, 128*1024)
+				if err != nil {
+					return err
+				}
+				rotated := make([]byte, len(content))
+				copy(rotated, content)
+				// Keep headers, quantisation tables and embedded EXIF
+				// thumbnails; rewrite the scan data.
+				hdr := 4096
+				if hdr > len(rotated) {
+					hdr = len(rotated)
+				}
+				for j := hdr; j < len(rotated); j++ {
+					rotated[j] = byte(rng.Intn(256))
+				}
+				h, err := fsys.Open(pid, p, vfs.WriteOnly|vfs.Truncate)
+				if err != nil {
+					return err
+				}
+				if _, err := h.Write(rotated); err != nil {
+					_ = h.Close()
+					return err
+				}
+				if err := h.Close(); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// iTunes imports the audio comparison files and converts them to AAC: medium
+// entropy reads, 70 buffered high-entropy writes of new files.
+func iTunes() Workload {
+	return Workload{
+		Name:        "iTunes",
+		Description: "imports 70 audio files, plays 3, converts all to AAC",
+		Detailed:    true,
+		Run: func(fsys *vfs.FS, pid int, root string) error {
+			wavs, err := listByExt(fsys, root, "wav", "mp3")
+			if err != nil {
+				return err
+			}
+			if len(wavs) == 0 {
+				return fmt.Errorf("itunes: no audio under %s", root)
+			}
+			const tracks = 70
+			// Import scan: read every track.
+			for i := 0; i < tracks; i++ {
+				if _, err := readWhole(fsys, pid, wavs[i%len(wavs)].Path, 256*1024); err != nil {
+					return err
+				}
+			}
+			// Play three songs.
+			for i := 0; i < 3; i++ {
+				if _, err := readWhole(fsys, pid, wavs[i%len(wavs)].Path, 256*1024); err != nil {
+					return err
+				}
+			}
+			// Convert each to AAC: one buffered write per output file.
+			for i := 0; i < tracks; i++ {
+				src := wavs[i%len(wavs)]
+				out := strings.TrimSuffix(src.Path, path.Ext(src.Path)) + fmt.Sprintf("_%d.m4a", i)
+				content := corpus.Generate("mp3", int64(3000+i), int(src.Size/4)+2048)
+				h, err := fsys.Open(pid, out, vfs.WriteOnly|vfs.Create|vfs.Truncate)
+				if err != nil {
+					return err
+				}
+				if _, err := h.Write(content); err != nil {
+					_ = h.Close()
+					return err
+				}
+				if err := h.Close(); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// word edits a document across four saves: content grows incrementally, the
+// type never changes and each version remains similar to the last.
+func word() Workload {
+	return Workload{
+		Name:        "Microsoft Word",
+		Description: "creates a document, edits and saves it four times",
+		Detailed:    true,
+		Run: func(fsys *vfs.FS, pid int, root string) error {
+			doc := path.Join(root, "report_draft.docx")
+			base := corpus.Generate("docx", 4001, 24<<10)
+			if err := writeWhole(fsys, pid, doc, base, 8192); err != nil {
+				return err
+			}
+			for save := 0; save < 3; save++ {
+				prev, err := readWhole(fsys, pid, doc, 8192)
+				if err != nil {
+					return err
+				}
+				// Append a little more "content" to the same container: the
+				// bulk of the bytes is unchanged.
+				next := append(prev[:len(prev):len(prev)], corpus.Generate("xml", int64(save), 2048)...)
+				if err := writeWhole(fsys, pid, doc, next, 8192); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// excel builds spreadsheets across two sessions with chunked saves through
+// temp files, autosave churn and low-entropy data imports — the workload
+// that legitimately accumulates points (the paper measured 150).
+func excel() Workload {
+	return Workload{
+		Name:        "Microsoft Excel",
+		Description: "builds spreadsheets with charts over four sessions",
+		Detailed:    true,
+		Run: func(fsys *vfs.FS, pid int, root string) error {
+			book := path.Join(root, "analysis.xlsx")
+			// Import low-entropy data: read CSVs from the corpus.
+			csvs, err := listByExt(fsys, root, "csv", "txt")
+			if err != nil {
+				return err
+			}
+			for i := 0; i < 12 && i < len(csvs); i++ {
+				if _, err := readWhole(fsys, pid, csvs[i].Path, 8192); err != nil {
+					return err
+				}
+			}
+			rng := rand.New(rand.NewSource(150))
+			// The workbook grows incrementally: each save is the previous
+			// container plus appended parts, so consecutive versions stay
+			// similar and keep their type.
+			content := corpus.Generate("xlsx", 41, 30<<10)
+			save := func(session, n int) error {
+				// Save via temp file + rename, Office-style, with an
+				// autosave artefact that is deleted afterwards.
+				tmp := path.Join(root, fmt.Sprintf("~$analysis_%d_%d.tmp", session, n))
+				content = append(content, corpus.Generate("xlsx", int64(session*100+n), (2+rng.Intn(3))<<10)...)
+				if err := writeWhole(fsys, pid, tmp, content, 2048); err != nil {
+					return err
+				}
+				if err := fsys.Rename(pid, tmp, book); err != nil {
+					return err
+				}
+				auto := path.Join(root, fmt.Sprintf("analysis.xlsx~RF%d.TMP", n))
+				if err := writeWhole(fsys, pid, auto, content[:len(content)/2], 2048); err != nil {
+					return err
+				}
+				return fsys.Delete(pid, auto)
+			}
+			for session := 0; session < 4; session++ {
+				if session == 1 {
+					// Re-open: read the workbook back.
+					if _, err := readWhole(fsys, pid, book, 8192); err != nil {
+						return err
+					}
+				}
+				for n := 0; n < 5; n++ {
+					if err := save(session, n); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// readerApp only reads protected files.
+func readerApp(name, desc string) Workload {
+	return Workload{
+		Name:        name,
+		Description: desc,
+		Run: func(fsys *vfs.FS, pid int, root string) error {
+			n := 0
+			return fsys.Walk(root, func(info vfs.FileInfo) error {
+				if info.IsDir || n > 400 {
+					return nil
+				}
+				n++
+				_, err := readWhole(fsys, pid, info.Path, 64*1024)
+				return err
+			})
+		},
+	}
+}
+
+// mediaPlayer reads audio files only.
+func mediaPlayer(name string) Workload {
+	return Workload{
+		Name:        name,
+		Description: "plays (reads) the audio library",
+		Run: func(fsys *vfs.FS, pid int, root string) error {
+			tracks, err := listByExt(fsys, root, "mp3", "wav")
+			if err != nil {
+				return err
+			}
+			for i, tr := range tracks {
+				if i > 50 {
+					break
+				}
+				if _, err := readWhole(fsys, pid, tr.Path, 256*1024); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// editorApp opens a few files of one type and saves same-type revisions.
+func editorApp(name, ext string) Workload {
+	return Workload{
+		Name:        name,
+		Description: "edits and saves " + ext + " files in place",
+		Run: func(fsys *vfs.FS, pid int, root string) error {
+			files, err := listByExt(fsys, root, ext)
+			if err != nil {
+				return err
+			}
+			for i, f := range files {
+				if i >= 5 {
+					break
+				}
+				content, err := readWhole(fsys, pid, f.Path, 16384)
+				if err != nil {
+					return err
+				}
+				revised := append(content[:len(content):len(content)], corpus.Generate(ext, int64(i), 1024)[:512]...)
+				if err := writeWhole(fsys, pid, f.Path, revised, 16384); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// noteTaker appends small plain-text notes.
+func noteTaker(name string) Workload {
+	return Workload{
+		Name:        name,
+		Description: "creates and updates small text notes",
+		Run: func(fsys *vfs.FS, pid int, root string) error {
+			for i := 0; i < 20; i++ {
+				p := path.Join(root, fmt.Sprintf("note_%s_%d.txt", strings.ReplaceAll(name, " ", ""), i%5))
+				if err := writeWhole(fsys, pid, p, corpus.Generate("txt", int64(i), 400), 4096); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// downloader writes a few new files into Documents without reading.
+func downloader(name string, files int) Workload {
+	return Workload{
+		Name:        name,
+		Description: "downloads files into Documents",
+		Run: func(fsys *vfs.FS, pid int, root string) error {
+			for i := 0; i < files; i++ {
+				p := path.Join(root, fmt.Sprintf("download_%s_%d.zip", strings.ReplaceAll(name, " ", ""), i))
+				if err := writeWhole(fsys, pid, p, corpus.Generate("zip", int64(i*7), 96<<10), 32*1024); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// outsideApp performs all its activity outside the protected tree.
+func outsideApp(name, desc string) Workload {
+	return Workload{
+		Name:        name,
+		Description: desc,
+		Run: func(fsys *vfs.FS, pid int, root string) error {
+			dir := "/ProgramData/" + strings.ReplaceAll(name, " ", "")
+			if err := fsys.MkdirAll(dir); err != nil {
+				return err
+			}
+			for i := 0; i < 10; i++ {
+				p := path.Join(dir, fmt.Sprintf("state_%d.bin", i))
+				if err := writeWhole(fsys, pid, p, corpus.Generate("log", int64(i), 4096), 4096); err != nil {
+					return err
+				}
+			}
+			return fsys.Delete(pid, path.Join(dir, "state_0.bin"))
+		},
+	}
+}

@@ -1,0 +1,159 @@
+package benign_test
+
+import (
+	"errors"
+	"testing"
+
+	"cryptodrop"
+	"cryptodrop/internal/benign"
+	"cryptodrop/internal/corpus"
+	"cryptodrop/internal/proc"
+	"cryptodrop/internal/vfs"
+)
+
+// runWorkload executes one workload under a monitor and returns its final
+// score and detection state.
+func runWorkload(t *testing.T, w benign.Workload) (score float64, detected bool) {
+	t.Helper()
+	fs := vfs.New()
+	m, err := corpus.Build(fs, corpus.Spec{Seed: 20, Files: 600, Dirs: 60, SizeScale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := proc.NewTable()
+	mon, err := cryptodrop.NewMonitor(fs, procs, cryptodrop.WithRoot(m.Root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid := procs.Spawn(w.Name)
+	if err := w.Run(fs, pid, m.Root); err != nil && !errors.Is(err, cryptodrop.ErrSuspended) {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	rep, ok := mon.Report(pid)
+	if !ok {
+		return 0, false
+	}
+	return rep.Score, rep.Detected
+}
+
+func TestThirtyWorkloadsExist(t *testing.T) {
+	all := benign.All()
+	if len(all) != 30 {
+		t.Fatalf("workloads = %d, want 30 (the paper's application set)", len(all))
+	}
+	seen := make(map[string]bool)
+	for _, w := range all {
+		if w.Name == "" || w.Run == nil {
+			t.Fatalf("malformed workload %+v", w)
+		}
+		if seen[w.Name] {
+			t.Fatalf("duplicate workload %s", w.Name)
+		}
+		seen[w.Name] = true
+	}
+	if len(benign.Detailed()) != 6 {
+		t.Fatalf("detailed workloads = %d, want 6", len(benign.Detailed()))
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := benign.ByName("Microsoft Word"); !ok {
+		t.Fatal("Microsoft Word not found")
+	}
+	if _, ok := benign.ByName("Ransomware Deluxe"); ok {
+		t.Fatal("unexpected workload found")
+	}
+}
+
+func TestOnlySevenZipDetected(t *testing.T) {
+	// §V-F: thirty applications, exactly one false positive (7-zip), and
+	// no application exhibits all three primary indicators.
+	if testing.Short() {
+		t.Skip("long corpus workloads")
+	}
+	for _, w := range benign.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			score, detected := runWorkload(t, w)
+			if w.ExpectDetection {
+				if !detected {
+					t.Fatalf("%s expected to be flagged, score %.1f", w.Name, score)
+				}
+				return
+			}
+			if detected {
+				t.Fatalf("false positive: %s flagged with score %.1f", w.Name, score)
+			}
+		})
+	}
+}
+
+func TestNoBenignAppTriggersUnion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long corpus workloads")
+	}
+	fs := vfs.New()
+	m, err := corpus.Build(fs, corpus.Spec{Seed: 21, Files: 600, Dirs: 60, SizeScale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := proc.NewTable()
+	mon, err := cryptodrop.NewMonitor(fs, procs, cryptodrop.WithRoot(m.Root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range benign.Detailed() {
+		pid := procs.Spawn(w.Name)
+		if err := w.Run(fs, pid, m.Root); err != nil && !errors.Is(err, cryptodrop.ErrSuspended) {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		rep, ok := mon.Report(pid)
+		if !ok {
+			continue
+		}
+		if rep.Union {
+			t.Errorf("%s triggered union indication (points %v)", w.Name, rep.IndicatorPoints)
+		}
+	}
+}
+
+func TestFigure6ScoreShape(t *testing.T) {
+	// The Fig. 6 ordering: Word ≈ ImageMagick ≈ 0 < iTunes < Lightroom <
+	// Excel < the 200 threshold.
+	if testing.Short() {
+		t.Skip("long corpus workloads")
+	}
+	scores := map[string]float64{}
+	for _, name := range []string{"Microsoft Word", "ImageMagick", "iTunes", "Adobe Lightroom", "Microsoft Excel"} {
+		w, ok := benign.ByName(name)
+		if !ok {
+			t.Fatalf("workload %s missing", name)
+		}
+		score, detected := runWorkload(t, w)
+		if detected {
+			t.Fatalf("%s detected (score %.1f)", name, score)
+		}
+		scores[name] = score
+	}
+	t.Logf("scores: %+v", scores)
+	if scores["Microsoft Word"] > 5 {
+		t.Errorf("Word score %.1f, want ≈ 0", scores["Microsoft Word"])
+	}
+	if scores["ImageMagick"] > 5 {
+		t.Errorf("ImageMagick score %.1f, want ≈ 0", scores["ImageMagick"])
+	}
+	if scores["iTunes"] <= 0 || scores["iTunes"] > 60 {
+		t.Errorf("iTunes score %.1f, want small nonzero", scores["iTunes"])
+	}
+	if scores["Adobe Lightroom"] <= scores["iTunes"] {
+		t.Errorf("Lightroom %.1f not above iTunes %.1f", scores["Adobe Lightroom"], scores["iTunes"])
+	}
+	if scores["Microsoft Excel"] <= scores["Adobe Lightroom"]/2 {
+		t.Errorf("Excel %.1f unexpectedly low vs Lightroom %.1f", scores["Microsoft Excel"], scores["Adobe Lightroom"])
+	}
+	for name, s := range scores {
+		if s >= 200 {
+			t.Errorf("%s score %.1f crosses the 200 threshold", name, s)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package core implements the paper's contribution: the CryptoDrop analysis
+// engine (§IV). It consumes the filesystem operation stream delivered by the
+// filter chain and maintains a per-process reputation scoreboard over five
+// behavioural indicators:
+//
+// Primary (§III-A/B/C):
+//  1. File type change — a file's magic-number type changes when written.
+//  2. Similarity measurement — the similarity digest of the new content
+//     scores near zero against the previous version.
+//  3. Entropy delta — the weighted mean entropy of the process's writes
+//     exceeds that of its reads by ≥ 0.1.
+//
+// Secondary (§III-D):
+//
+//  4. Deletion — bulk removal of protected files.
+//  5. File type funneling — many distinct types read, few written.
+//
+// When one process exhibits all three primary indicators, union indication
+// (§III-E) fires: the score is boosted and the detection threshold drops,
+// so suspension follows almost immediately.
+package core
+
+// Default thresholds from the paper (§IV-C1, §V-A).
+const (
+	// DefaultNonUnionThreshold is the reputation score at which a process
+	// is flagged without union indication (the paper's experiments used
+	// 200).
+	DefaultNonUnionThreshold = 200.0
+	// DefaultUnionThreshold is the effective threshold once union
+	// indication has been observed for a process.
+	DefaultUnionThreshold = 140.0
+	// DefaultUnionBonus is added to a process's score the first time all
+	// three primary indicators have been observed together.
+	DefaultUnionBonus = 30.0
+	// DefaultEntropyDeltaThreshold is the write-minus-read weighted mean
+	// entropy delta considered suspicious (Δe ≥ 0.1).
+	DefaultEntropyDeltaThreshold = 0.1
+	// DefaultSimilarityMatchMax is the highest sdhash score still treated
+	// as "no match": the paper expects near-zero scores for
+	// ransomware-encrypted content.
+	DefaultSimilarityMatchMax = 4
+	// DefaultFunnelingThreshold is the minimum excess of distinct types
+	// read over types written before funneling is flagged.
+	DefaultFunnelingThreshold = 6
+)
+
+// Points assigns reputation score values to indicator events. The paper
+// parameterises these (§IV-A); the defaults are calibrated so that the
+// experimental shape of §V reproduces: ransomware detected around a median
+// of ten files lost at the 200-point non-union threshold, while the §V-F
+// benign workloads score 0–150.
+type Points struct {
+	// TypeChange is awarded per protected file whose identified type
+	// changed when rewritten.
+	TypeChange float64
+	// Similarity is awarded per protected file whose new content is
+	// completely dissimilar from its previous version.
+	Similarity float64
+	// EntropyDeltaFile is awarded per transformed file completed while the
+	// process's entropy delta is suspicious.
+	EntropyDeltaFile float64
+	// EntropyDeltaOp is awarded per write operation performed while the
+	// entropy delta is suspicious. It is small: it exists to catch
+	// high-volume writers (Class C evaders, archivers) without penalising
+	// ordinary applications.
+	EntropyDeltaOp float64
+	// Deletion is awarded per protected file deleted that the process did
+	// not itself create — removing the user's pre-existing data.
+	Deletion float64
+	// DeletionOwn is awarded per protected file deleted that the process
+	// itself created (temp/autosave churn — ordinary application
+	// behaviour).
+	DeletionOwn float64
+	// NewCipherFile is awarded per new protected file whose written
+	// content is untyped high-entropy data, completed while the process's
+	// entropy delta is suspicious — the Class C encrypted-copy shape
+	// ("high entropy delta between the files it was reading and writing",
+	// §V-C).
+	NewCipherFile float64
+	// Funneling is awarded once when the type-funneling condition first
+	// holds for a process.
+	Funneling float64
+	// UnionBonus is added once when all three primary indicators have
+	// been observed for a process.
+	UnionBonus float64
+}
+
+// DefaultPoints returns the calibrated default point values.
+func DefaultPoints() Points {
+	return Points{
+		TypeChange:       8,
+		Similarity:       8,
+		EntropyDeltaFile: 4,
+		EntropyDeltaOp:   0.25,
+		Deletion:         12,
+		DeletionOwn:      0.5,
+		NewCipherFile:    3,
+		Funneling:        25,
+		UnionBonus:       DefaultUnionBonus,
+	}
+}
+
+// Config configures the analysis engine.
+type Config struct {
+	// ProtectedRoot is the user documents directory the engine watches.
+	// Operations outside it are ignored (§V-H: "CryptoDrop does not
+	// inspect files outside of the user's documents directory").
+	ProtectedRoot string
+	// NonUnionThreshold is the score at which a process is flagged.
+	NonUnionThreshold float64
+	// UnionThreshold replaces NonUnionThreshold once union indication has
+	// fired for the process.
+	UnionThreshold float64
+	// EntropyDeltaThreshold is the suspicious Δe bound.
+	EntropyDeltaThreshold float64
+	// SimilarityMatchMax is the highest similarity score treated as
+	// complete dissimilarity.
+	SimilarityMatchMax int
+	// FunnelingThreshold is the types-read minus types-written excess
+	// considered funneling.
+	FunnelingThreshold int
+	// Points are the per-indicator score values.
+	Points Points
+	// DisableUnion turns union indication off (ablation studies).
+	DisableUnion bool
+	// UnweightedEntropy replaces the paper's w = 0.125×⌊e⌉×b operation
+	// weighting with plain byte weighting (ablation studies: shows how
+	// small low-entropy ransom-note writes skew an unweighted mean).
+	UnweightedEntropy bool
+	// DisabledIndicators suppresses scoring (and union participation) of
+	// the listed indicators (ablation studies).
+	DisabledIndicators []Indicator
+	// FamilyOf, if set, maps an acting PID to its scoring group (typically
+	// the root ancestor of the process family). All processes in a group
+	// share one scoreboard entry, so malware cannot dilute its score by
+	// spreading the attack across spawned workers — the "family of
+	// processes" the paper suspends (§IV). Nil scores each PID separately.
+	FamilyOf func(pid int) int
+	// OnDetection, if set, is invoked exactly once per flagged process at
+	// the moment its score crosses the effective threshold.
+	OnDetection func(Detection)
+}
+
+// DefaultConfig returns a Config with the paper's parameters, protecting
+// root.
+func DefaultConfig(root string) Config {
+	return Config{
+		ProtectedRoot:         root,
+		NonUnionThreshold:     DefaultNonUnionThreshold,
+		UnionThreshold:        DefaultUnionThreshold,
+		EntropyDeltaThreshold: DefaultEntropyDeltaThreshold,
+		SimilarityMatchMax:    DefaultSimilarityMatchMax,
+		FunnelingThreshold:    DefaultFunnelingThreshold,
+		Points:                DefaultPoints(),
+	}
+}
+
+// Indicator identifies one of CryptoDrop's behavioural indicators.
+type Indicator int
+
+// The indicators. TypeChange, Similarity and EntropyDelta are primary;
+// Deletion and Funneling are secondary.
+const (
+	IndicatorTypeChange Indicator = iota + 1
+	IndicatorSimilarity
+	IndicatorEntropyDelta
+	IndicatorDeletion
+	IndicatorFunneling
+)
+
+// PrimaryIndicators lists the three primary indicators whose union triggers
+// accelerated detection.
+func PrimaryIndicators() []Indicator {
+	return []Indicator{IndicatorTypeChange, IndicatorSimilarity, IndicatorEntropyDelta}
+}
+
+// String returns the indicator name.
+func (i Indicator) String() string {
+	switch i {
+	case IndicatorTypeChange:
+		return "file-type-change"
+	case IndicatorSimilarity:
+		return "similarity"
+	case IndicatorEntropyDelta:
+		return "entropy-delta"
+	case IndicatorDeletion:
+		return "deletion"
+	case IndicatorFunneling:
+		return "funneling"
+	default:
+		return "unknown"
+	}
+}
+
+// Detection reports a process crossing its detection threshold.
+type Detection struct {
+	// PID is the flagged process.
+	PID int
+	// Score is the reputation score at detection time.
+	Score float64
+	// Threshold is the effective threshold that was crossed.
+	Threshold float64
+	// Union reports whether union indication had fired for the process.
+	Union bool
+	// OpIndex is the number of protected-scope operations the engine had
+	// processed when detection occurred.
+	OpIndex int64
+	// Indicators are the per-indicator point totals at detection time.
+	Indicators map[Indicator]float64
+}

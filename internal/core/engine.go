@@ -1,0 +1,456 @@
+package core
+
+import (
+	"path"
+	"sort"
+	"strings"
+	"sync"
+
+	"cryptodrop/internal/magic"
+	"cryptodrop/internal/sdhash"
+	"cryptodrop/internal/vfs"
+)
+
+// Engine is the CryptoDrop analysis engine. It consumes the filesystem
+// operation stream (as a minifilter in the chain of Fig. 2), measures the
+// indicators, maintains the per-process reputation scoreboard and reports
+// detections. The engine observes but never vetoes: enforcement (suspending
+// the flagged process family) belongs to the monitor that owns it.
+//
+// Create an Engine with New and attach it to the filesystem's filter chain.
+// All methods are safe for concurrent use.
+type Engine struct {
+	mu  sync.Mutex
+	cfg Config
+	fs  *vfs.FS
+
+	procs map[int]*procState
+	// files caches the measured previous-version state of protected
+	// files, keyed by stable file ID so it survives renames and moves.
+	files map[uint64]*fileState
+	// creators records which process created each file, distinguishing a
+	// process deleting its own temp files from one destroying the user's
+	// pre-existing data.
+	creators map[uint64]int
+
+	disabled   map[Indicator]bool
+	opIndex    int64
+	detections []Detection
+}
+
+// New returns an engine analysing operations on fsys under cfg.ProtectedRoot.
+func New(cfg Config, fsys *vfs.FS) *Engine {
+	disabled := make(map[Indicator]bool, len(cfg.DisabledIndicators))
+	for _, ind := range cfg.DisabledIndicators {
+		disabled[ind] = true
+	}
+	return &Engine{
+		cfg:      cfg,
+		fs:       fsys,
+		procs:    make(map[int]*procState),
+		files:    make(map[uint64]*fileState),
+		creators: make(map[uint64]int),
+		disabled: disabled,
+	}
+}
+
+// Name identifies the engine in a filter chain.
+func (e *Engine) Name() string { return "cryptodrop" }
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// inRoot reports whether p lies under the protected root.
+func (e *Engine) inRoot(p string) bool {
+	root := e.cfg.ProtectedRoot
+	return p == root || strings.HasPrefix(p, root+"/")
+}
+
+// proc returns (creating if needed) the scoreboard entry for pid — or for
+// pid's scoring group when family scoring is configured; e.mu held.
+func (e *Engine) proc(pid int) *procState {
+	if e.cfg.FamilyOf != nil {
+		pid = e.cfg.FamilyOf(pid)
+	}
+	ps, ok := e.procs[pid]
+	if !ok {
+		ps = newProcState(pid)
+		ps.delta.SetUnweighted(e.cfg.UnweightedEntropy)
+		e.procs[pid] = ps
+	}
+	return ps
+}
+
+// PreOp snapshots file state that would otherwise be destroyed by the
+// operation: the previous version of a file opened for writing, and the
+// target a rename is about to replace. It never vetoes.
+func (e *Engine) PreOp(op *vfs.Op) error {
+	switch op.Kind {
+	case vfs.OpOpen:
+		if op.Flags&vfs.WriteOnly != 0 && op.Size > 0 && e.inRoot(op.Path) {
+			e.snapshot(op.FileID)
+		}
+	case vfs.OpWrite:
+		// Fallback for handles opened before the engine attached.
+		if op.Size > 0 && e.inRoot(op.Path) {
+			e.snapshotIfMissing(op.FileID)
+		}
+	case vfs.OpRename:
+		if op.ReplacedID != 0 && e.inRoot(op.NewPath) {
+			e.snapshot(op.ReplacedID)
+		}
+		if e.inRoot(op.Path) && !e.inRoot(op.NewPath) {
+			// The file is leaving the protected tree (Class B move-out):
+			// capture its state so the return trip can be compared.
+			e.snapshot(op.FileID)
+		}
+	}
+	return nil
+}
+
+// snapshot caches the current content state of the file with the given ID if
+// not already cached.
+func (e *Engine) snapshot(id uint64) {
+	e.mu.Lock()
+	_, ok := e.files[id]
+	e.mu.Unlock()
+	if ok {
+		return
+	}
+	content, err := e.fs.ReadFileRawByID(id)
+	if err != nil || len(content) == 0 {
+		return
+	}
+	st := measureFile(content)
+	e.mu.Lock()
+	if _, ok := e.files[id]; !ok {
+		e.files[id] = st
+	}
+	e.mu.Unlock()
+}
+
+func (e *Engine) snapshotIfMissing(id uint64) { e.snapshot(id) }
+
+// PostOp measures the completed operation and updates the scoreboard.
+func (e *Engine) PostOp(op *vfs.Op) {
+	relevant := e.inRoot(op.Path) || (op.Kind == vfs.OpRename && e.inRoot(op.NewPath))
+	if !relevant {
+		return
+	}
+	e.mu.Lock()
+	e.opIndex++
+	ps := e.proc(op.PID)
+	switch op.Kind {
+	case vfs.OpRead:
+		e.handleRead(ps, op)
+	case vfs.OpWrite:
+		e.handleWrite(ps, op)
+	case vfs.OpClose:
+		e.handleClose(ps, op)
+	case vfs.OpDelete:
+		e.handleDelete(ps, op)
+	case vfs.OpRename:
+		e.handleRename(ps, op)
+	case vfs.OpCreate:
+		e.creators[op.FileID] = op.PID
+		ps.dirsTouched[path.Dir(op.Path)] = true
+	case vfs.OpOpen:
+		ps.dirsTouched[path.Dir(op.Path)] = true
+	}
+	det, fire := e.checkDetection(ps)
+	e.mu.Unlock()
+	if fire && e.cfg.OnDetection != nil {
+		e.cfg.OnDetection(det)
+	}
+}
+
+// handleRead folds a read payload into the entropy tracker and funneling
+// sets; e.mu held.
+func (e *Engine) handleRead(ps *procState, op *vfs.Op) {
+	ps.delta.AddRead(op.Data)
+	ps.dirsTouched[path.Dir(op.Path)] = true
+	ps.touchExt(extOf(op.Path))
+	if op.Offset == 0 && len(op.Data) > 0 {
+		t := magic.Identify(op.Data)
+		ps.typesRead[t.ID] = true
+		e.checkFunneling(ps)
+	}
+}
+
+// handleWrite folds a write payload into the entropy tracker and applies
+// per-operation entropy-delta scoring; e.mu held.
+func (e *Engine) handleWrite(ps *procState, op *vfs.Op) {
+	ps.delta.AddWrite(op.Data)
+	ps.dirsTouched[path.Dir(op.Path)] = true
+	ps.touchExt(extOf(op.Path))
+	if e.deltaSuspicious(ps) {
+		e.award(ps, IndicatorEntropyDelta, e.cfg.Points.EntropyDeltaOp)
+	}
+}
+
+// deltaSuspicious reports whether the process's current entropy delta
+// exceeds the threshold; e.mu held.
+func (e *Engine) deltaSuspicious(ps *procState) bool {
+	d, ok := ps.delta.Delta()
+	return ok && d >= e.cfg.EntropyDeltaThreshold
+}
+
+// handleClose evaluates a completed file rewrite against the cached
+// previous-version state; e.mu held.
+func (e *Engine) handleClose(ps *procState, op *vfs.Op) {
+	if !op.Wrote {
+		return
+	}
+	e.evaluateTransformation(ps, op.FileID, op.FileID)
+}
+
+// handleDelete scores a protected file removal; e.mu held. Removing a file
+// the process itself created (temp/autosave churn) is ordinary behaviour and
+// scores far lower than destroying the user's pre-existing data — the bulk
+// deletion the secondary indicator targets (§III-D).
+func (e *Engine) handleDelete(ps *procState, op *vfs.Op) {
+	ps.deletes++
+	ps.dirsTouched[path.Dir(op.Path)] = true
+	ps.touchExt(extOf(op.Path))
+	pts := e.cfg.Points.Deletion
+	if e.creators[op.FileID] == op.PID {
+		pts = e.cfg.Points.DeletionOwn
+	}
+	e.award(ps, IndicatorDeletion, pts)
+	delete(e.files, op.FileID)
+	delete(e.creators, op.FileID)
+}
+
+// handleRename links file state across moves. A rename that replaces an
+// existing protected file is a Class B/C transformation of the replaced
+// file; a move back into the protected root is checked against the moved
+// file's own cached state; e.mu held.
+func (e *Engine) handleRename(ps *procState, op *vfs.Op) {
+	if e.inRoot(op.Path) {
+		ps.dirsTouched[path.Dir(op.Path)] = true
+	}
+	if !e.inRoot(op.NewPath) {
+		// Moved out of the protected tree: keep the cached state; the
+		// file ID preserves identity until it comes back.
+		return
+	}
+	ps.dirsTouched[path.Dir(op.NewPath)] = true
+	ps.touchExt(extOf(op.NewPath))
+	if op.ReplacedID != 0 {
+		// The incoming file replaced a protected file: compare the new
+		// content against the replaced file's snapshot.
+		e.evaluateTransformation(ps, op.FileID, op.ReplacedID)
+		delete(e.files, op.ReplacedID)
+		return
+	}
+	if _, ok := e.files[op.FileID]; ok {
+		// The file itself returned to the protected tree (Class B):
+		// compare against its own pre-move state.
+		e.evaluateTransformation(ps, op.FileID, op.FileID)
+	}
+}
+
+// evaluateTransformation compares the current content of file contentID
+// against the cached previous state of file prevID, awarding type-change and
+// similarity points, then refreshes the cache; e.mu held.
+func (e *Engine) evaluateTransformation(ps *procState, contentID, prevID uint64) {
+	prev := e.files[prevID]
+	content, err := e.readRaw(contentID)
+	if err != nil {
+		return
+	}
+	newState := measureFile(content)
+	ps.typesWritten[newState.typ.ID] = true
+	e.checkFunneling(ps)
+	if prev == nil {
+		// A brand-new file of untyped high-entropy content, written while
+		// the process reads lower-entropy data: the shape of a Class C
+		// encrypted copy (§V-C).
+		if newState.typ.IsData() && newState.entropy > 7.0 && e.deltaSuspicious(ps) {
+			e.award(ps, IndicatorEntropyDelta, e.cfg.Points.NewCipherFile)
+		}
+	}
+	if prev != nil {
+		ps.filesTransformed++
+		if newState.typ.ID != prev.typ.ID {
+			e.award(ps, IndicatorTypeChange, e.cfg.Points.TypeChange)
+		}
+		// A dissimilarity verdict requires a reliable previous digest:
+		// digests with very few features (chance features in random-like
+		// data, e.g. JPEG scan streams) carry no confidence — the same
+		// reliability caveat sdhash applies to sparse digests.
+		if reliableDigest(prev) && e.dissimilar(prev.digest, newState.digest) {
+			e.award(ps, IndicatorSimilarity, e.cfg.Points.Similarity)
+		}
+		// File-level entropy increase: the rewrite pushed this file's own
+		// entropy up by at least the Δe threshold — the resolution that
+		// catches even compressed formats gaining entropy (§IV-C1).
+		if newState.entropy-prev.entropy >= e.cfg.EntropyDeltaThreshold {
+			e.award(ps, IndicatorEntropyDelta, e.cfg.Points.EntropyDeltaFile)
+		}
+	}
+	e.files[contentID] = newState
+}
+
+// readRaw reads file content by ID with the engine lock released, since the
+// filesystem takes its own lock.
+func (e *Engine) readRaw(id uint64) ([]byte, error) {
+	e.mu.Unlock()
+	defer e.mu.Lock()
+	return e.fs.ReadFileRawByID(id)
+}
+
+// minReliableFeatures is the feature count above which a digest is always
+// trusted for a dissimilarity verdict.
+const minReliableFeatures = 8
+
+// reliableDigest reports whether the previous version's digest can support
+// a dissimilarity verdict: either it has plenty of features, or its feature
+// density is high enough that the features are characteristic content
+// rather than chance windows in random-like data (≥ 1 feature per 256
+// bytes). Chance features in ciphertext-like streams occur orders of
+// magnitude more sparsely.
+func reliableDigest(st *fileState) bool {
+	if st.digest == nil {
+		return false
+	}
+	fc := st.digest.FeatureCount()
+	return fc >= minReliableFeatures || int64(fc)*256 >= st.size
+}
+
+// dissimilar reports whether new content is completely dissimilar from the
+// previous digest: either its comparison score is at or below the match
+// ceiling, or the new content is undigestable (as ciphertext is) while the
+// old version was digestable.
+func (e *Engine) dissimilar(prev *sdhash.Digest, next *sdhash.Digest) bool {
+	if next == nil {
+		return true
+	}
+	return prev.Compare(next) <= e.cfg.SimilarityMatchMax
+}
+
+// checkFunneling awards the one-time funneling score when the process has
+// read many more distinct types than it has written; e.mu held.
+func (e *Engine) checkFunneling(ps *procState) {
+	if ps.funnelFired || len(ps.typesWritten) == 0 {
+		return
+	}
+	if len(ps.typesRead)-len(ps.typesWritten) >= e.cfg.FunnelingThreshold {
+		ps.funnelFired = true
+		e.award(ps, IndicatorFunneling, e.cfg.Points.Funneling)
+	}
+}
+
+// award adds points for an indicator occurrence and re-evaluates union
+// indication; e.mu held. Disabled indicators are ignored entirely.
+func (e *Engine) award(ps *procState, ind Indicator, pts float64) {
+	if e.disabled[ind] {
+		return
+	}
+	ps.indicatorSeen[ind] = true
+	ps.indicatorPoints[ind] += pts
+	ps.score += pts
+	if len(ps.history) < maxHistory {
+		ps.history = append(ps.history, ScorePoint{OpIndex: e.opIndex, Score: ps.score})
+	}
+	e.checkUnion(ps)
+}
+
+// checkUnion fires union indication once all three primary indicators have
+// been observed for the process; e.mu held.
+func (e *Engine) checkUnion(ps *procState) {
+	if ps.unionFired || e.cfg.DisableUnion {
+		return
+	}
+	for _, ind := range PrimaryIndicators() {
+		if !ps.indicatorSeen[ind] {
+			return
+		}
+	}
+	ps.unionFired = true
+	ps.score += e.cfg.Points.UnionBonus
+	if len(ps.history) < maxHistory {
+		ps.history = append(ps.history, ScorePoint{OpIndex: e.opIndex, Score: ps.score})
+	}
+}
+
+// checkDetection evaluates the process against its effective threshold;
+// e.mu held. The Detection is returned for dispatch outside the lock.
+func (e *Engine) checkDetection(ps *procState) (Detection, bool) {
+	if ps.detected {
+		return Detection{}, false
+	}
+	threshold := e.cfg.NonUnionThreshold
+	if ps.unionFired && e.cfg.UnionThreshold < threshold {
+		threshold = e.cfg.UnionThreshold
+	}
+	if ps.score < threshold {
+		return Detection{}, false
+	}
+	ps.detected = true
+	det := Detection{
+		PID:        ps.pid,
+		Score:      ps.score,
+		Threshold:  threshold,
+		Union:      ps.unionFired,
+		OpIndex:    e.opIndex,
+		Indicators: make(map[Indicator]float64, len(ps.indicatorPoints)),
+	}
+	for ind, pts := range ps.indicatorPoints {
+		det.Indicators[ind] = pts
+	}
+	e.detections = append(e.detections, det)
+	return det, true
+}
+
+// Report returns the scoreboard snapshot for pid (resolved to its scoring
+// group under family scoring).
+func (e *Engine) Report(pid int) (ProcessReport, bool) {
+	if e.cfg.FamilyOf != nil {
+		pid = e.cfg.FamilyOf(pid)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ps, ok := e.procs[pid]
+	if !ok {
+		return ProcessReport{}, false
+	}
+	return ps.report(), true
+}
+
+// Reports returns snapshots for every scored process, ordered by PID.
+func (e *Engine) Reports() []ProcessReport {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]ProcessReport, 0, len(e.procs))
+	for _, ps := range e.procs {
+		out = append(out, ps.report())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
+	return out
+}
+
+// Detections returns all detections in occurrence order.
+func (e *Engine) Detections() []Detection {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Detection, len(e.detections))
+	copy(out, e.detections)
+	return out
+}
+
+// OpIndex returns the number of protected-scope operations processed.
+func (e *Engine) OpIndex() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.opIndex
+}
+
+// extOf returns the lower-case extension of p without the dot.
+func extOf(p string) string {
+	ext := path.Ext(p)
+	if ext == "" {
+		return ""
+	}
+	return strings.ToLower(ext[1:])
+}

@@ -1,0 +1,295 @@
+// Package corpus deterministically synthesises the user-document test corpus
+// the paper assembles from the Govdocs1, OPF Format and Coldwell audio
+// corpora (§V-A): 5,099 files across 511 nested directories, with file-type
+// proportions and size distributions modelled on studies of user document
+// directories (Hicks et al.).
+//
+// Every file has the correct magic numbers for its extension and realistic
+// byte entropy for its format, so the three primary CryptoDrop indicators
+// behave against it as they would against real user data. Generation is
+// fully deterministic from a seed.
+package corpus
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math"
+	"math/rand"
+	"path"
+	"sort"
+	"strings"
+
+	"cryptodrop/internal/vfs"
+)
+
+// Default corpus dimensions from the paper (§V-A).
+const (
+	// DefaultFiles is the paper's corpus size.
+	DefaultFiles = 5099
+	// DefaultDirs is the paper's directory count.
+	DefaultDirs = 511
+	// DefaultRoot is the protected documents directory.
+	DefaultRoot = "/Users/victim/Documents"
+)
+
+// Spec configures corpus generation. The zero value is completed with the
+// paper's defaults by Build.
+type Spec struct {
+	// Seed drives all randomness; equal specs build identical corpora.
+	Seed int64
+	// Files is the number of files to generate (default DefaultFiles).
+	Files int
+	// Dirs is the number of directories including the root (default
+	// DefaultDirs).
+	Dirs int
+	// Root is the documents directory to populate (default DefaultRoot).
+	Root string
+	// MinSize, when positive, drops files smaller than this many bytes —
+	// used by the §V-C small-file rerun, which removes files < 512 B.
+	MinSize int
+	// ReadOnlyFraction marks approximately this fraction of files
+	// read-only (default 0.02, matching the read-only test files of §V-C).
+	// Set negative to disable.
+	ReadOnlyFraction float64
+	// SizeScale scales all file sizes (default 1.0). Tests use < 1 to
+	// keep corpora small.
+	SizeScale float64
+}
+
+// fileClass describes one extension's share of the corpus and size range,
+// modelling the user-directory type distribution of Hicks et al. [22] and
+// the filesystem studies [16], [2] the paper aggregates.
+type fileClass struct {
+	ext      string
+	weight   int
+	minBytes int
+	maxBytes int
+}
+
+var fileClasses = []fileClass{
+	{"pdf", 11, 8 << 10, 200 << 10},
+	{"docx", 9, 8 << 10, 120 << 10},
+	{"xlsx", 7, 6 << 10, 90 << 10},
+	{"pptx", 5, 20 << 10, 160 << 10},
+	{"doc", 4, 12 << 10, 100 << 10},
+	{"odt", 2, 8 << 10, 80 << 10},
+	{"txt", 11, 120, 24 << 10},
+	{"md", 3, 180, 12 << 10},
+	{"csv", 4, 400, 60 << 10},
+	{"html", 5, 2 << 10, 48 << 10},
+	{"xml", 4, 1 << 10, 40 << 10},
+	{"log", 2, 1 << 10, 80 << 10},
+	{"rtf", 3, 2 << 10, 50 << 10},
+	{"json", 2, 600, 30 << 10},
+	{"jpg", 12, 20 << 10, 220 << 10},
+	{"png", 6, 8 << 10, 120 << 10},
+	{"gif", 2, 4 << 10, 50 << 10},
+	{"mp3", 4, 60 << 10, 300 << 10},
+	{"wav", 2, 20 << 10, 120 << 10},
+	{"zip", 1, 8 << 10, 80 << 10},
+}
+
+var dirNames = []string{
+	"Projects", "Reports", "Finance", "Taxes", "Invoices", "Receipts",
+	"Photos", "Vacation", "Family", "Music", "Recordings", "School",
+	"Research", "Papers", "Drafts", "Archive", "Backups", "Personal",
+	"Work", "Clients", "Contracts", "Proposals", "Meetings", "Notes",
+	"Recipes", "Medical", "Insurance", "Legal", "Letters", "Templates",
+	"2013", "2014", "2015", "Q1", "Q2", "Q3", "Q4", "Old", "Shared", "Misc",
+}
+
+// Entry records one generated corpus file.
+type Entry struct {
+	// Path is the file's location in the VFS.
+	Path string
+	// Ext is the extension without dot.
+	Ext string
+	// Size is the content length in bytes.
+	Size int
+	// SHA256 is the content hash, used to verify files survived a run
+	// unmodified (the paper verifies document hashes after each sample).
+	SHA256 [32]byte
+	// ReadOnly reports whether the file carries the read-only attribute.
+	ReadOnly bool
+}
+
+// Manifest describes a generated corpus.
+type Manifest struct {
+	// Root is the populated documents directory.
+	Root string
+	// Entries lists every generated file, sorted by path.
+	Entries []Entry
+	// DirCount is the number of directories created, including Root.
+	DirCount int
+}
+
+// ByExt returns the entries with the given extension.
+func (m *Manifest) ByExt(ext string) []Entry {
+	var out []Entry
+	for _, e := range m.Entries {
+		if e.Ext == ext {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// SmallerThan returns the entries strictly smaller than n bytes.
+func (m *Manifest) SmallerThan(n int) []Entry {
+	var out []Entry
+	for _, e := range m.Entries {
+		if e.Size < n {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CountByExt returns the number of files per extension.
+func (m *Manifest) CountByExt() map[string]int {
+	out := make(map[string]int)
+	for _, e := range m.Entries {
+		out[e.Ext]++
+	}
+	return out
+}
+
+// Build populates fs with a corpus per spec and returns its manifest. The
+// filesystem should have no interceptor attached: the corpus is the
+// pre-existing user data the monitor later protects.
+func Build(fs *vfs.FS, spec Spec) (*Manifest, error) {
+	if spec.Files == 0 {
+		spec.Files = DefaultFiles
+	}
+	if spec.Dirs == 0 {
+		spec.Dirs = DefaultDirs
+	}
+	if spec.Root == "" {
+		spec.Root = DefaultRoot
+	}
+	if spec.SizeScale == 0 {
+		spec.SizeScale = 1.0
+	}
+	if spec.ReadOnlyFraction == 0 {
+		spec.ReadOnlyFraction = 0.02
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	dirs, err := buildTree(fs, rng, spec.Root, spec.Dirs)
+	if err != nil {
+		return nil, err
+	}
+
+	total := 0
+	for _, c := range fileClasses {
+		total += c.weight
+	}
+
+	m := &Manifest{Root: spec.Root, DirCount: len(dirs)}
+	used := make(map[string]bool, spec.Files)
+	for i := 0; i < spec.Files; i++ {
+		c := pickClass(rng, total)
+		size := logUniform(rng, c.minBytes, c.maxBytes)
+		size = int(float64(size) * spec.SizeScale)
+		if size < c.minBytes/4 {
+			size = c.minBytes / 4
+		}
+		if spec.MinSize > 0 && size < spec.MinSize {
+			// Small-file rerun: regenerate at or above the floor.
+			size = spec.MinSize + rng.Intn(spec.MinSize)
+		}
+		dir := dirs[rng.Intn(len(dirs))]
+		name := fileName(rng, c.ext, used, dir)
+		content := Generate(c.ext, spec.Seed^int64(i)<<1, size)
+		if spec.MinSize > 0 && len(content) < spec.MinSize {
+			continue
+		}
+		p := path.Join(dir, name)
+		if err := fs.WriteFile(0, p, content); err != nil {
+			return nil, fmt.Errorf("corpus: write %s: %w", p, err)
+		}
+		e := Entry{Path: p, Ext: c.ext, Size: len(content), SHA256: sha256.Sum256(content)}
+		if spec.ReadOnlyFraction > 0 && rng.Float64() < spec.ReadOnlyFraction {
+			if err := fs.SetReadOnly(p, true); err != nil {
+				return nil, fmt.Errorf("corpus: set read-only %s: %w", p, err)
+			}
+			e.ReadOnly = true
+		}
+		m.Entries = append(m.Entries, e)
+	}
+	sort.Slice(m.Entries, func(i, j int) bool { return m.Entries[i].Path < m.Entries[j].Path })
+	return m, nil
+}
+
+// buildTree creates a nested directory tree of the requested size and
+// returns all directory paths including root.
+func buildTree(fs *vfs.FS, rng *rand.Rand, root string, count int) ([]string, error) {
+	if err := fs.MkdirAll(root); err != nil {
+		return nil, fmt.Errorf("corpus: mkdir root: %w", err)
+	}
+	dirs := []string{root}
+	seen := map[string]bool{root: true}
+	for len(dirs) < count {
+		parent := dirs[rng.Intn(len(dirs))]
+		// Keep the tree from growing unrealistically deep.
+		if strings.Count(parent[len(root):], "/") >= 6 {
+			continue
+		}
+		name := dirNames[rng.Intn(len(dirNames))]
+		p := path.Join(parent, name)
+		if seen[p] {
+			p = path.Join(parent, fmt.Sprintf("%s %d", name, rng.Intn(90)+10))
+			if seen[p] {
+				continue
+			}
+		}
+		if err := fs.MkdirAll(p); err != nil {
+			return nil, fmt.Errorf("corpus: mkdir %s: %w", p, err)
+		}
+		seen[p] = true
+		dirs = append(dirs, p)
+	}
+	return dirs, nil
+}
+
+func pickClass(rng *rand.Rand, total int) fileClass {
+	n := rng.Intn(total)
+	for _, c := range fileClasses {
+		if n < c.weight {
+			return c
+		}
+		n -= c.weight
+	}
+	return fileClasses[len(fileClasses)-1]
+}
+
+// logUniform draws a size log-uniformly from [min, max], matching the
+// heavy-tailed size distributions of the filesystem studies.
+func logUniform(rng *rand.Rand, min, max int) int {
+	if min >= max {
+		return min
+	}
+	lo, hi := math.Log(float64(min)), math.Log(float64(max))
+	return int(math.Exp(lo + rng.Float64()*(hi-lo)))
+}
+
+// fileName generates a unique, realistic file name within dir.
+func fileName(rng *rand.Rand, ext string, used map[string]bool, dir string) string {
+	for {
+		var base string
+		switch rng.Intn(3) {
+		case 0:
+			base = fmt.Sprintf("%s_%s", randWord(rng), randWord(rng))
+		case 1:
+			base = fmt.Sprintf("%s %d", randWord(rng), 1990+rng.Intn(26))
+		default:
+			base = fmt.Sprintf("%s-%s-%02d", randWord(rng), randWord(rng), rng.Intn(100))
+		}
+		name := base + "." + ext
+		key := dir + "/" + name
+		if !used[key] {
+			used[key] = true
+			return name
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"cryptodrop/internal/entropy"
+	"cryptodrop/internal/magic"
+	"cryptodrop/internal/vfs"
+)
+
+// buildSmall builds a reduced corpus for tests.
+func buildSmall(t testing.TB, seed int64) (*vfs.FS, *Manifest) {
+	t.Helper()
+	fs := vfs.New()
+	m, err := Build(fs, Spec{Seed: seed, Files: 400, Dirs: 50, SizeScale: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, m
+}
+
+func TestBuildCounts(t *testing.T) {
+	fs, m := buildSmall(t, 1)
+	if len(m.Entries) != 400 {
+		t.Fatalf("entries = %d, want 400", len(m.Entries))
+	}
+	if m.DirCount != 50 {
+		t.Fatalf("dirs = %d, want 50", m.DirCount)
+	}
+	stats, err := fs.TreeStats(m.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Files != 400 {
+		t.Fatalf("files on disk = %d, want 400", stats.Files)
+	}
+	if stats.Dirs != 49 { // root itself is not counted by TreeStats
+		t.Fatalf("dirs on disk = %d, want 49", stats.Dirs)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	_, m1 := buildSmall(t, 7)
+	_, m2 := buildSmall(t, 7)
+	if len(m1.Entries) != len(m2.Entries) {
+		t.Fatalf("entry counts differ: %d vs %d", len(m1.Entries), len(m2.Entries))
+	}
+	for i := range m1.Entries {
+		if m1.Entries[i].Path != m2.Entries[i].Path || m1.Entries[i].SHA256 != m2.Entries[i].SHA256 {
+			t.Fatalf("entry %d differs between identically-seeded builds", i)
+		}
+	}
+}
+
+func TestBuildSeedsDiffer(t *testing.T) {
+	_, m1 := buildSmall(t, 1)
+	_, m2 := buildSmall(t, 2)
+	same := 0
+	for i := range m1.Entries {
+		if i < len(m2.Entries) && m1.Entries[i].SHA256 == m2.Entries[i].SHA256 {
+			same++
+		}
+	}
+	if same > len(m1.Entries)/10 {
+		t.Fatalf("%d/%d identical files across different seeds", same, len(m1.Entries))
+	}
+}
+
+func TestMagicMatchesExtension(t *testing.T) {
+	fs, m := buildSmall(t, 3)
+	wantID := map[string]string{
+		"pdf": "pdf", "docx": "docx", "xlsx": "xlsx", "pptx": "pptx",
+		"doc": "ole", "odt": "odt", "txt": "txt", "md": "txt",
+		"csv": "txt", "html": "html", "xml": "xml", "log": "txt",
+		"rtf": "rtf", "json": "json", "jpg": "jpg", "png": "png",
+		"gif": "gif", "mp3": "mp3", "wav": "wav", "zip": "zip",
+	}
+	for _, e := range m.Entries {
+		content, err := fs.ReadFileRaw(e.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := magic.Identify(content)
+		if want := wantID[e.Ext]; got.ID != want {
+			t.Errorf("%s identified as %q, want %q", e.Path, got.ID, want)
+		}
+	}
+}
+
+func TestEntropyProfiles(t *testing.T) {
+	fs, m := buildSmall(t, 4)
+	// Aggregate entropy per extension must land in realistic bands.
+	bands := map[string][2]float64{
+		"txt":  {3.5, 5.0},
+		"pdf":  {7.0, 8.0},
+		"docx": {6.5, 8.0},
+		"jpg":  {7.5, 8.0},
+		"wav":  {3.5, 7.0},
+		"doc":  {3.0, 6.8},
+	}
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, e := range m.Entries {
+		if _, ok := bands[e.Ext]; !ok {
+			continue
+		}
+		content, err := fs.ReadFileRaw(e.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums[e.Ext] += entropy.Shannon(content)
+		counts[e.Ext]++
+	}
+	for ext, band := range bands {
+		if counts[ext] == 0 {
+			t.Errorf("no %s files generated", ext)
+			continue
+		}
+		mean := sums[ext] / float64(counts[ext])
+		if mean < band[0] || mean > band[1] {
+			t.Errorf("%s mean entropy = %.2f, want within [%.1f, %.1f]", ext, mean, band[0], band[1])
+		}
+	}
+}
+
+func TestSmallFilesExist(t *testing.T) {
+	// The §V-C CTB-Locker analysis depends on sub-512-byte txt/md files.
+	fs := vfs.New()
+	m, err := Build(fs, Spec{Seed: 5, Files: 1500, Dirs: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := m.SmallerThan(512)
+	if len(small) < 10 {
+		t.Fatalf("only %d files < 512B in a 1500-file corpus", len(small))
+	}
+	for _, e := range small {
+		if e.Ext != "txt" && e.Ext != "md" && e.Ext != "csv" && e.Ext != "json" {
+			t.Errorf("unexpectedly small %s file: %s (%d bytes)", e.Ext, e.Path, e.Size)
+		}
+	}
+}
+
+func TestMinSizeFloor(t *testing.T) {
+	fs := vfs.New()
+	m, err := Build(fs, Spec{Seed: 6, Files: 500, Dirs: 40, MinSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.SmallerThan(512); len(got) != 0 {
+		t.Fatalf("%d files below the MinSize floor", len(got))
+	}
+}
+
+func TestReadOnlyFraction(t *testing.T) {
+	fs, m := buildSmall(t, 8)
+	ro := 0
+	for _, e := range m.Entries {
+		if e.ReadOnly {
+			ro++
+			info, err := fs.Stat(e.Path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !info.ReadOnly {
+				t.Fatalf("%s marked read-only in manifest but not on disk", e.Path)
+			}
+		}
+	}
+	if ro == 0 || ro > len(m.Entries)/10 {
+		t.Fatalf("read-only files = %d of %d, want a small nonzero fraction", ro, len(m.Entries))
+	}
+}
+
+func TestManifestHelpers(t *testing.T) {
+	_, m := buildSmall(t, 9)
+	counts := m.CountByExt()
+	sum := 0
+	for _, n := range counts {
+		sum += n
+	}
+	if sum != len(m.Entries) {
+		t.Fatalf("CountByExt sums to %d, want %d", sum, len(m.Entries))
+	}
+	for _, e := range m.ByExt("pdf") {
+		if e.Ext != "pdf" {
+			t.Fatalf("ByExt(pdf) returned %s", e.Path)
+		}
+	}
+	if len(m.ByExt("pdf")) != counts["pdf"] {
+		t.Fatal("ByExt and CountByExt disagree")
+	}
+}
+
+func TestTypeMixRoughlyMatchesWeights(t *testing.T) {
+	fs := vfs.New()
+	m, err := Build(fs, Spec{Seed: 10, Files: 2000, Dirs: 100, SizeScale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := m.CountByExt()
+	// Productivity formats must dominate (they are what ransomware
+	// attacks first, Fig. 5).
+	productivity := counts["pdf"] + counts["docx"] + counts["xlsx"] + counts["pptx"] + counts["doc"] + counts["odt"]
+	if productivity < len(m.Entries)/4 {
+		t.Fatalf("productivity files = %d of %d, want ≥ 25%%", productivity, len(m.Entries))
+	}
+	if counts["txt"] == 0 || counts["jpg"] == 0 {
+		t.Fatal("txt or jpg missing from a 2000-file corpus")
+	}
+}
+
+func TestPathsUnique(t *testing.T) {
+	_, m := buildSmall(t, 11)
+	seen := make(map[string]bool, len(m.Entries))
+	for _, e := range m.Entries {
+		if seen[e.Path] {
+			t.Fatalf("duplicate path %s", e.Path)
+		}
+		seen[e.Path] = true
+		if !strings.HasPrefix(e.Path, m.Root+"/") {
+			t.Fatalf("path %s outside root %s", e.Path, m.Root)
+		}
+	}
+}
+
+func TestGenerateKnownExtensions(t *testing.T) {
+	for _, c := range fileClasses {
+		data := Generate(c.ext, 42, 4096)
+		if len(data) < 512 {
+			t.Errorf("Generate(%s) produced only %d bytes", c.ext, len(data))
+		}
+	}
+	// Unknown extension falls back to text.
+	if got := magic.Identify(Generate("xyz", 1, 2048)); got.Category != magic.CategoryText {
+		t.Fatalf("unknown ext generated %q, want text", got.ID)
+	}
+}
+
+func BenchmarkBuildCorpus400(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fs := vfs.New()
+		if _, err := Build(fs, Spec{Seed: 1, Files: 400, Dirs: 50, SizeScale: 0.25}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

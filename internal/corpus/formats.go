@@ -1,0 +1,474 @@
+package corpus
+
+import (
+	"archive/zip"
+	"bytes"
+	"compress/zlib"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Generate synthesises file content of the given extension (without dot),
+// approximately size bytes long, deterministically from seed. Generated
+// content carries the correct magic numbers for internal/magic and realistic
+// byte-entropy for its format (compressed containers high, plain text low).
+// Unknown extensions yield plain text.
+func Generate(ext string, seed int64, size int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	if size < 16 {
+		size = 16
+	}
+	switch ext {
+	case "txt":
+		return genText(rng, size)
+	case "md":
+		return genMarkdown(rng, size)
+	case "log":
+		return genLog(rng, size)
+	case "csv":
+		return genCSV(rng, size)
+	case "html":
+		return genHTML(rng, size)
+	case "xml":
+		return genXML(rng, size)
+	case "json":
+		return genJSON(rng, size)
+	case "rtf":
+		return genRTF(rng, size)
+	case "pdf":
+		return genPDF(rng, size)
+	case "docx":
+		return genOOXML(rng, size, "word")
+	case "xlsx":
+		return genOOXML(rng, size, "xl")
+	case "pptx":
+		return genOOXML(rng, size, "ppt")
+	case "odt":
+		return genODT(rng, size)
+	case "doc", "xls", "ppt":
+		return genOLE(rng, size)
+	case "jpg", "jpeg":
+		return genJPEG(rng, size)
+	case "png":
+		return genPNG(rng, size)
+	case "gif":
+		return genGIF(rng, size)
+	case "mp3":
+		return genMP3(rng, size)
+	case "wav":
+		return genWAV(rng, size)
+	case "zip":
+		return genZip(rng, size)
+	default:
+		return genText(rng, size)
+	}
+}
+
+var vocabulary = strings.Fields(`
+the a of and to in for on with by from at this that project report budget
+quarterly annual meeting minutes agenda invoice payment client customer
+vendor contract proposal estimate schedule deadline milestone review draft
+final revision summary analysis forecast revenue expense account balance
+department team manager director employee staff training travel itinerary
+insurance policy claim medical receipt tax return statement mortgage loan
+photo vacation family recipe garden kitchen renovation warranty manual
+assignment homework essay thesis research reference chapter appendix notes`)
+
+func randWord(rng *rand.Rand) string {
+	return vocabulary[rng.Intn(len(vocabulary))]
+}
+
+func capitalize(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+// genText produces English-like sentences.
+func genText(rng *rand.Rand, size int) []byte {
+	var b bytes.Buffer
+	b.Grow(size + 64)
+	for b.Len() < size {
+		n := 4 + rng.Intn(12)
+		for i := 0; i < n; i++ {
+			word := randWord(rng)
+			if i == 0 {
+				word = strings.ToUpper(word[:1]) + word[1:]
+			}
+			b.WriteString(word)
+			if i < n-1 {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteString(".")
+		if rng.Intn(5) == 0 {
+			b.WriteString("\n\n")
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	return b.Bytes()[:size]
+}
+
+func genMarkdown(rng *rand.Rand, size int) []byte {
+	var b bytes.Buffer
+	b.Grow(size + 128)
+	fmt.Fprintf(&b, "# %s %s\n\n", capitalize(randWord(rng)), randWord(rng))
+	for b.Len() < size {
+		switch rng.Intn(4) {
+		case 0:
+			fmt.Fprintf(&b, "## %s\n\n", capitalize(randWord(rng)))
+		case 1:
+			fmt.Fprintf(&b, "- %s %s %s\n", randWord(rng), randWord(rng), randWord(rng))
+		default:
+			b.Write(genText(rng, 120))
+			b.WriteString("\n\n")
+		}
+	}
+	return b.Bytes()[:size]
+}
+
+func genLog(rng *rand.Rand, size int) []byte {
+	var b bytes.Buffer
+	b.Grow(size + 128)
+	levels := []string{"INFO", "WARN", "ERROR", "DEBUG"}
+	for b.Len() < size {
+		fmt.Fprintf(&b, "2015-%02d-%02d %02d:%02d:%02d %s %s_%s: %s %s\n",
+			1+rng.Intn(12), 1+rng.Intn(28), rng.Intn(24), rng.Intn(60), rng.Intn(60),
+			levels[rng.Intn(len(levels))], randWord(rng), randWord(rng), randWord(rng), randWord(rng))
+	}
+	return b.Bytes()[:size]
+}
+
+func genCSV(rng *rand.Rand, size int) []byte {
+	var b bytes.Buffer
+	b.Grow(size + 128)
+	b.WriteString("id,name,category,amount,date\n")
+	for b.Len() < size {
+		fmt.Fprintf(&b, "%d,%s %s,%s,%d.%02d,2015-%02d-%02d\n",
+			rng.Intn(100000), randWord(rng), randWord(rng), randWord(rng),
+			rng.Intn(10000), rng.Intn(100), 1+rng.Intn(12), 1+rng.Intn(28))
+	}
+	return b.Bytes()[:size]
+}
+
+func genHTML(rng *rand.Rand, size int) []byte {
+	var b bytes.Buffer
+	b.Grow(size + 256)
+	b.WriteString("<!DOCTYPE html>\n<html>\n<head><title>")
+	b.WriteString(randWord(rng))
+	b.WriteString("</title></head>\n<body>\n")
+	for b.Len() < size-16 {
+		fmt.Fprintf(&b, "<p>%s</p>\n", genText(rng, 100))
+	}
+	b.WriteString("</body></html>\n")
+	return b.Bytes()
+}
+
+func genXML(rng *rand.Rand, size int) []byte {
+	var b bytes.Buffer
+	b.Grow(size + 256)
+	b.WriteString(`<?xml version="1.0" encoding="UTF-8"?>` + "\n<records>\n")
+	for b.Len() < size-16 {
+		fmt.Fprintf(&b, "  <record id=\"%d\"><name>%s</name><note>%s</note></record>\n",
+			rng.Intn(100000), randWord(rng), genText(rng, 60))
+	}
+	b.WriteString("</records>\n")
+	return b.Bytes()
+}
+
+func genJSON(rng *rand.Rand, size int) []byte {
+	var b bytes.Buffer
+	b.Grow(size + 256)
+	b.WriteString("{\n  \"items\": [\n")
+	first := true
+	for b.Len() < size-16 {
+		if !first {
+			b.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(&b, "    {\"id\": %d, \"name\": %q, \"value\": %d}",
+			rng.Intn(100000), randWord(rng), rng.Intn(1000))
+	}
+	b.WriteString("\n  ]\n}\n")
+	return b.Bytes()
+}
+
+func genRTF(rng *rand.Rand, size int) []byte {
+	var b bytes.Buffer
+	b.Grow(size + 256)
+	b.WriteString(`{\rtf1\ansi\deff0{\fonttbl{\f0 Times New Roman;}}`)
+	for b.Len() < size-8 {
+		fmt.Fprintf(&b, `\par %s`, genText(rng, 100))
+	}
+	b.WriteString("}")
+	return b.Bytes()
+}
+
+// deflate compresses data with zlib (FlateDecode in PDF terms).
+func deflate(data []byte) []byte {
+	var out bytes.Buffer
+	w := zlib.NewWriter(&out)
+	_, _ = w.Write(data)
+	_ = w.Close()
+	return out.Bytes()
+}
+
+// genPDF produces a structurally plausible PDF: header, catalog objects and
+// FlateDecode content streams. Most bytes are compressed streams, giving the
+// high overall entropy of real-world PDFs.
+func genPDF(rng *rand.Rand, size int) []byte {
+	var b bytes.Buffer
+	b.Grow(size + 1024)
+	b.WriteString("%PDF-1.5\n%\xe2\xe3\xcf\xd3\n")
+	b.WriteString("1 0 obj\n<< /Type /Catalog /Pages 2 0 R >>\nendobj\n")
+	b.WriteString("2 0 obj\n<< /Type /Pages /Kids [3 0 R] /Count 1 >>\nendobj\n")
+	b.WriteString("3 0 obj\n<< /Type /Page /Parent 2 0 R /Contents 4 0 R >>\nendobj\n")
+	obj := 4
+	for b.Len() < size-64 {
+		// Compress ~3x the remaining budget of text so the stream fills it.
+		want := size - b.Len() - 64
+		if want > 16384 {
+			want = 16384
+		}
+		stream := deflate(genText(rng, want*3))
+		fmt.Fprintf(&b, "%d 0 obj\n<< /Filter /FlateDecode /Length %d >>\nstream\n", obj, len(stream))
+		b.Write(stream)
+		b.WriteString("\nendstream\nendobj\n")
+		obj++
+	}
+	fmt.Fprintf(&b, "trailer\n<< /Size %d /Root 1 0 R >>\nstartxref\n%d\n%%%%EOF\n", obj, b.Len())
+	return b.Bytes()
+}
+
+// genOOXML produces a real ZIP container with the entry layout of an Office
+// Open XML document (prefix "word", "xl" or "ppt").
+func genOOXML(rng *rand.Rand, size int, prefix string) []byte {
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	mainPart := map[string]string{"word": "word/document.xml", "xl": "xl/workbook.xml", "ppt": "ppt/presentation.xml"}[prefix]
+	write := func(name string, content []byte) {
+		w, err := zw.Create(name)
+		if err != nil {
+			return
+		}
+		_, _ = w.Write(content)
+	}
+	write(mainPart, genXML(rng, size*2/3))
+	write("[Content_Types].xml", genXML(rng, 512))
+	write("_rels/.rels", genXML(rng, 256))
+	write(prefix+"/styles.xml", genXML(rng, size/4))
+	write("docProps/core.xml", genXML(rng, 256))
+	_ = zw.Close()
+	return buf.Bytes()
+}
+
+// genODT produces an OpenDocument container: the uncompressed mimetype entry
+// first, then compressed XML parts.
+func genODT(rng *rand.Rand, size int) []byte {
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	w, err := zw.CreateHeader(&zip.FileHeader{Name: "mimetype", Method: zip.Store})
+	if err == nil {
+		_, _ = w.Write([]byte("application/vnd.oasis.opendocument.text"))
+	}
+	if w, err := zw.Create("content.xml"); err == nil {
+		_, _ = w.Write(genXML(rng, size))
+	}
+	if w, err := zw.Create("styles.xml"); err == nil {
+		_, _ = w.Write(genXML(rng, size/8))
+	}
+	_ = zw.Close()
+	return buf.Bytes()
+}
+
+// genOLE produces a legacy Office compound document: the OLE2 magic and
+// sector tables interleaved with UTF-16-ish text, giving the mid-range
+// entropy of real .doc files.
+func genOLE(rng *rand.Rand, size int) []byte {
+	out := make([]byte, size)
+	copy(out, []byte{0xD0, 0xCF, 0x11, 0xE0, 0xA1, 0xB1, 0x1A, 0xE1})
+	// Header block: FAT metadata.
+	for i := 8; i < 512 && i < size; i++ {
+		out[i] = byte(rng.Intn(8) * 16)
+	}
+	// Body: alternate text sectors and binary table sectors.
+	text := genText(rng, size)
+	for off := 512; off < size; off += 512 {
+		end := off + 512
+		if end > size {
+			end = size
+		}
+		if (off/512)%3 == 0 {
+			for i := off; i < end; i++ {
+				out[i] = byte(rng.Intn(256))
+			}
+		} else {
+			// UTF-16LE text: ASCII byte then NUL.
+			for i := off; i < end; i++ {
+				if (i-off)%2 == 0 {
+					out[i] = text[i%len(text)]
+				}
+			}
+		}
+	}
+	return out
+}
+
+func genJPEG(rng *rand.Rand, size int) []byte {
+	var b bytes.Buffer
+	b.Grow(size + 64)
+	// SOI + APP0/JFIF.
+	b.Write([]byte{0xFF, 0xD8, 0xFF, 0xE0, 0x00, 0x10, 'J', 'F', 'I', 'F', 0x00, 0x01, 0x02, 0x00, 0x00, 0x48, 0x00, 0x48, 0x00, 0x00})
+	// DQT quantisation table (structured, low entropy).
+	b.Write([]byte{0xFF, 0xDB, 0x00, 0x43, 0x00})
+	for i := 0; i < 64; i++ {
+		b.WriteByte(byte(2 + i/4))
+	}
+	// SOS + entropy-coded scan data (high entropy, 0xFF bytes escaped).
+	b.Write([]byte{0xFF, 0xDA, 0x00, 0x08, 0x01, 0x01, 0x00, 0x00, 0x3F, 0x00})
+	for b.Len() < size-2 {
+		v := byte(rng.Intn(256))
+		b.WriteByte(v)
+		if v == 0xFF {
+			b.WriteByte(0x00)
+		}
+	}
+	b.Write([]byte{0xFF, 0xD9})
+	return b.Bytes()
+}
+
+func genPNG(rng *rand.Rand, size int) []byte {
+	var b bytes.Buffer
+	b.Grow(size + 128)
+	b.Write([]byte{0x89, 'P', 'N', 'G', '\r', '\n', 0x1A, '\n'})
+	writeChunk := func(typ string, data []byte) {
+		var hdr [8]byte
+		binary.BigEndian.PutUint32(hdr[:4], uint32(len(data)))
+		copy(hdr[4:], typ)
+		b.Write(hdr[:])
+		b.Write(data)
+		b.Write([]byte{0, 0, 0, 0}) // CRC placeholder (not validated here)
+	}
+	ihdr := make([]byte, 13)
+	binary.BigEndian.PutUint32(ihdr[0:], 640)
+	binary.BigEndian.PutUint32(ihdr[4:], 480)
+	ihdr[8], ihdr[9] = 8, 2 // bit depth, RGB
+	writeChunk("IHDR", ihdr)
+	// IDAT: zlib-compressed synthetic scanlines (gradient + noise).
+	for b.Len() < size-32 {
+		want := size - b.Len() - 32
+		if want > 32768 {
+			want = 32768
+		}
+		raw := make([]byte, want*2)
+		for i := range raw {
+			raw[i] = byte(i/3) + byte(rng.Intn(32))
+		}
+		writeChunk("IDAT", deflate(raw))
+	}
+	writeChunk("IEND", nil)
+	return b.Bytes()
+}
+
+func genGIF(rng *rand.Rand, size int) []byte {
+	var b bytes.Buffer
+	b.Grow(size + 64)
+	b.WriteString("GIF89a")
+	b.Write([]byte{0x80, 0x02, 0xE0, 0x01, 0xF7, 0x00, 0x00}) // screen descriptor
+	// Global colour table: 256 RGB entries (structured).
+	for i := 0; i < 256; i++ {
+		b.Write([]byte{byte(i), byte(255 - i), byte(i / 2)})
+	}
+	// LZW image data: high entropy.
+	b.Write([]byte{0x2C, 0, 0, 0, 0, 0x80, 0x02, 0xE0, 0x01, 0x00, 0x08})
+	for b.Len() < size-1 {
+		n := 255
+		if rem := size - 1 - b.Len(); rem < n+1 {
+			n = rem - 1
+		}
+		if n <= 0 {
+			break
+		}
+		b.WriteByte(byte(n))
+		for i := 0; i < n; i++ {
+			b.WriteByte(byte(rng.Intn(256)))
+		}
+	}
+	b.WriteByte(0x3B)
+	return b.Bytes()
+}
+
+func genMP3(rng *rand.Rand, size int) []byte {
+	var b bytes.Buffer
+	b.Grow(size + 128)
+	// ID3v2 tag with a title frame.
+	b.WriteString("ID3\x03\x00\x00\x00\x00\x00\x40")
+	title := fmt.Sprintf("TIT2\x00\x00\x00\x10\x00\x00\x00%s", randWord(rng))
+	b.WriteString(title)
+	for b.Len() < 74 {
+		b.WriteByte(0)
+	}
+	// MPEG frames: sync word + compressed audio (high entropy).
+	for b.Len() < size {
+		b.Write([]byte{0xFF, 0xFB, 0x90, 0x00})
+		n := 413 // frame payload for 128kbps/44.1kHz
+		if rem := size - b.Len(); rem < n {
+			n = rem
+		}
+		for i := 0; i < n; i++ {
+			b.WriteByte(byte(rng.Intn(256)))
+		}
+	}
+	return b.Bytes()
+}
+
+// genWAV produces PCM audio: a noisy sine mix, yielding the mid-range
+// entropy characteristic of uncompressed audio.
+func genWAV(rng *rand.Rand, size int) []byte {
+	if size < 64 {
+		size = 64
+	}
+	dataLen := size - 44
+	out := make([]byte, size)
+	copy(out, "RIFF")
+	binary.LittleEndian.PutUint32(out[4:], uint32(size-8))
+	copy(out[8:], "WAVEfmt ")
+	binary.LittleEndian.PutUint32(out[16:], 16)
+	binary.LittleEndian.PutUint16(out[20:], 1) // PCM
+	binary.LittleEndian.PutUint16(out[22:], 1) // mono
+	binary.LittleEndian.PutUint32(out[24:], 44100)
+	binary.LittleEndian.PutUint32(out[28:], 88200)
+	binary.LittleEndian.PutUint16(out[32:], 2)
+	binary.LittleEndian.PutUint16(out[34:], 16)
+	copy(out[36:], "data")
+	binary.LittleEndian.PutUint32(out[40:], uint32(dataLen))
+	freq := 100 + rng.Float64()*800
+	for i := 0; i < dataLen/2; i++ {
+		s := 12000*math.Sin(2*math.Pi*freq*float64(i)/44100) + float64(rng.Intn(256)-128)
+		// Quantise: real tonal audio clusters sample values, keeping byte
+		// entropy in the mid range rather than near-uniform.
+		q := (int16(s) / 64) * 64
+		binary.LittleEndian.PutUint16(out[44+2*i:], uint16(q))
+	}
+	return out
+}
+
+func genZip(rng *rand.Rand, size int) []byte {
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	n := 2 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		w, err := zw.Create(fmt.Sprintf("%s_%d.txt", randWord(rng), i))
+		if err != nil {
+			continue
+		}
+		_, _ = w.Write(genText(rng, size/n*3))
+	}
+	_ = zw.Close()
+	return buf.Bytes()
+}

@@ -1,0 +1,40 @@
+package entropy_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"cryptodrop/internal/entropy"
+)
+
+// ExampleDeltaTracker demonstrates the paper's Δe measurement: a process
+// reading plaintext and writing ciphertext quickly exceeds the 0.1
+// suspicion threshold, and tiny low-entropy ransom notes cannot mask it.
+func ExampleDeltaTracker() {
+	var d entropy.DeltaTracker
+
+	plaintext := bytes.Repeat([]byte("the user's important document text. "), 500)
+	ciphertext := make([]byte, len(plaintext))
+	state := uint64(99)
+	for i := range ciphertext {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		ciphertext[i] = byte(state)
+	}
+
+	d.AddRead(plaintext)
+	d.AddWrite(ciphertext)
+	// A flood of small low-entropy ransom notes: weight ≈ 0.
+	note := bytes.Repeat([]byte{'!'}, 64)
+	for i := 0; i < 100; i++ {
+		d.AddWrite(note)
+	}
+
+	delta, ok := d.Delta()
+	fmt.Println("delta valid:", ok)
+	fmt.Println("suspicious (Δe ≥ 0.1):", delta >= 0.1)
+	// Output:
+	// delta valid: true
+	// suspicious (Δe ≥ 0.1): true
+}

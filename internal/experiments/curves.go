@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"cryptodrop"
+	"cryptodrop/internal/benign"
+	"cryptodrop/internal/corpus"
+	"cryptodrop/internal/ransomware"
+)
+
+// ScoreCurve is one process's reputation-score trajectory.
+type ScoreCurve struct {
+	// Label names the actor.
+	Label string
+	// Points is the trajectory (operation index → score).
+	Points []cryptodrop.ScorePoint
+	// Detected reports whether the actor crossed its threshold.
+	Detected bool
+	// Threshold is the non-union threshold in force.
+	Threshold float64
+}
+
+// CurvesResult compares ransomware and benign score trajectories over the
+// same corpus — the time-dimension view the paper's §V-F discussion
+// motivates ("monitoring any time window presents an evasion opportunity…
+// research into time window parameterization may lead to another primary
+// indicator").
+type CurvesResult struct {
+	// Curves are the collected trajectories.
+	Curves []ScoreCurve
+}
+
+// RunScoreCurves collects trajectories for one specimen per given family
+// and each named benign workload.
+func RunScoreCurves(spec corpus.Spec, rosterSeed int64, families []string, apps []string) (CurvesResult, error) {
+	r, err := NewRunner(spec)
+	if err != nil {
+		return CurvesResult{}, err
+	}
+	var res CurvesResult
+	roster := ransomware.Roster(rosterSeed)
+	for _, fam := range families {
+		var sample *ransomware.Sample
+		for i := range roster {
+			if roster[i].Profile.Family == fam {
+				sample = &roster[i]
+				break
+			}
+		}
+		if sample == nil {
+			return res, fmt.Errorf("experiments: no sample of family %q", fam)
+		}
+		out, err := r.RunSample(*sample)
+		if err != nil {
+			return res, err
+		}
+		res.Curves = append(res.Curves, ScoreCurve{
+			Label:     fam,
+			Points:    out.Report.History,
+			Detected:  out.Detected,
+			Threshold: 200,
+		})
+	}
+	for _, name := range apps {
+		w, ok := benign.ByName(name)
+		if !ok {
+			return res, fmt.Errorf("experiments: no workload %q", name)
+		}
+		out, err := r.RunBenign(w)
+		if err != nil {
+			return res, err
+		}
+		res.Curves = append(res.Curves, ScoreCurve{
+			Label:     name,
+			Points:    out.Report.History,
+			Detected:  out.Detected,
+			Threshold: 200,
+		})
+	}
+	return res, nil
+}
+
+// Render draws each trajectory as an ASCII sparkline over operation index.
+func (r CurvesResult) Render(w io.Writer) error {
+	fmt.Fprintln(w, "Reputation-score trajectories (score vs protected-operation index):")
+	const cols = 60
+	for _, c := range r.Curves {
+		if len(c.Points) == 0 {
+			fmt.Fprintf(w, "%-18s (no scored operations)\n", c.Label)
+			continue
+		}
+		last := c.Points[len(c.Points)-1]
+		maxOp := last.OpIndex
+		if maxOp == 0 {
+			maxOp = 1
+		}
+		// Sample the curve into fixed columns.
+		line := make([]float64, cols)
+		idx := 0
+		for col := 0; col < cols; col++ {
+			opAt := maxOp * int64(col+1) / cols
+			for idx < len(c.Points)-1 && c.Points[idx+1].OpIndex <= opAt {
+				idx++
+			}
+			if c.Points[idx].OpIndex <= opAt {
+				line[col] = c.Points[idx].Score
+			} else if col > 0 {
+				line[col] = line[col-1]
+			}
+		}
+		var sb strings.Builder
+		levels := []rune(" .:-=+*#%@")
+		for _, v := range line {
+			frac := v / (c.Threshold * 1.2)
+			if frac > 1 {
+				frac = 1
+			}
+			sb.WriteRune(levels[int(frac*float64(len(levels)-1))])
+		}
+		marker := " "
+		if c.Detected {
+			marker = "!"
+		}
+		fmt.Fprintf(w, "%-18s |%s| final %.1f %s (over %d ops)\n",
+			c.Label, sb.String(), last.Score, marker, maxOp)
+	}
+	fmt.Fprintln(w, "\nRansomware climbs steeply within a few files; benign applications plateau\nfar below the threshold — the separation a time-window indicator would mine.")
+	return nil
+}

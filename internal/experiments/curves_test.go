@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScoreCurves(t *testing.T) {
+	res, err := RunScoreCurves(testSpec, 1,
+		[]string{"TeslaCrypt", "Xorist"},
+		[]string{"Microsoft Word", "Microsoft Excel"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 4 {
+		t.Fatalf("curves = %d", len(res.Curves))
+	}
+	byLabel := map[string]ScoreCurve{}
+	for _, c := range res.Curves {
+		byLabel[c.Label] = c
+	}
+	if !byLabel["TeslaCrypt"].Detected || !byLabel["Xorist"].Detected {
+		t.Fatal("ransomware curves not detected")
+	}
+	if byLabel["Microsoft Word"].Detected || byLabel["Microsoft Excel"].Detected {
+		t.Fatal("benign curve detected")
+	}
+	// Ransomware trajectories must rise much faster per operation.
+	tesla := byLabel["TeslaCrypt"].Points
+	if len(tesla) == 0 {
+		t.Fatal("empty TeslaCrypt trajectory")
+	}
+	// Monotone non-decreasing score.
+	for i := 1; i < len(tesla); i++ {
+		if tesla[i].Score < tesla[i-1].Score {
+			t.Fatal("score decreased")
+		}
+		if tesla[i].OpIndex < tesla[i-1].OpIndex {
+			t.Fatal("op index decreased")
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "TeslaCrypt") || !strings.Contains(buf.String(), "final") {
+		t.Fatalf("render:\n%s", buf.String())
+	}
+}
+
+func TestScoreCurvesUnknownInputs(t *testing.T) {
+	if _, err := RunScoreCurves(testSpec, 1, []string{"NopeWare"}, nil); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	if _, err := RunScoreCurves(testSpec, 1, nil, []string{"NopeApp"}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}

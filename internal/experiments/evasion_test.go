@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cryptodrop/internal/ransomware"
+)
+
+func TestEvasionExperiment(t *testing.T) {
+	res, err := RunEvasionExperiment(testSpec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(ransomware.EvasionKinds()) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byKind := map[ransomware.EvasionKind]EvasionRow{}
+	for _, row := range res.Rows {
+		byKind[row.Strategy] = row
+		t.Logf("%-22v detected=%v union=%v lost=%d score=%.1f", row.Strategy, row.Detected, row.Union, row.FilesLost, row.Score)
+	}
+	if !byKind[ransomware.EvadeNone].Detected {
+		t.Fatal("baseline not detected")
+	}
+	// Single-indicator evasions must still be caught (the union covers
+	// complementary aspects, §III-F).
+	for _, k := range []ransomware.EvasionKind{ransomware.EvadeEntropy, ransomware.EvadeTypeChange, ransomware.EvadeSimilarity} {
+		if !byKind[k].Detected {
+			t.Errorf("%v evaded detection entirely", k)
+		}
+	}
+	// The entropy evasion defeats union (one primary missing) but not
+	// detection.
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Evasion strategy") {
+		t.Fatal("render malformed")
+	}
+}

@@ -1,0 +1,450 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cryptodrop/internal/benign"
+	"cryptodrop/internal/corpus"
+	"cryptodrop/internal/ransomware"
+)
+
+// testSpec is a reduced corpus for tests.
+var testSpec = corpus.Spec{Seed: 30, Files: 500, Dirs: 60, SizeScale: 0.25}
+
+// reducedRoster returns one sample per family/class combination.
+func reducedRoster(t *testing.T) []ransomware.Sample {
+	t.Helper()
+	seen := make(map[string]bool)
+	var out []ransomware.Sample
+	for _, s := range ransomware.Roster(1) {
+		key := s.Profile.Family + s.Profile.Class.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, s)
+	}
+	return out
+}
+
+func TestRunnerDetectsReducedRoster(t *testing.T) {
+	r, err := NewRunner(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roster := reducedRoster(t)
+	outcomes, err := r.RunRoster(roster, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != len(roster) {
+		t.Fatalf("outcomes = %d, want %d", len(outcomes), len(roster))
+	}
+	corpusSize := len(r.Manifest().Entries)
+	for _, o := range outcomes {
+		if !o.Detected {
+			t.Errorf("%s NOT detected: score %.1f lost %d points %v",
+				o.Sample.ID, o.Score, o.FilesLost, o.Report.IndicatorPoints)
+			continue
+		}
+		if o.FilesLost > corpusSize/4 {
+			t.Errorf("%s lost %d of %d files before detection", o.Sample.ID, o.FilesLost, corpusSize)
+		}
+	}
+	tbl := BuildTable1(outcomes)
+	if tbl.DetectionRate != 1.0 {
+		t.Errorf("detection rate = %.2f, want 1.0", tbl.DetectionRate)
+	}
+	if tbl.OverallMedianFilesLost > 40 {
+		t.Errorf("overall median files lost = %.1f, want early detection", tbl.OverallMedianFilesLost)
+	}
+	t.Logf("reduced roster: median FL=%.1f max=%d", tbl.OverallMedianFilesLost, tbl.MaxFilesLost)
+	for _, row := range tbl.Rows {
+		t.Logf("  %-24s A=%d B=%d C=%d medianFL=%.1f", row.Family, row.ClassA, row.ClassB, row.ClassC, row.MedianFilesLost)
+	}
+}
+
+func TestFilesLostCountsRealLoss(t *testing.T) {
+	r, err := NewRunner(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An undetectable no-op "sample": nothing lost.
+	s := ransomware.Sample{ID: "inert", Seed: 1, Profile: ransomware.Profile{
+		Family: "Inert", Class: ransomware.ClassA, Traversal: ransomware.TraverseTopDown,
+		Extensions: []string{"nomatch"}, Cipher: ransomware.CipherAES, ChunkKB: 8,
+	}}
+	out, err := r.RunSample(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FilesLost != 0 {
+		t.Fatalf("inert sample lost %d files", out.FilesLost)
+	}
+	if out.Detected {
+		t.Fatal("inert sample detected")
+	}
+}
+
+func TestRunSampleIsolation(t *testing.T) {
+	// Two runs of the same sample must see identical fresh corpora.
+	r, err := NewRunner(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := reducedRoster(t)[0]
+	a, err := r.RunSample(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.RunSample(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FilesLost != b.FilesLost || a.Score != b.Score || a.Union != b.Union {
+		t.Fatalf("replay differs: %+v vs %+v", a, b)
+	}
+}
+
+func TestTable1Render(t *testing.T) {
+	outcomes := []SampleOutcome{
+		{Sample: ransomware.Sample{Profile: ransomware.Profile{Family: "X", Class: ransomware.ClassA}}, Detected: true, FilesLost: 4},
+		{Sample: ransomware.Sample{Profile: ransomware.Profile{Family: "X", Class: ransomware.ClassA}}, Detected: true, FilesLost: 8},
+		{Sample: ransomware.Sample{Profile: ransomware.Profile{Family: "Y", Class: ransomware.ClassC}}, Detected: true, FilesLost: 12},
+	}
+	tbl := BuildTable1(outcomes)
+	if tbl.Total != 3 || tbl.TotalA != 2 || tbl.TotalC != 1 {
+		t.Fatalf("totals wrong: %+v", tbl)
+	}
+	if tbl.Rows[0].Family != "X" || tbl.Rows[0].MedianFilesLost != 6 {
+		t.Fatalf("row X wrong: %+v", tbl.Rows[0])
+	}
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Median FL") || !strings.Contains(buf.String(), "# Samples") {
+		t.Fatalf("render missing headers:\n%s", buf.String())
+	}
+}
+
+func TestFig3CDF(t *testing.T) {
+	outcomes := []SampleOutcome{
+		{FilesLost: 0}, {FilesLost: 5}, {FilesLost: 5}, {FilesLost: 10},
+	}
+	f := BuildFig3(outcomes)
+	if f.Median != 5 {
+		t.Fatalf("median = %v, want 5", f.Median)
+	}
+	if f.Max != 10 {
+		t.Fatalf("max = %v, want 10", f.Max)
+	}
+	if len(f.Points) != 3 {
+		t.Fatalf("points = %v", f.Points)
+	}
+	if f.Points[0].CumulativePct != 25 || f.Points[1].CumulativePct != 75 || f.Points[2].CumulativePct != 100 {
+		t.Fatalf("CDF wrong: %+v", f.Points)
+	}
+	var buf bytes.Buffer
+	if err := f.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "100.0%") {
+		t.Fatalf("render:\n%s", buf.String())
+	}
+}
+
+func TestFig4TraversalShapes(t *testing.T) {
+	// TeslaCrypt (DFS), CTB-Locker (size-ascending) and GPcode (top-down)
+	// must leave visibly different touch patterns (Fig. 4).
+	r, err := NewRunner(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pick := func(family string, class ransomware.Class) ransomware.Sample {
+		for _, s := range ransomware.Roster(1) {
+			if s.Profile.Family == family && s.Profile.Class == class {
+				return s
+			}
+		}
+		t.Fatalf("no %s class %v sample", family, class)
+		return ransomware.Sample{}
+	}
+	families := []ransomware.Sample{
+		pick("TeslaCrypt", ransomware.ClassA),
+		pick("CTB-Locker", ransomware.ClassB),
+		pick("GPcode", ransomware.ClassC),
+	}
+	trees := make([]Fig4Tree, 0, 3)
+	for _, s := range families {
+		out, err := r.RunSample(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := r.base.Clone()
+		tree, err := BuildFig4Tree(fs, r.Manifest().Root, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tree.Touched) == 0 {
+			t.Fatalf("%s touched no directories", s.ID)
+		}
+		trees = append(trees, tree)
+		var buf bytes.Buffer
+		if err := tree.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), "●") {
+			t.Fatalf("render has no touched marks:\n%s", buf.String())
+		}
+		var dot bytes.Buffer
+		if err := tree.RenderDOT(&dot); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(dot.String(), "graph fig4") {
+			t.Fatal("DOT render malformed")
+		}
+	}
+	// The patterns must not be identical across all three samples.
+	same := func(a, b map[string]bool) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if same(trees[0].Touched, trees[1].Touched) && same(trees[1].Touched, trees[2].Touched) {
+		t.Fatal("all three traversal patterns identical")
+	}
+}
+
+func TestFig5ProductivityFormatsLead(t *testing.T) {
+	r, err := NewRunner(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes, err := r.RunRoster(reducedRoster(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := BuildFig5(outcomes)
+	if len(rows) == 0 {
+		t.Fatal("no extension rows")
+	}
+	// Among the top accessed extensions there must be productivity
+	// formats (the paper's top four are pdf/odt/docx/pptx).
+	top := make(map[string]bool)
+	for i, row := range rows {
+		if i >= 8 {
+			break
+		}
+		top[row.Ext] = true
+	}
+	productivity := 0
+	for _, ext := range []string{"pdf", "docx", "xlsx", "pptx", "odt", "txt", "doc"} {
+		if top[ext] {
+			productivity++
+		}
+	}
+	if productivity < 3 {
+		t.Fatalf("top extensions lack productivity formats: %+v", rows[:min(8, len(rows))])
+	}
+	var buf bytes.Buffer
+	if err := RenderFig5(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), ".pdf") {
+		t.Fatalf("render:\n%s", buf.String())
+	}
+}
+
+func TestFig6Sweep(t *testing.T) {
+	apps := []BenignOutcome{
+		{Workload: benign.Workload{Name: "A"}, Score: 0},
+		{Workload: benign.Workload{Name: "B"}, Score: 110},
+		{Workload: benign.Workload{Name: "C"}, Score: 160},
+	}
+	f := BuildFig6(apps, []float64{0, 50, 100, 150, 200})
+	want := []int{3, 2, 2, 1, 0}
+	for i, fp := range f.FalsePositives {
+		if fp != want[i] {
+			t.Fatalf("FP sweep = %v, want %v", f.FalsePositives, want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := f.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "threshold") {
+		t.Fatalf("render:\n%s", buf.String())
+	}
+}
+
+func TestUnionStats(t *testing.T) {
+	r, err := NewRunner(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes, err := r.RunRoster(reducedRoster(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := BuildUnionStats(outcomes)
+	if s.Total != len(outcomes) || s.Detected != len(outcomes) {
+		t.Fatalf("stats totals: %+v", s)
+	}
+	if s.WithUnion == 0 {
+		t.Fatal("no sample achieved union indication")
+	}
+	var buf bytes.Buffer
+	if err := s.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Union indication") {
+		t.Fatalf("render:\n%s", buf.String())
+	}
+}
+
+func TestSmallFileExperiment(t *testing.T) {
+	res, err := RunSmallFileExperiment(corpus.Spec{Seed: 31, Files: 800, Dirs: 60, SizeScale: 0.3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("small-file rerun: with=%d without=%d", res.LostWithSmall, res.LostWithoutSmall)
+	if res.LostWithoutSmall >= res.LostWithSmall {
+		t.Fatalf("removing small files did not reduce loss: %d -> %d", res.LostWithSmall, res.LostWithoutSmall)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "CTB-Locker") {
+		t.Fatalf("render:\n%s", buf.String())
+	}
+}
+
+func TestMedian(t *testing.T) {
+	tests := []struct {
+		in   []int
+		want float64
+	}{
+		{nil, 0},
+		{[]int{5}, 5},
+		{[]int{1, 3}, 2},
+		{[]int{9, 1, 5}, 5},
+		{[]int{4, 1, 3, 2}, 2.5},
+	}
+	for _, tt := range tests {
+		if got := median(tt.in); got != tt.want {
+			t.Errorf("median(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestRunRosterParallelMatchesSequential(t *testing.T) {
+	r, err := NewRunner(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roster := reducedRoster(t)[:10]
+	seq, err := r.RunRoster(roster, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	par, err := r.RunRosterParallel(roster, 4, func(i int, out SampleOutcome) { calls++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != len(roster) {
+		t.Fatalf("progress calls = %d, want %d", calls, len(roster))
+	}
+	for i := range seq {
+		if seq[i].FilesLost != par[i].FilesLost || seq[i].Score != par[i].Score ||
+			seq[i].Union != par[i].Union || seq[i].Sample.ID != par[i].Sample.ID {
+			t.Fatalf("sample %d differs: seq=%+v par=%+v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestAblationsCompareVariants(t *testing.T) {
+	roster := reducedRoster(t)[:6]
+	res, err := RunAblations(corpus.Spec{Seed: 33, Files: 300, Dirs: 40, SizeScale: 0.25}, roster, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("variants = %d, want 7", len(res.Rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, row := range res.Rows {
+		byName[row.Variant] = row
+		t.Logf("%-28s detected=%.0f%% medianFL=%.1f union=%.0f%%",
+			row.Variant, 100*row.DetectionRate, row.MedianFilesLost, 100*row.UnionRate)
+	}
+	full := byName["full engine"]
+	if full.DetectionRate != 1.0 {
+		t.Fatalf("full engine detection rate %.2f", full.DetectionRate)
+	}
+	noUnion := byName["no union indication"]
+	if noUnion.UnionRate != 0 {
+		t.Fatal("union fired with union disabled")
+	}
+	if noUnion.MedianFilesLost < full.MedianFilesLost {
+		t.Fatalf("no-union median %.1f below full %.1f", noUnion.MedianFilesLost, full.MedianFilesLost)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Variant") {
+		t.Fatal("render malformed")
+	}
+}
+
+func TestOutcomesJSONRoundTrip(t *testing.T) {
+	r, err := NewRunner(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes, err := r.RunRoster(reducedRoster(t)[:4], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteOutcomesJSON(&buf, outcomes); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := ReadOutcomesJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(outcomes) {
+		t.Fatalf("decoded %d, want %d", len(decoded), len(outcomes))
+	}
+	for i, d := range decoded {
+		o := outcomes[i]
+		if d.ID != o.Sample.ID || d.FilesLost != o.FilesLost || d.Detected != o.Detected {
+			t.Fatalf("entry %d mismatch: %+v vs %+v", i, d, o)
+		}
+		if d.Class == "" || d.Family == "" || d.Traversal == "" {
+			t.Fatalf("entry %d missing metadata: %+v", i, d)
+		}
+	}
+	if _, err := ReadOutcomesJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

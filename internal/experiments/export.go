@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// OutcomeJSON is the machine-readable export of one sample outcome, for
+// downstream plotting and analysis.
+type OutcomeJSON struct {
+	// ID is the specimen identifier.
+	ID string `json:"id"`
+	// Family and Class identify the Table I row.
+	Family string `json:"family"`
+	Class  string `json:"class"`
+	// Traversal is the attack order.
+	Traversal string `json:"traversal"`
+	// Detected and Union report the engine verdicts.
+	Detected bool `json:"detected"`
+	Union    bool `json:"union"`
+	// FilesLost is the hash-verified loss count.
+	FilesLost int `json:"filesLost"`
+	// Score is the final reputation score.
+	Score float64 `json:"score"`
+	// Indicators are per-indicator point totals by name.
+	Indicators map[string]float64 `json:"indicators"`
+	// FilesAttacked and NotesDropped come from the sample's own
+	// accounting.
+	FilesAttacked int `json:"filesAttacked"`
+	NotesDropped  int `json:"notesDropped"`
+}
+
+// toJSON converts one outcome.
+func toJSON(o SampleOutcome) OutcomeJSON {
+	out := OutcomeJSON{
+		ID:            o.Sample.ID,
+		Family:        o.Sample.Profile.Family,
+		Class:         o.Sample.Profile.Class.String(),
+		Traversal:     o.Sample.Profile.Traversal.String(),
+		Detected:      o.Detected,
+		Union:         o.Union,
+		FilesLost:     o.FilesLost,
+		Score:         o.Score,
+		Indicators:    make(map[string]float64, len(o.Report.IndicatorPoints)),
+		FilesAttacked: o.Run.FilesAttacked,
+		NotesDropped:  o.Run.NotesDropped,
+	}
+	for ind, pts := range o.Report.IndicatorPoints {
+		out.Indicators[ind.String()] = pts
+	}
+	return out
+}
+
+// WriteOutcomesJSON writes the outcomes as a pretty-printed JSON array.
+func WriteOutcomesJSON(w io.Writer, outcomes []SampleOutcome) error {
+	export := make([]OutcomeJSON, len(outcomes))
+	for i, o := range outcomes {
+		export[i] = toJSON(o)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(export); err != nil {
+		return fmt.Errorf("experiments: encode outcomes: %w", err)
+	}
+	return nil
+}
+
+// ReadOutcomesJSON parses an export produced by WriteOutcomesJSON.
+func ReadOutcomesJSON(r io.Reader) ([]OutcomeJSON, error) {
+	var out []OutcomeJSON
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("experiments: decode outcomes: %w", err)
+	}
+	return out, nil
+}

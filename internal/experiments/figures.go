@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"cryptodrop/internal/vfs"
+)
+
+// Fig3Point is one point of the Fig. 3 cumulative distribution.
+type Fig3Point struct {
+	// FilesLost is the x value.
+	FilesLost int
+	// CumulativePct is the percentage of samples detected with at most
+	// FilesLost files lost.
+	CumulativePct float64
+}
+
+// Fig3 is the cumulative data-loss distribution of §V-B1.
+type Fig3 struct {
+	// Points are the CDF steps.
+	Points []Fig3Point
+	// Median is the 50th-percentile files lost.
+	Median float64
+	// Max is the worst case.
+	Max int
+}
+
+// BuildFig3 computes the cumulative percentage of samples detected at each
+// files-lost value.
+func BuildFig3(outcomes []SampleOutcome) Fig3 {
+	var lost []int
+	for _, o := range outcomes {
+		lost = append(lost, o.FilesLost)
+	}
+	sort.Ints(lost)
+	var f Fig3
+	f.Median = median(lost)
+	if len(lost) == 0 {
+		return f
+	}
+	f.Max = lost[len(lost)-1]
+	total := float64(len(lost))
+	for i := 0; i < len(lost); i++ {
+		// Step at each distinct value: take the last index of the value.
+		if i+1 < len(lost) && lost[i+1] == lost[i] {
+			continue
+		}
+		f.Points = append(f.Points, Fig3Point{
+			FilesLost:     lost[i],
+			CumulativePct: 100 * float64(i+1) / total,
+		})
+	}
+	return f
+}
+
+// Render writes the CDF as a table plus an ASCII plot.
+func (f Fig3) Render(w io.Writer) error {
+	fmt.Fprintf(w, "Cumulative %% of samples detected vs files lost (median %.1f, max %d)\n", f.Median, f.Max)
+	for _, p := range f.Points {
+		bar := strings.Repeat("#", int(p.CumulativePct/2))
+		if _, err := fmt.Fprintf(w, "%4d files | %-50s %5.1f%%\n", p.FilesLost, bar, p.CumulativePct); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig4Tree is a directory tree annotated with the directories one sample
+// touched before detection (§V-C, Fig. 4).
+type Fig4Tree struct {
+	// Family names the sample.
+	Family string
+	// Class is the sample's class.
+	Class string
+	// Root is the documents root.
+	Root string
+	// Touched marks directories where at least one file was read or
+	// written before detection.
+	Touched map[string]bool
+	// AllDirs lists every directory under Root, sorted.
+	AllDirs []string
+	// FilesLost is the loss count for the run.
+	FilesLost int
+}
+
+// BuildFig4Tree annotates the corpus tree with an outcome's touched
+// directories.
+func BuildFig4Tree(fs *vfs.FS, root string, out SampleOutcome) (Fig4Tree, error) {
+	t := Fig4Tree{
+		Family:    out.Sample.Profile.Family,
+		Class:     out.Sample.Profile.Class.String(),
+		Root:      root,
+		Touched:   make(map[string]bool, len(out.Report.DirsTouched)),
+		FilesLost: out.FilesLost,
+	}
+	for _, d := range out.Report.DirsTouched {
+		t.Touched[d] = true
+	}
+	t.AllDirs = append(t.AllDirs, root)
+	err := fs.Walk(root, func(info vfs.FileInfo) error {
+		if info.IsDir {
+			t.AllDirs = append(t.AllDirs, info.Path)
+		}
+		return nil
+	})
+	sort.Strings(t.AllDirs)
+	return t, err
+}
+
+// Render draws the tree; touched directories are marked with "●" (the
+// filled/red nodes of Fig. 4) and untouched with "○".
+func (t Fig4Tree) Render(w io.Writer) error {
+	touchedCount := 0
+	for _, d := range t.AllDirs {
+		if t.Touched[d] {
+			touchedCount++
+		}
+	}
+	fmt.Fprintf(w, "%s (Class %s): %d/%d directories touched before detection, %d files lost\n",
+		t.Family, t.Class, touchedCount, len(t.AllDirs), t.FilesLost)
+	for _, d := range t.AllDirs {
+		rel := strings.TrimPrefix(d, t.Root)
+		depth := strings.Count(rel, "/")
+		mark := "○"
+		if t.Touched[d] {
+			mark = "●"
+		}
+		name := rel[strings.LastIndex(rel, "/")+1:]
+		if rel == "" {
+			name, depth = ".", 0
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", strings.Repeat("  ", depth), mark, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderDOT emits a Graphviz radial tree matching the paper's figure style.
+func (t Fig4Tree) RenderDOT(w io.Writer) error {
+	fmt.Fprintf(w, "// %s (Class %s)\ngraph fig4 {\n  layout=twopi; ranksep=1.2; node [shape=circle, label=\"\", width=0.12];\n", t.Family, t.Class)
+	id := func(p string) string {
+		return fmt.Sprintf("%q", strings.TrimPrefix(p, t.Root+"/"))
+	}
+	for _, d := range t.AllDirs {
+		fill := "white"
+		if t.Touched[d] {
+			fill = "red"
+		}
+		if d == t.Root {
+			fmt.Fprintf(w, "  root [style=filled, fillcolor=%s];\n", fill)
+			continue
+		}
+		fmt.Fprintf(w, "  %s [style=filled, fillcolor=%s];\n", id(d), fill)
+		parent := d[:strings.LastIndex(d, "/")]
+		pid := id(parent)
+		if parent == t.Root {
+			pid = "root"
+		}
+		fmt.Fprintf(w, "  %s -- %s;\n", pid, id(d))
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// Fig5Row is one extension's attack frequency (Fig. 5).
+type Fig5Row struct {
+	// Ext is the file extension.
+	Ext string
+	// Pct is the percentage of samples that accessed at least one file
+	// of that extension before detection.
+	Pct float64
+}
+
+// BuildFig5 aggregates first-files-attacked extension frequencies across
+// all samples.
+func BuildFig5(outcomes []SampleOutcome) []Fig5Row {
+	counts := make(map[string]int)
+	for _, o := range outcomes {
+		seen := make(map[string]bool)
+		for _, ext := range o.Report.ExtensionsTouched {
+			if !seen[ext] {
+				seen[ext] = true
+				counts[ext]++
+			}
+		}
+	}
+	rows := make([]Fig5Row, 0, len(counts))
+	for ext, n := range counts {
+		rows = append(rows, Fig5Row{Ext: ext, Pct: 100 * float64(n) / float64(len(outcomes))})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Pct != rows[j].Pct {
+			return rows[i].Pct > rows[j].Pct
+		}
+		return rows[i].Ext < rows[j].Ext
+	})
+	return rows
+}
+
+// RenderFig5 writes the frequency chart.
+func RenderFig5(w io.Writer, rows []Fig5Row) error {
+	fmt.Fprintln(w, "Aggregate file extensions accessed by samples before detection")
+	for _, r := range rows {
+		bar := strings.Repeat("#", int(r.Pct/2))
+		if _, err := fmt.Fprintf(w, "%-8s | %-50s %5.1f%%\n", "."+r.Ext, bar, r.Pct); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig6 is the false-positive threshold sweep of §V-F.
+type Fig6 struct {
+	// Apps are the applications with their final scores, ordered as run.
+	Apps []BenignOutcome
+	// Thresholds are the swept non-union thresholds.
+	Thresholds []float64
+	// FalsePositives[i] counts apps whose score reaches Thresholds[i].
+	FalsePositives []int
+}
+
+// BuildFig6 sweeps detection thresholds over final benign scores. Workloads
+// the paper expects to be flagged (7-zip) are shown in the score table but
+// excluded from the false-positive sweep, as in the paper's figure.
+func BuildFig6(apps []BenignOutcome, thresholds []float64) Fig6 {
+	f := Fig6{Apps: apps, Thresholds: thresholds}
+	for _, t := range thresholds {
+		fp := 0
+		for _, a := range apps {
+			if !a.Workload.ExpectDetection && a.Score >= t {
+				fp++
+			}
+		}
+		f.FalsePositives = append(f.FalsePositives, fp)
+	}
+	return f
+}
+
+// Render writes the per-app scores and the sweep.
+func (f Fig6) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Application\tFinal score\tUnion?\tFlagged at 200?")
+	for _, a := range f.Apps {
+		fmt.Fprintf(tw, "%s\t%.1f\t%v\t%v\n", a.Workload.Name, a.Score, a.Union, a.Score >= 200)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nFalse positives vs non-union detection threshold:")
+	for i, t := range f.Thresholds {
+		bar := strings.Repeat("#", f.FalsePositives[i]*8)
+		if _, err := fmt.Fprintf(w, "threshold %5.0f | %-40s %d\n", t, bar, f.FalsePositives[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMultiProcessScoreDilution(t *testing.T) {
+	res, err := RunMultiProcessExperiment(testSpec, 1, []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	single, spread := res.Rows[0], res.Rows[1]
+	if !single.PerProcessDetected || !single.FamilyDetected {
+		t.Fatalf("single-process attack not detected: %+v", single)
+	}
+	// Spreading over 8 workers must hurt per-process scoring (more files
+	// lost, possibly total evasion)...
+	if spread.PerProcessLost <= single.PerProcessLost {
+		t.Fatalf("dilution had no effect: %d vs %d lost", spread.PerProcessLost, single.PerProcessLost)
+	}
+	// ...while family scoring holds the line.
+	if !spread.FamilyDetected {
+		t.Fatalf("family scoring failed against 8 workers: %+v", spread)
+	}
+	if spread.FamilyLost > single.FamilyLost*3+10 {
+		t.Fatalf("family scoring lost too much ground: %d vs %d", spread.FamilyLost, single.FamilyLost)
+	}
+	t.Logf("workers=1: per-proc %d lost, family %d lost", single.PerProcessLost, single.FamilyLost)
+	t.Logf("workers=8: per-proc %d lost (detected=%v), family %d lost (detected=%v)",
+		spread.PerProcessLost, spread.PerProcessDetected, spread.FamilyLost, spread.FamilyDetected)
+
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Workers") {
+		t.Fatal("render malformed")
+	}
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"cryptodrop"
+	"cryptodrop/internal/corpus"
+	"cryptodrop/internal/proc"
+	"cryptodrop/internal/vfs"
+)
+
+// PerfRow is the measured latency of one operation type with and without
+// the monitor attached (§V-H).
+type PerfRow struct {
+	// Op names the operation.
+	Op string
+	// Unmonitored is the mean latency without CryptoDrop.
+	Unmonitored time.Duration
+	// Monitored is the mean latency with CryptoDrop attached.
+	Monitored time.Duration
+}
+
+// Overhead is the added latency.
+func (r PerfRow) Overhead() time.Duration { return r.Monitored - r.Unmonitored }
+
+// PerfResult is the §V-H overhead table.
+type PerfResult struct {
+	// Rows are per-operation measurements.
+	Rows []PerfRow
+	// Iterations is the per-operation sample count.
+	Iterations int
+}
+
+// RunPerf measures per-operation latency against a corpus-loaded filesystem
+// with and without the monitor, mirroring the paper's open/read/write/
+// close/rename overhead analysis.
+func RunPerf(spec corpus.Spec, iterations int) (PerfResult, error) {
+	res := PerfResult{Iterations: iterations}
+	base := vfs.New()
+	m, err := corpus.Build(base, spec)
+	if err != nil {
+		return res, fmt.Errorf("experiments: perf corpus: %w", err)
+	}
+	target := m.Entries[len(m.Entries)/2].Path
+	payload := corpus.Generate("docx", 99, 32<<10)
+
+	type timings struct{ open, read, write, klose, rename time.Duration }
+	measure := func(monitored bool) (timings, error) {
+		var tm timings
+		fs := base.Clone()
+		pid := 1
+		if monitored {
+			procs := proc.NewTable()
+			if _, err := cryptodrop.NewMonitor(fs, procs, cryptodrop.WithRoot(m.Root), cryptodrop.WithoutEnforcement()); err != nil {
+				return tm, err
+			}
+			pid = procs.Spawn("perfapp")
+		}
+		buf := make([]byte, 64<<10)
+		scratch := m.Root + "/perf_scratch.docx"
+		if err := fs.WriteFile(pid, scratch, payload); err != nil {
+			return tm, err
+		}
+		for i := 0; i < iterations; i++ {
+			t0 := time.Now()
+			h, err := fs.Open(pid, target, vfs.ReadOnly)
+			if err != nil {
+				return tm, err
+			}
+			tm.open += time.Since(t0)
+
+			t0 = time.Now()
+			for {
+				n, err := h.Read(buf)
+				if err != nil {
+					return tm, err
+				}
+				if n == 0 {
+					break
+				}
+			}
+			tm.read += time.Since(t0)
+
+			t0 = time.Now()
+			if err := h.Close(); err != nil {
+				return tm, err
+			}
+			tm.klose += time.Since(t0)
+
+			wh, err := fs.Open(pid, scratch, vfs.WriteOnly|vfs.Truncate)
+			if err != nil {
+				return tm, err
+			}
+			t0 = time.Now()
+			if _, err := wh.Write(payload); err != nil {
+				return tm, err
+			}
+			tm.write += time.Since(t0)
+			if err := wh.Close(); err != nil {
+				return tm, err
+			}
+
+			t0 = time.Now()
+			if err := fs.Rename(pid, scratch, scratch+".tmp"); err != nil {
+				return tm, err
+			}
+			tm.rename += time.Since(t0)
+			if err := fs.Rename(pid, scratch+".tmp", scratch); err != nil {
+				return tm, err
+			}
+		}
+		return tm, nil
+	}
+
+	plain, err := measure(false)
+	if err != nil {
+		return res, fmt.Errorf("experiments: perf unmonitored: %w", err)
+	}
+	mon, err := measure(true)
+	if err != nil {
+		return res, fmt.Errorf("experiments: perf monitored: %w", err)
+	}
+	n := time.Duration(iterations)
+	res.Rows = []PerfRow{
+		{Op: "open", Unmonitored: plain.open / n, Monitored: mon.open / n},
+		{Op: "read", Unmonitored: plain.read / n, Monitored: mon.read / n},
+		{Op: "write", Unmonitored: plain.write / n, Monitored: mon.write / n},
+		{Op: "close", Unmonitored: plain.klose / n, Monitored: mon.klose / n},
+		{Op: "rename", Unmonitored: plain.rename / n, Monitored: mon.rename / n},
+	}
+	return res, nil
+}
+
+// Render writes the overhead table.
+func (r PerfResult) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Operation\tUnmonitored\tMonitored\tOverhead\t(%d iterations)\n", r.Iterations)
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%v\t%v\t%v\t\n", row.Op, row.Unmonitored, row.Monitored, row.Overhead())
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,237 @@
+// Package experiments is the evaluation harness: it reruns every experiment
+// of the paper's §V — Table I, Figures 3–6, the union-indicator analysis,
+// the small-file rerun and the benign false-positive sweep — against the
+// synthetic corpus, the simulated sample roster and the CryptoDrop monitor,
+// and renders the same tables and series the paper reports.
+package experiments
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+
+	"cryptodrop"
+	"cryptodrop/internal/benign"
+	"cryptodrop/internal/corpus"
+	"cryptodrop/internal/filter"
+	"cryptodrop/internal/proc"
+	"cryptodrop/internal/ransomware"
+	"cryptodrop/internal/vfs"
+)
+
+// Runner executes samples and workloads against clones of one corpus, so
+// every run starts from an identical victim machine — the paper's
+// revert-to-snapshot methodology (§V-A).
+type Runner struct {
+	base     *vfs.FS
+	manifest *corpus.Manifest
+	opts     []cryptodrop.Option
+	// recorder, when set, is attached to the filter chain of every run
+	// (forensic trace capture). Not safe to combine with parallel runs.
+	recorder filter.Filter
+}
+
+// SetTraceRecorder attaches a filter (typically a trace.Recorder) to every
+// subsequent run's chain at a high altitude.
+func (r *Runner) SetTraceRecorder(f filter.Filter) { r.recorder = f }
+
+// NewRunner builds the corpus once per spec. opts are applied to every
+// monitor the runner creates.
+func NewRunner(spec corpus.Spec, opts ...cryptodrop.Option) (*Runner, error) {
+	fs := vfs.New()
+	m, err := corpus.Build(fs, spec)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: build corpus: %w", err)
+	}
+	return &Runner{base: fs, manifest: m, opts: opts}, nil
+}
+
+// Manifest returns the corpus manifest.
+func (r *Runner) Manifest() *corpus.Manifest { return r.manifest }
+
+// CloneFS returns a fresh copy-on-write clone of the pristine corpus
+// filesystem (for tree rendering and custom runs).
+func (r *Runner) CloneFS() *vfs.FS { return r.base.Clone() }
+
+// SampleOutcome is the result of one sample run.
+type SampleOutcome struct {
+	// Sample is the specimen that ran.
+	Sample ransomware.Sample
+	// Detected reports whether CryptoDrop flagged the sample.
+	Detected bool
+	// FilesLost counts corpus files whose original content no longer
+	// exists anywhere on disk — the paper's SHA-256 verification (§V-A).
+	FilesLost int
+	// Union reports whether union indication fired for the sample.
+	Union bool
+	// Score is the reputation score at the end of the run.
+	Score float64
+	// Report is the full scoreboard snapshot.
+	Report cryptodrop.ProcessReport
+	// Run is the sample's own accounting.
+	Run ransomware.RunResult
+}
+
+// RunSample executes one sample on a fresh clone of the corpus under a
+// fresh monitor.
+func (r *Runner) RunSample(s ransomware.Sample) (SampleOutcome, error) {
+	fs := r.base.Clone()
+	procs := proc.NewTable()
+	mon, err := cryptodrop.NewMonitor(fs, procs, append([]cryptodrop.Option{
+		cryptodrop.WithRoot(r.manifest.Root),
+	}, r.opts...)...)
+	if err != nil {
+		return SampleOutcome{}, fmt.Errorf("experiments: monitor: %w", err)
+	}
+	if r.recorder != nil {
+		if err := mon.Chain().Attach(500000, r.recorder); err != nil {
+			return SampleOutcome{}, fmt.Errorf("experiments: attach recorder: %w", err)
+		}
+	}
+	pid := procs.Spawn(s.ID)
+	res, err := s.Run(fs, pid, r.manifest.Root, func() bool { return procs.Suspended(pid) })
+	if err != nil {
+		return SampleOutcome{}, fmt.Errorf("experiments: run %s: %w", s.ID, err)
+	}
+	out := SampleOutcome{
+		Sample:    s,
+		FilesLost: r.countFilesLost(fs),
+		Run:       res,
+	}
+	if rep, ok := mon.Report(pid); ok {
+		out.Report = rep
+		out.Detected = rep.Detected
+		out.Union = rep.Union
+		out.Score = rep.Score
+	}
+	return out, nil
+}
+
+// countFilesLost verifies the manifest hashes: an original file survives if
+// content with its hash still exists anywhere on disk (so an unencrypted
+// file merely parked elsewhere by a suspended Class B sample is not lost).
+func (r *Runner) countFilesLost(fs *vfs.FS) int {
+	surviving := make(map[[32]byte]bool, len(r.manifest.Entries))
+	_ = fs.Walk("/", func(info vfs.FileInfo) error {
+		if info.IsDir {
+			return nil
+		}
+		content, err := fs.ReadFileRaw(info.Path)
+		if err != nil {
+			return nil
+		}
+		surviving[sha256.Sum256(content)] = true
+		return nil
+	})
+	lost := 0
+	for _, e := range r.manifest.Entries {
+		if !surviving[e.SHA256] {
+			lost++
+		}
+	}
+	return lost
+}
+
+// BenignOutcome is the result of one benign workload run.
+type BenignOutcome struct {
+	// Workload is the application that ran.
+	Workload benign.Workload
+	// Score is the final reputation score.
+	Score float64
+	// Detected reports whether the workload was flagged.
+	Detected bool
+	// Union reports whether union indication fired.
+	Union bool
+	// Report is the full scoreboard snapshot.
+	Report cryptodrop.ProcessReport
+}
+
+// RunBenign executes a workload on a fresh corpus clone. Enforcement is
+// disabled so the full final score is measured even past the threshold
+// (the Fig. 6 sweep needs scores, not stops).
+func (r *Runner) RunBenign(w benign.Workload) (BenignOutcome, error) {
+	fs := r.base.Clone()
+	procs := proc.NewTable()
+	mon, err := cryptodrop.NewMonitor(fs, procs, append([]cryptodrop.Option{
+		cryptodrop.WithRoot(r.manifest.Root),
+		cryptodrop.WithoutEnforcement(),
+	}, r.opts...)...)
+	if err != nil {
+		return BenignOutcome{}, fmt.Errorf("experiments: monitor: %w", err)
+	}
+	pid := procs.Spawn(w.Name)
+	if err := w.Run(fs, pid, r.manifest.Root); err != nil && !errors.Is(err, cryptodrop.ErrSuspended) {
+		return BenignOutcome{}, fmt.Errorf("experiments: run %s: %w", w.Name, err)
+	}
+	out := BenignOutcome{Workload: w}
+	if rep, ok := mon.Report(pid); ok {
+		out.Report = rep
+		out.Score = rep.Score
+		out.Detected = rep.Detected
+		out.Union = rep.Union
+	}
+	return out, nil
+}
+
+// RunRoster executes every sample in the roster sequentially. The progress
+// callback, if non-nil, is invoked after each sample.
+func (r *Runner) RunRoster(roster []ransomware.Sample, progress func(i int, out SampleOutcome)) ([]SampleOutcome, error) {
+	outcomes := make([]SampleOutcome, 0, len(roster))
+	for i, s := range roster {
+		out, err := r.RunSample(s)
+		if err != nil {
+			return nil, err
+		}
+		outcomes = append(outcomes, out)
+		if progress != nil {
+			progress(i, out)
+		}
+	}
+	return outcomes, nil
+}
+
+// RunRosterParallel executes the roster across workers goroutines. Each
+// sample still runs against its own pristine corpus clone, so results are
+// identical to RunRoster (order preserved); the progress callback is
+// serialised. workers ≤ 1 falls back to the sequential path.
+func (r *Runner) RunRosterParallel(roster []ransomware.Sample, workers int, progress func(i int, out SampleOutcome)) ([]SampleOutcome, error) {
+	if workers <= 1 {
+		return r.RunRoster(roster, progress)
+	}
+	outcomes := make([]SampleOutcome, len(roster))
+	errs := make([]error, len(roster))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out, err := r.RunSample(roster[i])
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				outcomes[i] = out
+				if progress != nil {
+					progressMu.Lock()
+					progress(i, out)
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range roster {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outcomes, nil
+}

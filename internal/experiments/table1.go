@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"cryptodrop/internal/ransomware"
+)
+
+// median returns the median of xs (mean of middle pair for even counts).
+func median(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]int, len(xs))
+	copy(s, xs)
+	sort.Ints(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return float64(s[mid])
+	}
+	return float64(s[mid-1]+s[mid]) / 2
+}
+
+// Table1Row is one family row of Table I.
+type Table1Row struct {
+	// Family is the family name.
+	Family string
+	// ClassA/B/C are per-class sample counts.
+	ClassA, ClassB, ClassC int
+	// Total is the family sample count.
+	Total int
+	// PctOfSamples is the family share of all samples.
+	PctOfSamples float64
+	// MedianFilesLost is the family's median files lost before detection.
+	MedianFilesLost float64
+	// DetectedAll reports whether every family sample was detected.
+	DetectedAll bool
+}
+
+// Table1 summarises a roster run the way Table I does.
+type Table1 struct {
+	// Rows are per-family results in Table I order.
+	Rows []Table1Row
+	// TotalA/B/C/Total are the class totals.
+	TotalA, TotalB, TotalC, Total int
+	// OverallMedianFilesLost is the median across all samples.
+	OverallMedianFilesLost float64
+	// DetectionRate is the fraction of samples detected.
+	DetectionRate float64
+	// MaxFilesLost is the worst case across detected samples.
+	MaxFilesLost int
+}
+
+// BuildTable1 aggregates sample outcomes into Table I.
+func BuildTable1(outcomes []SampleOutcome) Table1 {
+	type agg struct {
+		row  Table1Row
+		lost []int
+		det  int
+	}
+	byFamily := make(map[string]*agg)
+	var order []string
+	var t Table1
+	var allLost []int
+	for _, out := range outcomes {
+		fam := out.Sample.Profile.Family
+		a, ok := byFamily[fam]
+		if !ok {
+			a = &agg{row: Table1Row{Family: fam}}
+			byFamily[fam] = a
+			order = append(order, fam)
+		}
+		switch out.Sample.Profile.Class {
+		case ransomware.ClassA:
+			a.row.ClassA++
+			t.TotalA++
+		case ransomware.ClassB:
+			a.row.ClassB++
+			t.TotalB++
+		case ransomware.ClassC:
+			a.row.ClassC++
+			t.TotalC++
+		}
+		a.row.Total++
+		a.lost = append(a.lost, out.FilesLost)
+		allLost = append(allLost, out.FilesLost)
+		if out.Detected {
+			a.det++
+			t.DetectionRate++
+		}
+		if out.FilesLost > t.MaxFilesLost {
+			t.MaxFilesLost = out.FilesLost
+		}
+		t.Total++
+	}
+	sort.Strings(order)
+	for _, fam := range order {
+		a := byFamily[fam]
+		a.row.MedianFilesLost = median(a.lost)
+		a.row.PctOfSamples = 100 * float64(a.row.Total) / float64(t.Total)
+		a.row.DetectedAll = a.det == a.row.Total
+		t.Rows = append(t.Rows, a.row)
+	}
+	t.OverallMedianFilesLost = median(allLost)
+	if t.Total > 0 {
+		t.DetectionRate /= float64(t.Total)
+	}
+	return t
+}
+
+// Render writes the table in the paper's layout.
+func (t Table1) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Family\t#Class A\t#Class B\t#Class C\tTotal\tMedian FL\tDetected")
+	for _, r := range t.Rows {
+		det := "all"
+		if !r.DetectedAll {
+			det = "PARTIAL"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d (%.2f%%)\t%.1f\t%s\n",
+			r.Family, zeroBlank(r.ClassA), zeroBlank(r.ClassB), zeroBlank(r.ClassC),
+			r.Total, r.PctOfSamples, r.MedianFilesLost, det)
+	}
+	fmt.Fprintf(tw, "# Samples\t%d (%.2f%%)\t%d (%.2f%%)\t%d (%.2f%%)\t%d (100%%)\t%.1f\t%.0f%%\n",
+		t.TotalA, pct(t.TotalA, t.Total), t.TotalB, pct(t.TotalB, t.Total),
+		t.TotalC, pct(t.TotalC, t.Total), t.Total, t.OverallMedianFilesLost, 100*t.DetectionRate)
+	return tw.Flush()
+}
+
+func zeroBlank(n int) string {
+	if n == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+func pct(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}

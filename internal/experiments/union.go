@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"cryptodrop"
+	"cryptodrop/internal/ransomware"
+)
+
+// UnionStats reproduces the union-indicator effectiveness analysis of
+// §V-B2.
+type UnionStats struct {
+	// Total is the number of samples run.
+	Total int
+	// Detected counts flagged samples (the paper reports 492/492).
+	Detected int
+	// WithUnion counts samples with at least one union indication (the
+	// paper reports 457, 93%).
+	WithUnion int
+	// ClassCMoveOver / ClassCDelete split the Class C samples by disposal
+	// strategy (41 vs 22 in the paper); delete-based Class C evades union
+	// linking.
+	ClassCMoveOver, ClassCDelete int
+	// ClassCDeleteUnion counts delete-based Class C samples that still
+	// achieved union.
+	ClassCDeleteUnion int
+	// MedianLostUnion / MedianLostNonUnion split median files lost by
+	// whether union fired (the paper's non-union Class C evaders had a
+	// median of 6).
+	MedianLostUnion, MedianLostNonUnion float64
+	// NoSimilarity counts detected samples that never triggered the
+	// similarity indicator (13 Class A samples in the paper).
+	NoSimilarity int
+}
+
+// BuildUnionStats aggregates union behaviour across outcomes.
+func BuildUnionStats(outcomes []SampleOutcome) UnionStats {
+	var s UnionStats
+	var lostUnion, lostNonUnion []int
+	for _, o := range outcomes {
+		s.Total++
+		if o.Detected {
+			s.Detected++
+		}
+		if o.Union {
+			s.WithUnion++
+			lostUnion = append(lostUnion, o.FilesLost)
+		} else {
+			lostNonUnion = append(lostNonUnion, o.FilesLost)
+		}
+		if o.Sample.Profile.Class == ransomware.ClassC {
+			if o.Sample.Profile.MoveOverOriginal {
+				s.ClassCMoveOver++
+			} else {
+				s.ClassCDelete++
+				if o.Union {
+					s.ClassCDeleteUnion++
+				}
+			}
+		}
+		if o.Detected && o.Report.IndicatorPoints[cryptodrop.IndicatorSimilarity] == 0 {
+			s.NoSimilarity++
+		}
+	}
+	s.MedianLostUnion = median(lostUnion)
+	s.MedianLostNonUnion = median(lostNonUnion)
+	return s
+}
+
+// Render writes the analysis.
+func (s UnionStats) Render(w io.Writer) error {
+	pctU := pct(s.WithUnion, s.Total)
+	_, err := fmt.Fprintf(w,
+		"Samples: %d  Detected: %d (%.0f%%)\n"+
+			"Union indication fired: %d (%.0f%%)\n"+
+			"Median files lost — union: %.1f, non-union: %.1f\n"+
+			"Class C disposal: %d move-over-original (links state), %d delete (evades linking)\n"+
+			"Delete-based Class C that still achieved union: %d\n"+
+			"Detected samples with no similarity-indicator points: %d\n",
+		s.Total, s.Detected, pct(s.Detected, s.Total),
+		s.WithUnion, pctU,
+		s.MedianLostUnion, s.MedianLostNonUnion,
+		s.ClassCMoveOver, s.ClassCDelete,
+		s.ClassCDeleteUnion, s.NoSimilarity)
+	return err
+}

@@ -1,0 +1,141 @@
+// Package filter implements a filesystem minifilter chain, substituting for
+// the Windows filter-manager stack the paper's kernel driver attaches to
+// (Fig. 2). Filters are ordered by altitude like Windows minifilters, but —
+// as the paper notes — CryptoDrop's behaviour does not depend on its position
+// relative to other filters (e.g. anti-virus), which the tests verify.
+package filter
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cryptodrop/internal/vfs"
+)
+
+// Filter is one minifilter in the chain.
+type Filter interface {
+	// Name identifies the filter (e.g. "cryptodrop", "antivirus").
+	Name() string
+	// PreOp is called before the operation executes, in descending
+	// altitude order. Returning a non-nil error vetoes the operation.
+	PreOp(op *vfs.Op) error
+	// PostOp is called after the operation completes, in ascending
+	// altitude order.
+	PostOp(op *vfs.Op)
+}
+
+// Chain is an ordered stack of filters that implements vfs.Interceptor.
+// The zero value is an empty, usable chain.
+type Chain struct {
+	mu      sync.Mutex
+	entries []entry
+}
+
+type entry struct {
+	altitude int
+	filter   Filter
+}
+
+var _ vfs.Interceptor = (*Chain)(nil)
+
+// Attach inserts a filter at the given altitude. Higher altitudes see
+// operations first on the way down (PreOp) and last on the way up (PostOp).
+// Attaching two filters at the same altitude is an error.
+func (c *Chain) Attach(altitude int, f Filter) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.entries {
+		if e.altitude == altitude {
+			return fmt.Errorf("filter: altitude %d already occupied by %q", altitude, e.filter.Name())
+		}
+	}
+	c.entries = append(c.entries, entry{altitude: altitude, filter: f})
+	sort.Slice(c.entries, func(i, j int) bool { return c.entries[i].altitude > c.entries[j].altitude })
+	return nil
+}
+
+// Detach removes the filter with the given name. It reports whether a
+// filter was removed.
+func (c *Chain) Detach(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, e := range c.entries {
+		if e.filter.Name() == name {
+			c.entries = append(c.entries[:i], c.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Filters returns the attached filter names in descending altitude order.
+func (c *Chain) Filters() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, len(c.entries))
+	for i, e := range c.entries {
+		names[i] = e.filter.Name()
+	}
+	return names
+}
+
+// snapshot returns the current entries; callbacks run without the lock so
+// filters may attach/detach reentrantly.
+func (c *Chain) snapshot() []entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]entry, len(c.entries))
+	copy(out, c.entries)
+	return out
+}
+
+// PreOp runs every filter's PreOp in descending altitude order, stopping at
+// the first veto.
+func (c *Chain) PreOp(op *vfs.Op) error {
+	for _, e := range c.snapshot() {
+		if err := e.filter.PreOp(op); err != nil {
+			return fmt.Errorf("filter %q: %w", e.filter.Name(), err)
+		}
+	}
+	return nil
+}
+
+// PostOp runs every filter's PostOp in ascending altitude order.
+func (c *Chain) PostOp(op *vfs.Op) {
+	entries := c.snapshot()
+	for i := len(entries) - 1; i >= 0; i-- {
+		entries[i].filter.PostOp(op)
+	}
+}
+
+// Func adapts plain functions into a Filter, for tests and simple hooks.
+type Func struct {
+	// FilterName is returned by Name.
+	FilterName string
+	// Pre, if non-nil, handles PreOp.
+	Pre func(op *vfs.Op) error
+	// Post, if non-nil, handles PostOp.
+	Post func(op *vfs.Op)
+}
+
+var _ Filter = (*Func)(nil)
+
+// Name returns the filter name.
+func (f *Func) Name() string { return f.FilterName }
+
+// PreOp invokes Pre when set.
+func (f *Func) PreOp(op *vfs.Op) error {
+	if f.Pre == nil {
+		return nil
+	}
+	return f.Pre(op)
+}
+
+// PostOp invokes Post when set.
+func (f *Func) PostOp(op *vfs.Op) {
+	if f.Post == nil {
+		return
+	}
+	f.Post(op)
+}

@@ -1,0 +1,160 @@
+package filter
+
+import (
+	"errors"
+	"testing"
+
+	"cryptodrop/internal/vfs"
+)
+
+func TestAttachOrdering(t *testing.T) {
+	var c Chain
+	var order []string
+	mk := func(name string) *Func {
+		return &Func{
+			FilterName: name,
+			Pre:        func(op *vfs.Op) error { order = append(order, "pre:"+name); return nil },
+			Post:       func(op *vfs.Op) { order = append(order, "post:"+name) },
+		}
+	}
+	if err := c.Attach(100, mk("low")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Attach(300, mk("high")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Attach(200, mk("mid")); err != nil {
+		t.Fatal(err)
+	}
+
+	op := &vfs.Op{Kind: vfs.OpWrite}
+	if err := c.PreOp(op); err != nil {
+		t.Fatal(err)
+	}
+	c.PostOp(op)
+
+	want := []string{"pre:high", "pre:mid", "pre:low", "post:low", "post:mid", "post:high"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestAttachDuplicateAltitude(t *testing.T) {
+	var c Chain
+	if err := c.Attach(100, &Func{FilterName: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Attach(100, &Func{FilterName: "b"}); err == nil {
+		t.Fatal("duplicate altitude accepted")
+	}
+}
+
+func TestVetoStopsChain(t *testing.T) {
+	var c Chain
+	denied := errors.New("denied")
+	reachedLower := false
+	if err := c.Attach(200, &Func{FilterName: "blocker", Pre: func(op *vfs.Op) error { return denied }}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Attach(100, &Func{FilterName: "lower", Pre: func(op *vfs.Op) error { reachedLower = true; return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	err := c.PreOp(&vfs.Op{Kind: vfs.OpDelete})
+	if !errors.Is(err, denied) {
+		t.Fatalf("err = %v, want wrapped veto", err)
+	}
+	if reachedLower {
+		t.Fatal("lower filter ran after veto")
+	}
+}
+
+func TestDetach(t *testing.T) {
+	var c Chain
+	if err := c.Attach(100, &Func{FilterName: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Detach("a") {
+		t.Fatal("Detach returned false")
+	}
+	if c.Detach("a") {
+		t.Fatal("second Detach returned true")
+	}
+	if got := c.Filters(); len(got) != 0 {
+		t.Fatalf("Filters = %v, want empty", got)
+	}
+}
+
+func TestChainAsInterceptor(t *testing.T) {
+	// The chain attaches to a live VFS and observes the op stream.
+	fs := vfs.New()
+	var c Chain
+	var seen []vfs.OpKind
+	if err := c.Attach(250, &Func{FilterName: "observer", Post: func(op *vfs.Op) {
+		seen = append(seen, op.Kind)
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetInterceptor(&c)
+	if err := fs.WriteFile(1, "/f", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 { // create, write, close
+		t.Fatalf("observed ops = %v, want 3", seen)
+	}
+}
+
+func TestOrderIndependenceForObservers(t *testing.T) {
+	// The paper notes CryptoDrop's placement among other filter drivers
+	// does not affect it. Two pure observers must record identical
+	// streams regardless of relative altitude.
+	run := func(observerAltitude int) []vfs.OpKind {
+		fs := vfs.New()
+		var c Chain
+		var seen []vfs.OpKind
+		if err := c.Attach(observerAltitude, &Func{FilterName: "cryptodrop", Post: func(op *vfs.Op) {
+			seen = append(seen, op.Kind)
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Attach(200, &Func{FilterName: "antivirus"}); err != nil {
+			t.Fatal(err)
+		}
+		fs.SetInterceptor(&c)
+		if err := fs.WriteFile(1, "/doc", []byte("hello")); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Delete(1, "/doc"); err != nil {
+			t.Fatal(err)
+		}
+		return seen
+	}
+	above := run(300)
+	below := run(100)
+	if len(above) != len(below) {
+		t.Fatalf("streams differ: %v vs %v", above, below)
+	}
+	for i := range above {
+		if above[i] != below[i] {
+			t.Fatalf("streams differ: %v vs %v", above, below)
+		}
+	}
+}
+
+func TestFiltersListsDescendingAltitude(t *testing.T) {
+	var c Chain
+	if err := c.Attach(10, &Func{FilterName: "bottom"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Attach(999, &Func{FilterName: "top"}); err != nil {
+		t.Fatal(err)
+	}
+	got := c.Filters()
+	if len(got) != 2 || got[0] != "top" || got[1] != "bottom" {
+		t.Fatalf("Filters = %v", got)
+	}
+}

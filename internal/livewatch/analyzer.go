@@ -1,0 +1,276 @@
+package livewatch
+
+import (
+	"os"
+	"sync"
+
+	"cryptodrop/internal/entropy"
+	"cryptodrop/internal/magic"
+	"cryptodrop/internal/sdhash"
+)
+
+// AnalyzerConfig tunes the live analyzer. Zero fields take defaults.
+type AnalyzerConfig struct {
+	// AlertThreshold is the score at which an alert fires (default 200,
+	// the paper's non-union threshold).
+	AlertThreshold float64
+	// UnionThreshold applies once all three primary indicators have been
+	// observed (default 140).
+	UnionThreshold float64
+	// SimilarityMatchMax is the highest similarity score treated as
+	// complete dissimilarity (default 4).
+	SimilarityMatchMax int
+	// EntropyDeltaThreshold is the per-file entropy increase considered
+	// suspicious (default 0.1).
+	EntropyDeltaThreshold float64
+	// Points per indicator occurrence (defaults mirror the engine's).
+	TypeChangePoints float64
+	SimilarityPoints float64
+	EntropyPoints    float64
+	DeletionPoints   float64
+	NewCipherPoints  float64
+	UnionBonus       float64
+	// OnAlert, if set, fires once when the score crosses the threshold.
+	OnAlert func(Alert)
+}
+
+func (c *AnalyzerConfig) fillDefaults() {
+	if c.AlertThreshold == 0 {
+		c.AlertThreshold = 200
+	}
+	if c.UnionThreshold == 0 {
+		c.UnionThreshold = 140
+	}
+	if c.SimilarityMatchMax == 0 {
+		c.SimilarityMatchMax = 4
+	}
+	if c.EntropyDeltaThreshold == 0 {
+		c.EntropyDeltaThreshold = 0.1
+	}
+	if c.TypeChangePoints == 0 {
+		c.TypeChangePoints = 8
+	}
+	if c.SimilarityPoints == 0 {
+		c.SimilarityPoints = 8
+	}
+	if c.EntropyPoints == 0 {
+		c.EntropyPoints = 4
+	}
+	if c.DeletionPoints == 0 {
+		c.DeletionPoints = 6
+	}
+	if c.NewCipherPoints == 0 {
+		c.NewCipherPoints = 3
+	}
+	if c.UnionBonus == 0 {
+		c.UnionBonus = 30
+	}
+}
+
+// Alert reports suspicious bulk transformation of the watched tree.
+type Alert struct {
+	// Score is the reputation score at alert time.
+	Score float64
+	// Union reports whether all three primary indicators were observed.
+	Union bool
+	// FilesTransformed counts rewritten files measured so far.
+	FilesTransformed int
+	// Deletions counts files removed.
+	Deletions int
+}
+
+// fileState caches a file's previous measurement.
+type fileState struct {
+	typ     magic.Type
+	digest  *sdhash.Digest
+	entropy float64
+	size    int64
+}
+
+// reliableDigest mirrors the engine's sparse-digest guard: trust a
+// dissimilarity verdict only when the previous digest has enough features
+// absolutely or per byte of input.
+func (st *fileState) reliableDigest() bool {
+	if st.digest == nil {
+		return false
+	}
+	fc := st.digest.FeatureCount()
+	return fc >= 8 || int64(fc)*256 >= st.size
+}
+
+// Analyzer scores filesystem change events against the CryptoDrop
+// indicators. Because a userspace watcher has no process attribution, all
+// changes are scored against one scoreboard entry: the tree's single
+// unknown actor. All methods are safe for concurrent use.
+type Analyzer struct {
+	mu  sync.Mutex
+	cfg AnalyzerConfig
+
+	states map[string]*fileState
+	score  float64
+
+	sawType    bool
+	sawSim     bool
+	sawEntropy bool
+	union      bool
+	alerted    bool
+
+	transformed int
+	deletions   int
+}
+
+// NewAnalyzer returns an analyzer with the given configuration.
+func NewAnalyzer(cfg AnalyzerConfig) *Analyzer {
+	cfg.fillDefaults()
+	return &Analyzer{cfg: cfg, states: make(map[string]*fileState)}
+}
+
+// Prime measures a file without scoring it (used to baseline the tree
+// before watching starts). Unreadable files are skipped.
+func (a *Analyzer) Prime(path string) {
+	content, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+	st := measure(content)
+	a.mu.Lock()
+	a.states[path] = st
+	a.mu.Unlock()
+}
+
+func measure(content []byte) *fileState {
+	st := &fileState{
+		typ:     magic.Identify(content),
+		entropy: entropy.Shannon(content),
+		size:    int64(len(content)),
+	}
+	if d, err := sdhash.Compute(content); err == nil {
+		st.digest = d
+	}
+	return st
+}
+
+// Apply folds a batch of events into the scoreboard. Files are read from
+// the real filesystem; unreadable files are skipped.
+func (a *Analyzer) Apply(events []Event) {
+	for _, ev := range events {
+		switch ev.Kind {
+		case EventDeleted:
+			a.applyDelete(ev.Path)
+		case EventCreated, EventModified:
+			content, err := os.ReadFile(ev.Path)
+			if err != nil {
+				continue
+			}
+			a.ApplyChange(ev.Path, content, ev.Kind)
+		}
+	}
+}
+
+// ApplyChange scores one created/modified file given its new content
+// (exposed separately so tests and alternative event sources can feed
+// content directly).
+func (a *Analyzer) ApplyChange(path string, content []byte, kind EventKind) {
+	newState := measure(content)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	prev := a.states[path]
+	a.states[path] = newState
+	if prev == nil {
+		// A brand-new file: untyped high-entropy content is the shape of
+		// a Class C encrypted copy.
+		if kind == EventCreated && newState.typ.IsData() && newState.entropy > 7.0 {
+			a.addPoints(a.cfg.NewCipherPoints)
+		}
+		return
+	}
+	a.transformed++
+	if newState.typ.ID != prev.typ.ID {
+		a.sawType = true
+		a.addPoints(a.cfg.TypeChangePoints)
+	}
+	// Sparse digests (chance features in random-like data) carry no
+	// confidence, so a dissimilarity verdict requires a reliable previous
+	// digest.
+	if prev.reliableDigest() {
+		score := 0
+		if newState.digest != nil {
+			score = prev.digest.Compare(newState.digest)
+		}
+		if score <= a.cfg.SimilarityMatchMax {
+			a.sawSim = true
+			a.addPoints(a.cfg.SimilarityPoints)
+		}
+	}
+	if newState.entropy-prev.entropy >= a.cfg.EntropyDeltaThreshold {
+		a.sawEntropy = true
+		a.addPoints(a.cfg.EntropyPoints)
+	}
+	a.checkUnion()
+	a.checkAlert()
+}
+
+func (a *Analyzer) applyDelete(path string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, known := a.states[path]; known {
+		delete(a.states, path)
+	}
+	a.deletions++
+	a.addPoints(a.cfg.DeletionPoints)
+	a.checkAlert()
+}
+
+// addPoints adds to the score; a.mu held.
+func (a *Analyzer) addPoints(p float64) { a.score += p }
+
+// checkUnion fires the union bonus once; a.mu held.
+func (a *Analyzer) checkUnion() {
+	if a.union || !(a.sawType && a.sawSim && a.sawEntropy) {
+		return
+	}
+	a.union = true
+	a.score += a.cfg.UnionBonus
+}
+
+// checkAlert fires OnAlert once past the effective threshold; a.mu held.
+func (a *Analyzer) checkAlert() {
+	if a.alerted {
+		return
+	}
+	threshold := a.cfg.AlertThreshold
+	if a.union && a.cfg.UnionThreshold < threshold {
+		threshold = a.cfg.UnionThreshold
+	}
+	if a.score < threshold {
+		return
+	}
+	a.alerted = true
+	if a.cfg.OnAlert != nil {
+		alert := Alert{Score: a.score, Union: a.union, FilesTransformed: a.transformed, Deletions: a.deletions}
+		a.mu.Unlock()
+		a.cfg.OnAlert(alert)
+		a.mu.Lock()
+	}
+}
+
+// Score returns the current score.
+func (a *Analyzer) Score() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.score
+}
+
+// Alerted reports whether the alert fired.
+func (a *Analyzer) Alerted() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.alerted
+}
+
+// Union reports whether all three primary indicators were observed.
+func (a *Analyzer) Union() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.union
+}

@@ -1,0 +1,64 @@
+package livewatch_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cryptodrop/internal/livewatch"
+)
+
+// ExampleAnalyzer scores a simulated bulk encryption of a real directory
+// without the background watcher, driving the scanner by hand.
+func ExampleAnalyzer() {
+	dir, err := os.MkdirTemp("", "livewatch-example-")
+	if err != nil {
+		fmt.Println("tempdir:", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+
+	// A handful of user documents.
+	var paths []string
+	for i := 0; i < 12; i++ {
+		p := filepath.Join(dir, fmt.Sprintf("doc%02d.txt", i))
+		var content []byte
+		for line := 0; len(content) < 2048; line++ {
+			content = append(content, []byte(fmt.Sprintf(
+				"day %d line %d: meeting summary, expense total %d, follow-up %x.\n",
+				i, line, line*73+i, line*line))...)
+		}
+		if err := os.WriteFile(p, content, 0o644); err != nil {
+			fmt.Println("write:", err)
+			return
+		}
+		paths = append(paths, p)
+	}
+
+	alerted := false
+	a := livewatch.NewAnalyzer(livewatch.AnalyzerConfig{
+		AlertThreshold: 100,
+		OnAlert:        func(livewatch.Alert) { alerted = true },
+	})
+	for _, p := range paths {
+		a.Prime(p)
+	}
+
+	// "Ransomware" rewrites every document as keystream bytes.
+	state := uint64(1)
+	for _, p := range paths {
+		enc := make([]byte, 2048)
+		for i := range enc {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			enc[i] = byte(state)
+		}
+		a.ApplyChange(p, enc, livewatch.EventModified)
+	}
+	fmt.Println("alerted:", alerted)
+	fmt.Println("union indication:", a.Union())
+	// Output:
+	// alerted: true
+	// union indication: true
+}

@@ -1,0 +1,248 @@
+package livewatch
+
+import (
+	"crypto/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cryptodrop/internal/corpus"
+)
+
+// writeTree materialises a small corpus into a real temp directory.
+func writeTree(t *testing.T, n int) string {
+	t.Helper()
+	dir := t.TempDir()
+	exts := []string{"txt", "pdf", "docx", "csv", "md", "html"}
+	for i := 0; i < n; i++ {
+		sub := dir
+		if i%3 == 0 {
+			sub = filepath.Join(dir, "sub")
+			if err := os.MkdirAll(sub, 0o755); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ext := exts[i%len(exts)]
+		p := filepath.Join(sub, "file"+string(rune('a'+i%26))+string(rune('0'+i/26))+"."+ext)
+		if err := os.WriteFile(p, corpus.Generate(ext, int64(i), 8192), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// encryptFile overwrites a real file with keystream bytes.
+func encryptFile(t *testing.T, p string) {
+	t.Helper()
+	info, err := os.Stat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := make([]byte, info.Size())
+	if _, err := rand.Read(enc); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func listFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var out []string
+	err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			out = append(out, p)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestScannerDetectsChanges(t *testing.T) {
+	dir := writeTree(t, 10)
+	s := NewScanner(dir)
+	events, err := s.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("baseline scan produced %d events", len(events))
+	}
+
+	files := listFiles(t, dir)
+	// Modify one (mtime granularity can be coarse; change size too).
+	if err := os.WriteFile(files[0], []byte("changed content longer than before to alter size"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Create one.
+	created := filepath.Join(dir, "new.bin")
+	if err := os.WriteFile(created, []byte("fresh"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Delete one.
+	if err := os.Remove(files[1]); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err = s.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[EventKind]int{}
+	for _, ev := range events {
+		kinds[ev.Kind]++
+	}
+	if kinds[EventCreated] != 1 || kinds[EventModified] != 1 || kinds[EventDeleted] != 1 {
+		t.Fatalf("events = %v", events)
+	}
+	// No further changes → no events.
+	events, err = s.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("idle scan produced %v", events)
+	}
+}
+
+func TestAnalyzerAlertsOnBulkEncryption(t *testing.T) {
+	dir := writeTree(t, 40)
+	files := listFiles(t, dir)
+
+	alerted := false
+	a := NewAnalyzer(AnalyzerConfig{OnAlert: func(al Alert) { alerted = true }})
+	for _, p := range files {
+		a.Prime(p)
+	}
+	s := NewScanner(dir)
+	if _, err := s.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	// Encrypt everything, then scan.
+	for _, p := range files {
+		encryptFile(t, p)
+	}
+	events, err := s.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events after encryption")
+	}
+	a.Apply(events)
+	if !a.Alerted() || !alerted {
+		t.Fatalf("no alert after bulk encryption (score %.1f)", a.Score())
+	}
+	if !a.Union() {
+		t.Fatalf("union indication missing (score %.1f)", a.Score())
+	}
+}
+
+func TestAnalyzerQuietOnBenignEdits(t *testing.T) {
+	dir := writeTree(t, 30)
+	files := listFiles(t, dir)
+	a := NewAnalyzer(AnalyzerConfig{})
+	for _, p := range files {
+		a.Prime(p)
+	}
+	// Benign edits: append same-type content to a few files.
+	for i, p := range files {
+		if i >= 5 {
+			break
+		}
+		content, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		content = append(content, []byte(" appended note about the meeting")...)
+		a.ApplyChange(p, content, EventModified)
+	}
+	if a.Alerted() {
+		t.Fatalf("alert on benign edits (score %.1f)", a.Score())
+	}
+	if a.Score() > 50 {
+		t.Fatalf("benign edit score %.1f too high", a.Score())
+	}
+}
+
+func TestAnalyzerDeletionsScore(t *testing.T) {
+	a := NewAnalyzer(AnalyzerConfig{})
+	for i := 0; i < 10; i++ {
+		a.applyDelete("/x/" + string(rune('a'+i)))
+	}
+	if a.Score() != 60 { // 10 × default 6
+		t.Fatalf("deletion score = %.1f, want 60", a.Score())
+	}
+}
+
+func TestAnalyzerNewCipherFiles(t *testing.T) {
+	a := NewAnalyzer(AnalyzerConfig{})
+	enc := make([]byte, 8192)
+	if _, err := rand.Read(enc); err != nil {
+		t.Fatal(err)
+	}
+	a.ApplyChange("/docs/a.txt.locked", enc, EventCreated)
+	if a.Score() != 3 {
+		t.Fatalf("new-cipher score = %.1f, want 3", a.Score())
+	}
+	// A typed new file (plain text) scores nothing.
+	a2 := NewAnalyzer(AnalyzerConfig{})
+	a2.ApplyChange("/docs/notes.txt", []byte("hello hello hello hello"), EventCreated)
+	if a2.Score() != 0 {
+		t.Fatalf("typed new file scored %.1f", a2.Score())
+	}
+}
+
+func TestWatcherEndToEnd(t *testing.T) {
+	dir := writeTree(t, 40)
+	alerts := make(chan Alert, 1)
+	w := NewWatcher(dir, 20*time.Millisecond, AnalyzerConfig{OnAlert: func(a Alert) {
+		select {
+		case alerts <- a:
+		default:
+		}
+	}})
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the attack while the watcher polls.
+	for _, p := range listFiles(t, dir) {
+		encryptFile(t, p)
+	}
+	deadline := time.After(5 * time.Second)
+	select {
+	case a := <-alerts:
+		if a.Score < 140 {
+			t.Fatalf("alert score %.1f too low", a.Score)
+		}
+	case <-deadline:
+		w.Stop()
+		t.Fatalf("no alert within deadline (score %.1f, scans %d, err %v)",
+			w.Analyzer().Score(), w.Scans(), w.LastErr())
+	}
+	w.Stop()
+	if w.Scans() == 0 {
+		t.Fatal("watcher never scanned")
+	}
+}
+
+func TestWatcherStopIsClean(t *testing.T) {
+	dir := writeTree(t, 5)
+	w := NewWatcher(dir, 10*time.Millisecond, AnalyzerConfig{})
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	w.Stop() // must not hang or panic; final poll included
+	if w.LastErr() != nil {
+		t.Fatalf("scan error: %v", w.LastErr())
+	}
+}

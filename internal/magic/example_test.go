@@ -1,0 +1,28 @@
+package magic_test
+
+import (
+	"fmt"
+
+	"cryptodrop/internal/magic"
+)
+
+// ExampleIdentify shows the file-type-change indicator's foundation: a
+// document identifies by its magic numbers, and its encrypted form decays
+// to opaque data.
+func ExampleIdentify() {
+	pdf := []byte("%PDF-1.5\n1 0 obj << /Type /Catalog >> endobj")
+	fmt.Println(magic.Identify(pdf).Name)
+
+	encrypted := make([]byte, 4096)
+	state := uint64(7)
+	for i := range encrypted {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		encrypted[i] = byte(state)
+	}
+	fmt.Println(magic.Identify(encrypted).Name)
+	// Output:
+	// PDF document
+	// data
+}

@@ -1,0 +1,18 @@
+package magic
+
+import "testing"
+
+func FuzzIdentify(f *testing.F) {
+	f.Add([]byte("%PDF-1.5"))
+	f.Add([]byte("PK\x03\x04word/"))
+	f.Add([]byte{0xFF, 0xD8, 0xFF})
+	f.Add([]byte("plain text"))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFE})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ := Identify(data) // must never panic
+		if typ.ID == "" {
+			t.Fatalf("empty type ID for %q", data)
+		}
+	})
+}

@@ -1,0 +1,242 @@
+// Package magic identifies file types from content, substituting for the
+// libmagic/"file" utility the paper uses for its file-type-change indicator
+// (§III-A). Types are inferred from magic numbers — byte signatures at known
+// offsets — falling back to text heuristics and finally to an opaque "data"
+// classification, mirroring file(1)'s behaviour.
+package magic
+
+import (
+	"bytes"
+	"unicode/utf8"
+)
+
+// Category is a coarse grouping of file types, used by the corpus generator
+// and the experiment reports.
+type Category int
+
+// Categories of identified content.
+const (
+	CategoryUnknown Category = iota
+	CategoryDocument
+	CategoryImage
+	CategoryAudio
+	CategoryArchive
+	CategoryText
+	CategoryExecutable
+	CategoryData
+)
+
+// String returns the category name.
+func (c Category) String() string {
+	switch c {
+	case CategoryDocument:
+		return "document"
+	case CategoryImage:
+		return "image"
+	case CategoryAudio:
+		return "audio"
+	case CategoryArchive:
+		return "archive"
+	case CategoryText:
+		return "text"
+	case CategoryExecutable:
+		return "executable"
+	case CategoryData:
+		return "data"
+	default:
+		return "unknown"
+	}
+}
+
+// Type describes an identified file type.
+type Type struct {
+	// Name is the human-readable type description, e.g. "PDF document".
+	Name string
+	// ID is a short stable identifier, e.g. "pdf". Two files have the same
+	// type iff their IDs are equal.
+	ID string
+	// Category is the coarse grouping.
+	Category Category
+}
+
+// IsData reports whether the type is the opaque fallback ("data"), which is
+// what encrypted content identifies as.
+func (t Type) IsData() bool { return t.ID == "data" }
+
+// Well-known types returned by Identify.
+var (
+	TypeData = Type{Name: "data", ID: "data", Category: CategoryData}
+	TypeText = Type{Name: "ASCII text", ID: "txt", Category: CategoryText}
+	TypeUTF8 = Type{Name: "UTF-8 Unicode text", ID: "utf8", Category: CategoryText}
+)
+
+// signature is one magic-number rule.
+type signature struct {
+	offset int
+	magic  []byte
+	typ    Type
+	// refine, if non-nil, may inspect more content to refine the type
+	// (e.g. ZIP → OOXML document).
+	refine func(data []byte) (Type, bool)
+}
+
+func sig(offset int, magic string, name, id string, cat Category) signature {
+	return signature{offset: offset, magic: []byte(magic), typ: Type{Name: name, ID: id, Category: cat}}
+}
+
+// The signature table. Order matters: first match wins, so more specific
+// signatures precede generic ones.
+var signatures = []signature{
+	sig(0, "%PDF-", "PDF document", "pdf", CategoryDocument),
+	{offset: 0, magic: []byte("PK\x03\x04"), typ: Type{Name: "Zip archive data", ID: "zip", Category: CategoryArchive}, refine: refineZip},
+	sig(0, "\xD0\xCF\x11\xE0\xA1\xB1\x1A\xE1", "Composite Document File V2 (Microsoft Office)", "ole", CategoryDocument),
+	sig(0, "{\\rtf", "Rich Text Format data", "rtf", CategoryDocument),
+	sig(0, "\xFF\xD8\xFF", "JPEG image data", "jpg", CategoryImage),
+	sig(0, "\x89PNG\r\n\x1a\n", "PNG image data", "png", CategoryImage),
+	sig(0, "GIF87a", "GIF image data", "gif", CategoryImage),
+	sig(0, "GIF89a", "GIF image data", "gif", CategoryImage),
+	sig(0, "BM", "PC bitmap", "bmp", CategoryImage),
+	sig(0, "II*\x00", "TIFF image data, little-endian", "tiff", CategoryImage),
+	sig(0, "MM\x00*", "TIFF image data, big-endian", "tiff", CategoryImage),
+	sig(0, "ID3", "Audio file with ID3", "mp3", CategoryAudio),
+	sig(0, "\xFF\xFB", "MPEG ADTS, layer III", "mp3", CategoryAudio),
+	sig(0, "\xFF\xF3", "MPEG ADTS, layer III", "mp3", CategoryAudio),
+	sig(0, "fLaC", "FLAC audio", "flac", CategoryAudio),
+	sig(0, "OggS", "Ogg data", "ogg", CategoryAudio),
+	{offset: 0, magic: []byte("RIFF"), typ: Type{Name: "RIFF data", ID: "riff", Category: CategoryData}, refine: refineRIFF},
+	sig(4, "ftyp", "ISO Media (MP4/M4A)", "mp4", CategoryAudio),
+	sig(0, "7z\xBC\xAF\x27\x1C", "7-zip archive data", "7z", CategoryArchive),
+	sig(0, "\x1F\x8B", "gzip compressed data", "gz", CategoryArchive),
+	sig(0, "BZh", "bzip2 compressed data", "bz2", CategoryArchive),
+	sig(0, "Rar!\x1A\x07", "RAR archive data", "rar", CategoryArchive),
+	sig(0, "\xFD7zXZ\x00", "XZ compressed data", "xz", CategoryArchive),
+	sig(0, "MZ", "PE32 executable (Windows)", "exe", CategoryExecutable),
+	sig(0, "\x7FELF", "ELF executable", "elf", CategoryExecutable),
+	sig(0, "#!/", "script text executable", "script", CategoryText),
+	sig(0, "SQLite format 3\x00", "SQLite 3.x database", "sqlite", CategoryData),
+	sig(0, "%!PS", "PostScript document", "ps", CategoryDocument),
+	sig(0, "\xEF\xBB\xBF", "UTF-8 Unicode (with BOM) text", "utf8", CategoryText),
+	sig(0, "\xFF\xFE", "Little-endian UTF-16 Unicode text", "utf16", CategoryText),
+	sig(0, "\xFE\xFF", "Big-endian UTF-16 Unicode text", "utf16", CategoryText),
+}
+
+// textSignatures classify text-like content by leading markers after the
+// magic table misses; matched case-insensitively against trimmed content.
+var textSignatures = []struct {
+	prefix string
+	typ    Type
+}{
+	{"<?xml", Type{Name: "XML document text", ID: "xml", Category: CategoryText}},
+	{"<!doctype html", Type{Name: "HTML document text", ID: "html", Category: CategoryText}},
+	{"<html", Type{Name: "HTML document text", ID: "html", Category: CategoryText}},
+	{"{", Type{Name: "JSON data", ID: "json", Category: CategoryText}},
+}
+
+func refineZip(data []byte) (Type, bool) {
+	// OOXML and OpenDocument containers are ZIP archives whose first local
+	// file header names the content type. file(1) performs the same
+	// refinement.
+	head := data
+	if len(head) > 4096 {
+		head = head[:4096]
+	}
+	switch {
+	case bytes.Contains(head, []byte("word/")):
+		return Type{Name: "Microsoft Word 2007+", ID: "docx", Category: CategoryDocument}, true
+	case bytes.Contains(head, []byte("xl/")):
+		return Type{Name: "Microsoft Excel 2007+", ID: "xlsx", Category: CategoryDocument}, true
+	case bytes.Contains(head, []byte("ppt/")):
+		return Type{Name: "Microsoft PowerPoint 2007+", ID: "pptx", Category: CategoryDocument}, true
+	case bytes.Contains(head, []byte("mimetypeapplication/vnd.oasis.opendocument.text")):
+		return Type{Name: "OpenDocument Text", ID: "odt", Category: CategoryDocument}, true
+	case bytes.Contains(head, []byte("mimetypeapplication/vnd.oasis.opendocument.spreadsheet")):
+		return Type{Name: "OpenDocument Spreadsheet", ID: "ods", Category: CategoryDocument}, true
+	case bytes.Contains(head, []byte("[Content_Types].xml")):
+		return Type{Name: "Microsoft OOXML", ID: "ooxml", Category: CategoryDocument}, true
+	}
+	return Type{}, false
+}
+
+func refineRIFF(data []byte) (Type, bool) {
+	if len(data) >= 12 {
+		switch string(data[8:12]) {
+		case "WAVE":
+			return Type{Name: "RIFF (little-endian) data, WAVE audio", ID: "wav", Category: CategoryAudio}, true
+		case "AVI ":
+			return Type{Name: "RIFF (little-endian) data, AVI", ID: "avi", Category: CategoryImage}, true
+		case "WEBP":
+			return Type{Name: "RIFF (little-endian) data, Web/P image", ID: "webp", Category: CategoryImage}, true
+		}
+	}
+	return Type{}, false
+}
+
+// SniffLen is the number of leading bytes Identify needs to classify a file.
+// Callers holding large files may pass only the first SniffLen bytes.
+const SniffLen = 4096
+
+// Identify classifies content by magic number, falling back to text
+// heuristics and finally TypeData. Empty content identifies as "empty" text.
+func Identify(data []byte) Type {
+	if len(data) == 0 {
+		return Type{Name: "empty", ID: "empty", Category: CategoryText}
+	}
+	for _, s := range signatures {
+		end := s.offset + len(s.magic)
+		if len(data) < end {
+			continue
+		}
+		if !bytes.Equal(data[s.offset:end], s.magic) {
+			continue
+		}
+		if s.refine != nil {
+			if t, ok := s.refine(data); ok {
+				return t
+			}
+		}
+		return s.typ
+	}
+	if t, ok := identifyText(data); ok {
+		return t
+	}
+	return TypeData
+}
+
+// identifyText applies file(1)-style text heuristics: content is text when
+// it is valid UTF-8 (or plain ASCII) and free of unprintable control bytes.
+func identifyText(data []byte) (Type, bool) {
+	head := data
+	if len(head) > SniffLen {
+		head = head[:SniffLen]
+	}
+	ascii := true
+	printable := 0
+	for _, b := range head {
+		if b >= 0x80 {
+			ascii = false
+		}
+		switch {
+		case b == '\n' || b == '\r' || b == '\t' || b == '\f':
+			printable++
+		case b < 0x20 || b == 0x7F:
+			// Unprintable control byte: not text.
+			return Type{}, false
+		default:
+			printable++
+		}
+	}
+	trimmed := bytes.TrimLeft(head, " \t\r\n")
+	lower := bytes.ToLower(trimmed)
+	for _, ts := range textSignatures {
+		if bytes.HasPrefix(lower, []byte(ts.prefix)) {
+			return ts.typ, true
+		}
+	}
+	if ascii {
+		return TypeText, true
+	}
+	if utf8.Valid(head) {
+		return TypeUTF8, true
+	}
+	return Type{}, false
+}

@@ -1,0 +1,203 @@
+package magic
+
+import (
+	"archive/zip"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestIdentifyTable(t *testing.T) {
+	tests := []struct {
+		name   string
+		data   []byte
+		wantID string
+		cat    Category
+	}{
+		{"pdf", []byte("%PDF-1.5\n%âãÏÓ\n1 0 obj"), "pdf", CategoryDocument},
+		{"ole doc", append([]byte{0xD0, 0xCF, 0x11, 0xE0, 0xA1, 0xB1, 0x1A, 0xE1}, make([]byte, 64)...), "ole", CategoryDocument},
+		{"rtf", []byte(`{\rtf1\ansi Hello}`), "rtf", CategoryDocument},
+		{"jpeg", []byte{0xFF, 0xD8, 0xFF, 0xE0, 0x00, 0x10, 'J', 'F', 'I', 'F'}, "jpg", CategoryImage},
+		{"png", []byte{0x89, 'P', 'N', 'G', '\r', '\n', 0x1A, '\n', 0, 0, 0, 13}, "png", CategoryImage},
+		{"gif89", []byte("GIF89a\x01\x00\x01\x00"), "gif", CategoryImage},
+		{"gif87", []byte("GIF87a\x01\x00\x01\x00"), "gif", CategoryImage},
+		{"bmp", []byte("BM\x36\x00\x00\x00"), "bmp", CategoryImage},
+		{"mp3 id3", []byte("ID3\x03\x00\x00\x00\x00\x00\x00"), "mp3", CategoryAudio},
+		{"mp3 frame", []byte{0xFF, 0xFB, 0x90, 0x00}, "mp3", CategoryAudio},
+		{"wav", []byte("RIFF\x24\x00\x00\x00WAVEfmt "), "wav", CategoryAudio},
+		{"webp", []byte("RIFF\x24\x00\x00\x00WEBPVP8 "), "webp", CategoryImage},
+		{"7z", []byte{'7', 'z', 0xBC, 0xAF, 0x27, 0x1C, 0, 4}, "7z", CategoryArchive},
+		{"gzip", []byte{0x1F, 0x8B, 0x08, 0x00}, "gz", CategoryArchive},
+		{"exe", []byte("MZ\x90\x00\x03\x00"), "exe", CategoryExecutable},
+		{"elf", []byte{0x7F, 'E', 'L', 'F', 2, 1, 1}, "elf", CategoryExecutable},
+		{"sqlite", []byte("SQLite format 3\x00"), "sqlite", CategoryData},
+		{"xml", []byte(`<?xml version="1.0"?><root/>`), "xml", CategoryText},
+		{"html doctype", []byte("<!DOCTYPE html><html></html>"), "html", CategoryText},
+		{"html bare", []byte("<html><body>x</body></html>"), "html", CategoryText},
+		{"json", []byte(`{"key": "value"}`), "json", CategoryText},
+		{"ascii", []byte("plain old notes about the meeting\n"), "txt", CategoryText},
+		{"utf8", []byte("héllo wörld — ünïcode\n"), "utf8", CategoryText},
+		{"utf8 bom", append([]byte{0xEF, 0xBB, 0xBF}, []byte("hi")...), "utf8", CategoryText},
+		{"script", []byte("#!/bin/sh\necho hi\n"), "script", CategoryText},
+		{"empty", nil, "empty", CategoryText},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Identify(tt.data)
+			if got.ID != tt.wantID {
+				t.Fatalf("Identify(%s).ID = %q, want %q", tt.name, got.ID, tt.wantID)
+			}
+			if got.Category != tt.cat {
+				t.Fatalf("Identify(%s).Category = %v, want %v", tt.name, got.Category, tt.cat)
+			}
+		})
+	}
+}
+
+func makeZip(t *testing.T, firstEntry string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	w, err := zw.Create(firstEntry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte(strings.Repeat("content ", 32))); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestIdentifyOOXMLRefinement(t *testing.T) {
+	tests := []struct {
+		entry, wantID string
+	}{
+		{"word/document.xml", "docx"},
+		{"xl/workbook.xml", "xlsx"},
+		{"ppt/presentation.xml", "pptx"},
+		{"[Content_Types].xml", "ooxml"},
+		{"random/file.bin", "zip"},
+	}
+	for _, tt := range tests {
+		got := Identify(makeZip(t, tt.entry))
+		if got.ID != tt.wantID {
+			t.Errorf("zip with %q → %q, want %q", tt.entry, got.ID, tt.wantID)
+		}
+	}
+}
+
+func TestIdentifyODT(t *testing.T) {
+	// ODT files store an uncompressed "mimetype" entry first.
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	w, err := zw.CreateHeader(&zip.FileHeader{Name: "mimetype", Method: zip.Store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("application/vnd.oasis.opendocument.text")); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := Identify(buf.Bytes()); got.ID != "odt" {
+		t.Fatalf("odt container identified as %q", got.ID)
+	}
+}
+
+func TestIdentifyEncryptedLooksLikeData(t *testing.T) {
+	// Keystream-looking bytes must be classified as opaque data: this is
+	// the core of the paper's file-type-change indicator.
+	data := make([]byte, 8192)
+	s := uint64(0x9E3779B97F4A7C15)
+	for i := range data {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		data[i] = byte(s)
+	}
+	got := Identify(data)
+	if !got.IsData() {
+		t.Fatalf("pseudo-ciphertext identified as %q, want data", got.ID)
+	}
+}
+
+func TestIdentifyTypeChangeOnEncryption(t *testing.T) {
+	// Encrypting each corpus-like file must change its identified type.
+	samples := [][]byte{
+		[]byte("%PDF-1.4\nsome pdf body with text"),
+		makeZip(t, "word/document.xml"),
+		[]byte("just a text file with notes\n"),
+		{0xFF, 0xD8, 0xFF, 0xE0, 1, 2, 3, 4, 5, 6, 7, 8},
+	}
+	for i, sample := range samples {
+		before := Identify(sample)
+		enc := make([]byte, len(sample))
+		s := uint64(12345 + i)
+		for j, b := range sample {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			enc[j] = b ^ byte(s)
+		}
+		after := Identify(enc)
+		if before.ID == after.ID {
+			t.Errorf("sample %d: type %q unchanged after encryption", i, before.ID)
+		}
+	}
+}
+
+func TestIdentifyBinaryControlBytesNotText(t *testing.T) {
+	data := []byte("looks like text\x00but has a NUL")
+	if got := Identify(data); got.Category == CategoryText {
+		t.Fatalf("content with NUL identified as text (%q)", got.ID)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	cats := map[Category]string{
+		CategoryUnknown:    "unknown",
+		CategoryDocument:   "document",
+		CategoryImage:      "image",
+		CategoryAudio:      "audio",
+		CategoryArchive:    "archive",
+		CategoryText:       "text",
+		CategoryExecutable: "executable",
+		CategoryData:       "data",
+	}
+	for c, want := range cats {
+		if c.String() != want {
+			t.Errorf("Category(%d).String() = %q, want %q", int(c), c.String(), want)
+		}
+	}
+}
+
+func TestIdentifyShortInputsSafe(t *testing.T) {
+	// No signature read may panic on short inputs.
+	for n := 0; n < 16; n++ {
+		data := bytes.Repeat([]byte{0xFF}, n)
+		_ = Identify(data) // must not panic
+	}
+}
+
+func BenchmarkIdentifyPDF(b *testing.B) {
+	data := append([]byte("%PDF-1.5\n"), bytes.Repeat([]byte("x"), 4096)...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Identify(data)
+	}
+}
+
+func BenchmarkIdentifyData(b *testing.B) {
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i*131 + 17)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Identify(data)
+	}
+}

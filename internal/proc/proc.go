@@ -1,0 +1,166 @@
+// Package proc models the process table CryptoDrop scores against: process
+// identities, parent/child relationships (so a detection can suspend a whole
+// process family, §IV), and suspend/resume state.
+package proc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrNoProcess is returned when a PID is not in the table.
+var ErrNoProcess = errors.New("proc: no such process")
+
+// Process describes one running process.
+type Process struct {
+	// PID is the process identifier.
+	PID int
+	// Name is the executable name, e.g. "teslacrypt.exe".
+	Name string
+	// Parent is the PID of the parent process, or 0 for a root process.
+	Parent int
+	// Suspended reports whether the process's disk access is suspended.
+	Suspended bool
+}
+
+// Table is a process table. The zero value is not usable; create one with
+// NewTable. All methods are safe for concurrent use.
+type Table struct {
+	mu      sync.Mutex
+	nextPID int
+	procs   map[int]*Process
+}
+
+// NewTable returns an empty process table. PIDs are assigned from 1000
+// upward, echoing Windows userland PIDs.
+func NewTable() *Table {
+	return &Table{nextPID: 1000, procs: make(map[int]*Process)}
+}
+
+// Spawn registers a new root process and returns its PID.
+func (t *Table) Spawn(name string) int {
+	return t.SpawnChild(name, 0)
+}
+
+// SpawnChild registers a new process with the given parent PID (0 for none)
+// and returns its PID. A child of a suspended process starts suspended —
+// suspension applies to the whole family.
+func (t *Table) SpawnChild(name string, parent int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pid := t.nextPID
+	t.nextPID++
+	p := &Process{PID: pid, Name: name, Parent: parent}
+	if pp, ok := t.procs[parent]; ok && pp.Suspended {
+		p.Suspended = true
+	}
+	t.procs[pid] = p
+	return pid
+}
+
+// Lookup returns a copy of the process record for pid.
+func (t *Table) Lookup(pid int) (Process, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.procs[pid]
+	if !ok {
+		return Process{}, fmt.Errorf("pid %d: %w", pid, ErrNoProcess)
+	}
+	return *p, nil
+}
+
+// Suspended reports whether pid is suspended. Unknown PIDs are not
+// suspended.
+func (t *Table) Suspended(pid int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.procs[pid]
+	return ok && p.Suspended
+}
+
+// SuspendFamily suspends pid, every ancestor up to its root, and every
+// process in the same family tree — the paper suspends "the suspicious
+// process (or family of processes)". It returns the PIDs suspended.
+func (t *Table) SuspendFamily(pid int) []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.procs[pid]
+	if !ok {
+		return nil
+	}
+	root := p
+	for root.Parent != 0 {
+		pp, ok := t.procs[root.Parent]
+		if !ok {
+			break
+		}
+		root = pp
+	}
+	var suspended []int
+	t.suspendTree(root.PID, &suspended)
+	sort.Ints(suspended)
+	return suspended
+}
+
+// suspendTree suspends pid and all descendants; t.mu must be held.
+func (t *Table) suspendTree(pid int, out *[]int) {
+	p, ok := t.procs[pid]
+	if !ok {
+		return
+	}
+	if !p.Suspended {
+		p.Suspended = true
+		*out = append(*out, pid)
+	}
+	for cpid, c := range t.procs {
+		if c.Parent == pid {
+			t.suspendTree(cpid, out)
+		}
+	}
+}
+
+// RootOf returns the PID of the root ancestor of pid (pid itself when it
+// has no known parent). Unknown PIDs map to themselves.
+func (t *Table) RootOf(pid int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.procs[pid]
+	if !ok {
+		return pid
+	}
+	for p.Parent != 0 {
+		pp, ok := t.procs[p.Parent]
+		if !ok {
+			break
+		}
+		p = pp
+	}
+	return p.PID
+}
+
+// Resume clears the suspended flag on pid (the user allowing a flagged
+// process to continue).
+func (t *Table) Resume(pid int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.procs[pid]
+	if !ok {
+		return fmt.Errorf("pid %d: %w", pid, ErrNoProcess)
+	}
+	p.Suspended = false
+	return nil
+}
+
+// Processes returns a snapshot of all processes, ordered by PID.
+func (t *Table) Processes() []Process {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Process, 0, len(t.procs))
+	for _, p := range t.procs {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
+	return out
+}

@@ -1,0 +1,115 @@
+package proc
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSpawnAssignsDistinctPIDs(t *testing.T) {
+	tbl := NewTable()
+	a := tbl.Spawn("a.exe")
+	b := tbl.Spawn("b.exe")
+	if a == b {
+		t.Fatalf("duplicate PIDs: %d", a)
+	}
+	p, err := tbl.Lookup(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "a.exe" || p.Parent != 0 || p.Suspended {
+		t.Fatalf("unexpected process record: %+v", p)
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	tbl := NewTable()
+	if _, err := tbl.Lookup(1); !errors.Is(err, ErrNoProcess) {
+		t.Fatalf("err = %v, want ErrNoProcess", err)
+	}
+}
+
+func TestSuspendFamilySuspendsDescendantsAndAncestors(t *testing.T) {
+	tbl := NewTable()
+	root := tbl.Spawn("dropper.exe")
+	child := tbl.SpawnChild("payload.exe", root)
+	grandchild := tbl.SpawnChild("worker.exe", child)
+	sibling := tbl.SpawnChild("helper.exe", root)
+	other := tbl.Spawn("unrelated.exe")
+
+	// Detection on the grandchild must reach the whole family.
+	suspended := tbl.SuspendFamily(grandchild)
+	if len(suspended) != 4 {
+		t.Fatalf("suspended %v, want 4 PIDs", suspended)
+	}
+	for _, pid := range []int{root, child, grandchild, sibling} {
+		if !tbl.Suspended(pid) {
+			t.Errorf("pid %d not suspended", pid)
+		}
+	}
+	if tbl.Suspended(other) {
+		t.Error("unrelated process suspended")
+	}
+}
+
+func TestSuspendUnknownPID(t *testing.T) {
+	tbl := NewTable()
+	if got := tbl.SuspendFamily(12345); got != nil {
+		t.Fatalf("SuspendFamily(unknown) = %v, want nil", got)
+	}
+}
+
+func TestChildOfSuspendedStartsSuspended(t *testing.T) {
+	tbl := NewTable()
+	root := tbl.Spawn("mal.exe")
+	tbl.SuspendFamily(root)
+	child := tbl.SpawnChild("evade.exe", root)
+	if !tbl.Suspended(child) {
+		t.Fatal("child spawned after suspension is not suspended")
+	}
+}
+
+func TestResume(t *testing.T) {
+	tbl := NewTable()
+	pid := tbl.Spawn("sevenzip.exe")
+	tbl.SuspendFamily(pid)
+	if !tbl.Suspended(pid) {
+		t.Fatal("not suspended")
+	}
+	if err := tbl.Resume(pid); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Suspended(pid) {
+		t.Fatal("still suspended after resume")
+	}
+	if err := tbl.Resume(99999); !errors.Is(err, ErrNoProcess) {
+		t.Fatalf("Resume(unknown) = %v, want ErrNoProcess", err)
+	}
+}
+
+func TestProcessesSnapshot(t *testing.T) {
+	tbl := NewTable()
+	tbl.Spawn("a")
+	tbl.Spawn("b")
+	procs := tbl.Processes()
+	if len(procs) != 2 {
+		t.Fatalf("len = %d, want 2", len(procs))
+	}
+	if procs[0].PID >= procs[1].PID {
+		t.Fatal("not sorted by PID")
+	}
+	// Snapshot is a copy: mutating it must not affect the table.
+	procs[0].Suspended = true
+	if tbl.Suspended(procs[0].PID) {
+		t.Fatal("snapshot mutation leaked into table")
+	}
+}
+
+func TestSuspendIdempotent(t *testing.T) {
+	tbl := NewTable()
+	pid := tbl.Spawn("x")
+	first := tbl.SuspendFamily(pid)
+	second := tbl.SuspendFamily(pid)
+	if len(first) != 1 || len(second) != 0 {
+		t.Fatalf("first=%v second=%v, want one then none", first, second)
+	}
+}

@@ -1,0 +1,102 @@
+package ransomware
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rc4"
+	"math/rand"
+)
+
+// CipherKind selects the encryption algorithm a family uses. The paper
+// notes many families implement their own algorithms, which is why
+// CryptoDrop never inspects crypto API calls — only the data. All kinds
+// here produce ciphertext indistinguishable from random data, as strong
+// (or keystream) encryption does.
+type CipherKind int
+
+// Supported cipher kinds.
+const (
+	// CipherAES is AES-128 in CTR mode.
+	CipherAES CipherKind = iota + 1
+	// CipherRC4 is the RC4 stream cipher (used by several older
+	// families).
+	CipherRC4
+	// CipherXOR is a long-keystream XOR, the Xorist approach.
+	CipherXOR
+)
+
+// String returns the cipher name.
+func (c CipherKind) String() string {
+	switch c {
+	case CipherAES:
+		return "aes-ctr"
+	case CipherRC4:
+		return "rc4"
+	case CipherXOR:
+		return "xor-keystream"
+	default:
+		return "unknown"
+	}
+}
+
+// encryptor encrypts byte slices with a per-sample key.
+type encryptor struct {
+	kind CipherKind
+	key  []byte
+	iv   []byte
+}
+
+// newEncryptor derives a deterministic per-sample key from seed.
+func newEncryptor(kind CipherKind, seed int64) *encryptor {
+	rng := rand.New(rand.NewSource(seed))
+	key := make([]byte, 16)
+	iv := make([]byte, 16)
+	rng.Read(key)
+	rng.Read(iv)
+	return &encryptor{kind: kind, key: key, iv: iv}
+}
+
+// encrypt returns the ciphertext of data. A fresh stream is keyed per file
+// so identical plaintexts in different files do not produce identical
+// ciphertexts.
+func (e *encryptor) encrypt(data []byte, fileNonce uint64) []byte {
+	out := make([]byte, len(data))
+	switch e.kind {
+	case CipherAES:
+		block, err := aes.NewCipher(e.key)
+		if err != nil {
+			// Key length is fixed at 16; this cannot happen.
+			copy(out, data)
+			return out
+		}
+		iv := make([]byte, aes.BlockSize)
+		copy(iv, e.iv)
+		for i := 0; i < 8; i++ {
+			iv[i] ^= byte(fileNonce >> (8 * i))
+		}
+		cipher.NewCTR(block, iv).XORKeyStream(out, data)
+	case CipherRC4:
+		key := make([]byte, len(e.key))
+		copy(key, e.key)
+		for i := 0; i < 8; i++ {
+			key[i] ^= byte(fileNonce >> (8 * i))
+		}
+		c, err := rc4.NewCipher(key)
+		if err != nil {
+			copy(out, data)
+			return out
+		}
+		c.XORKeyStream(out, data)
+	case CipherXOR:
+		// Long keystream XOR seeded per file: output is keystream-random.
+		rng := rand.New(rand.NewSource(int64(fileNonce) ^ int64(e.key[0])<<32 ^ int64(e.key[8])<<40))
+		ks := make([]byte, len(data))
+		rng.Read(ks)
+		for i := range data {
+			out[i] = data[i] ^ ks[i]
+		}
+	default:
+		copy(out, data)
+	}
+	return out
+}

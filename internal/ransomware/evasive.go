@@ -1,0 +1,136 @@
+package ransomware
+
+import (
+	"math/rand"
+)
+
+// EvasionKind identifies an indicator-evasion strategy from §III-F of the
+// paper. "Malware detection is an arms race": each strategy defeats one
+// indicator, but — as the paper argues and the evasion experiment verifies —
+// doing so skews the remaining indicators, because the three primaries cover
+// complementary aspects of a file transformation.
+type EvasionKind int
+
+// Evasion strategies.
+const (
+	// EvadeNone is the unmodified behaviour.
+	EvadeNone EvasionKind = iota
+	// EvadeEntropy pads ciphertext with low-entropy filler so the output
+	// entropy matches the input — defeating the entropy delta, but making
+	// the output even less similar to the original and still changing its
+	// type.
+	EvadeEntropy
+	// EvadeTypeChange preserves the original magic bytes at the start of
+	// the encrypted file so the type is unchanged — but the body is still
+	// dissimilar ciphertext with a high entropy delta.
+	EvadeTypeChange
+	// EvadeSimilarity keeps a large plaintext prefix of the original file
+	// intact (encrypting only the tail) so similarity digests still
+	// match — but then most of each file survives, which is visible in
+	// the other indicators only weakly AND leaves the data recoverable,
+	// defeating the ransom scheme itself.
+	EvadeSimilarity
+	// EvadeAll attempts all three at once: magic preserved, plaintext
+	// prefix kept, low-entropy padding appended. The result barely
+	// damages the data — the paper's "very difficult engineering
+	// trade-offs".
+	EvadeAll
+)
+
+// String returns the strategy name.
+func (k EvasionKind) String() string {
+	switch k {
+	case EvadeNone:
+		return "none"
+	case EvadeEntropy:
+		return "pad-low-entropy"
+	case EvadeTypeChange:
+		return "preserve-magic"
+	case EvadeSimilarity:
+		return "keep-plaintext-prefix"
+	case EvadeAll:
+		return "all-three"
+	default:
+		return "unknown"
+	}
+}
+
+// EvasionKinds lists every strategy including the baseline.
+func EvasionKinds() []EvasionKind {
+	return []EvasionKind{EvadeNone, EvadeEntropy, EvadeTypeChange, EvadeSimilarity, EvadeAll}
+}
+
+// EvasiveSample wraps a base sample with an evasion strategy applied to its
+// output transformation.
+func EvasiveSample(base Sample, kind EvasionKind) Sample {
+	s := base
+	s.ID = base.ID + "+" + kind.String()
+	s.Profile.Evasion = kind
+	return s
+}
+
+// applyEvasion post-processes ciphertext according to the strategy. plain is
+// the original content (needed for magic/prefix preservation).
+func applyEvasion(kind EvasionKind, plain, cipher []byte, rng *rand.Rand) []byte {
+	switch kind {
+	case EvadeEntropy:
+		return padLowEntropy(cipher, rng)
+	case EvadeTypeChange:
+		return preserveMagic(plain, cipher)
+	case EvadeSimilarity:
+		return keepPrefix(plain, cipher)
+	case EvadeAll:
+		out := keepPrefix(plain, cipher)
+		out = preserveMagic(plain, out)
+		return padLowEntropy(out, rng)
+	default:
+		return cipher
+	}
+}
+
+// padLowEntropy interleaves ciphertext with enough constant filler to pull
+// the byte entropy down toward plaintext levels (≈ 4.3 bits/byte needs
+// roughly equal parts filler).
+func padLowEntropy(cipher []byte, rng *rand.Rand) []byte {
+	out := make([]byte, 0, len(cipher)*2)
+	filler := []byte("AAAAAAAAAAAAAAAA")
+	for off := 0; off < len(cipher); off += 16 {
+		end := off + 16
+		if end > len(cipher) {
+			end = len(cipher)
+		}
+		out = append(out, cipher[off:end]...)
+		out = append(out, filler[:end-off]...)
+	}
+	return out
+}
+
+// preserveMagic copies the first 512 bytes of the original over the
+// ciphertext so magic-number identification still sees the original type.
+func preserveMagic(plain, cipher []byte) []byte {
+	out := make([]byte, len(cipher))
+	copy(out, cipher)
+	n := 512
+	if n > len(plain) {
+		n = len(plain)
+	}
+	if n > len(out) {
+		n = len(out)
+	}
+	copy(out, plain[:n])
+	return out
+}
+
+// keepPrefix leaves the first 70% of the original file as plaintext and
+// encrypts only the tail — enough shared content for similarity digests to
+// match, and enough surviving plaintext that the "attack" is mostly
+// harmless.
+func keepPrefix(plain, cipher []byte) []byte {
+	out := make([]byte, len(plain))
+	copy(out, plain)
+	cut := len(plain) * 7 / 10
+	for i := cut; i < len(plain) && i-cut < len(cipher); i++ {
+		out[i] = cipher[i-cut]
+	}
+	return out
+}

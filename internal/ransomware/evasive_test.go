@@ -1,0 +1,100 @@
+package ransomware
+
+import (
+	"bytes"
+	"testing"
+
+	"cryptodrop/internal/corpus"
+	"cryptodrop/internal/entropy"
+	"cryptodrop/internal/magic"
+	"cryptodrop/internal/sdhash"
+)
+
+func evasionFixtures(t *testing.T) (plain, cipher []byte) {
+	t.Helper()
+	plain = corpus.Generate("pdf", 5, 32<<10)
+	cipher = newEncryptor(CipherAES, 5).encrypt(plain, 1)
+	return plain, cipher
+}
+
+func TestPadLowEntropyDefeatsEntropyButNotSimilarity(t *testing.T) {
+	plain, cipher := evasionFixtures(t)
+	out := applyEvasion(EvadeEntropy, plain, cipher, newTestRand(1))
+	// Entropy pulled well below ciphertext levels…
+	if e := entropy.Shannon(out); e > 6.5 {
+		t.Fatalf("padded entropy %.2f, want < 6.5", e)
+	}
+	// …but the content is still completely dissimilar to the original.
+	dp, err := sdhash.Compute(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if do, err := sdhash.Compute(out); err == nil {
+		if score := dp.Compare(do); score > 10 {
+			t.Fatalf("padded output similarity %d, want near zero", score)
+		}
+	}
+	// And the type still changed (no PDF magic).
+	if magic.Identify(out).ID == "pdf" {
+		t.Fatal("padding preserved the type")
+	}
+}
+
+func TestPreserveMagicDefeatsTypeButNotEntropy(t *testing.T) {
+	plain, cipher := evasionFixtures(t)
+	out := applyEvasion(EvadeTypeChange, plain, cipher, newTestRand(2))
+	if magic.Identify(out).ID != "pdf" {
+		t.Fatalf("magic not preserved: %s", magic.Identify(out).ID)
+	}
+	// Body is still ciphertext: entropy stays near max.
+	if e := entropy.Shannon(out[512:]); e < 7.8 {
+		t.Fatalf("body entropy %.2f, want ciphertext-level", e)
+	}
+}
+
+func TestKeepPrefixDefeatsSimilarityButKeepsData(t *testing.T) {
+	plain, cipher := evasionFixtures(t)
+	out := applyEvasion(EvadeSimilarity, plain, cipher, newTestRand(3))
+	// 70% of the plaintext survives verbatim…
+	cut := len(plain) * 7 / 10
+	if !bytes.Equal(out[:cut], plain[:cut]) {
+		t.Fatal("prefix not preserved")
+	}
+	// …so similarity stays high (the indicator is defeated)…
+	score, err := sdhash.Similarity(plain, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score < 30 {
+		t.Fatalf("similarity %d, want high (prefix shared)", score)
+	}
+	// …and the "attack" barely denies the victim anything.
+	if magic.Identify(out).ID != "pdf" {
+		t.Fatal("prefix retention should also preserve the type")
+	}
+}
+
+func TestEvasiveSampleWiring(t *testing.T) {
+	base := Sample{ID: "base", Seed: 1, Profile: Profile{Family: "X", Class: ClassA}}
+	ev := EvasiveSample(base, EvadeAll)
+	if ev.Profile.Evasion != EvadeAll {
+		t.Fatal("evasion not set")
+	}
+	if ev.ID == base.ID {
+		t.Fatal("ID not differentiated")
+	}
+	if base.Profile.Evasion != EvadeNone {
+		t.Fatal("base sample mutated")
+	}
+}
+
+func TestEvasionKindStrings(t *testing.T) {
+	for _, k := range EvasionKinds() {
+		if k.String() == "unknown" {
+			t.Fatalf("kind %d has no name", int(k))
+		}
+	}
+	if EvasionKind(99).String() != "unknown" {
+		t.Fatal("unknown kind misnamed")
+	}
+}

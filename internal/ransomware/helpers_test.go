@@ -1,0 +1,15 @@
+package ransomware
+
+import (
+	"crypto/sha256"
+	"math/rand"
+)
+
+// newTestRand returns a deterministic rng for tests.
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// sumSHA256 hashes b.
+func sumSHA256(b []byte) []byte {
+	s := sha256.Sum256(b)
+	return s[:]
+}

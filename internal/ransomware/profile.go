@@ -1,0 +1,315 @@
+// Package ransomware simulates the 492 encrypting-ransomware samples across
+// 14 families that the paper evaluates (§V, Table I). Each family reproduces
+// its documented data-centric behaviour — the only thing CryptoDrop can see:
+//
+//   - its class (§III): A overwrites files in place; B moves files out of
+//     the documents tree, encrypts them there, and moves them back; C writes
+//     new files and disposes of the originals by delete or rename;
+//   - its traversal order (§V-C, Fig. 4): TeslaCrypt walks depth-first,
+//     CTB-Locker attacks .txt/.md in ascending size order across the whole
+//     tree, GPcode sweeps top-down from the root;
+//   - its encryption (real AES-CTR / RC4 / keystream-XOR on the real file
+//     bytes), ransom-note drops, extension renames and quirks (the 2008
+//     GPcode sample cannot delete read-only files).
+//
+// Per-sample seeds vary chunk sizes, note text and tie-breaking so all 492
+// samples are distinct, the way VirusTotal variants within a family are.
+package ransomware
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Class is the paper's §III behavioural taxonomy.
+type Class int
+
+// Ransomware classes.
+const (
+	// ClassA overwrites the original file in place.
+	ClassA Class = iota + 1
+	// ClassB moves the file out of the documents tree, rewrites it there
+	// and moves it back (possibly under a new name).
+	ClassB
+	// ClassC creates a new file with the encrypted content and disposes
+	// of the original via delete or overwriting move.
+	ClassC
+)
+
+// String returns "A", "B" or "C".
+func (c Class) String() string {
+	switch c {
+	case ClassA:
+		return "A"
+	case ClassB:
+		return "B"
+	case ClassC:
+		return "C"
+	default:
+		return "?"
+	}
+}
+
+// Traversal selects the order a sample attacks files in.
+type Traversal int
+
+// Traversal orders observed in §V-C.
+const (
+	// TraverseDFS walks depth-first and attacks the deepest directories
+	// first (TeslaCrypt, Fig. 4a).
+	TraverseDFS Traversal = iota + 1
+	// TraverseSizeAscending attacks files smallest-first across the whole
+	// tree (CTB-Locker, Fig. 4b).
+	TraverseSizeAscending
+	// TraverseTopDown sweeps breadth-first from the root (GPcode,
+	// Fig. 4c).
+	TraverseTopDown
+	// TraverseShuffled visits directories in a pseudo-random order.
+	TraverseShuffled
+)
+
+// String returns the traversal name.
+func (t Traversal) String() string {
+	switch t {
+	case TraverseDFS:
+		return "depth-first"
+	case TraverseSizeAscending:
+		return "size-ascending"
+	case TraverseTopDown:
+		return "top-down"
+	case TraverseShuffled:
+		return "shuffled"
+	default:
+		return "unknown"
+	}
+}
+
+// productivityExts are the formats ransomware attacks first (Fig. 5).
+var productivityExts = []string{
+	"pdf", "odt", "docx", "pptx", "xlsx", "doc", "rtf", "txt", "csv",
+	"xml", "html", "md", "json", "log", "jpg", "png", "gif", "zip",
+	"mp3", "wav",
+}
+
+// Profile is a family's behavioural definition.
+type Profile struct {
+	// Family is the anti-virus family name (Table I).
+	Family string
+	// Class is the §III class.
+	Class Class
+	// Traversal is the attack order.
+	Traversal Traversal
+	// Extensions restricts the attack to these extensions; nil attacks
+	// the full productivity list.
+	Extensions []string
+	// Cipher selects the encryption algorithm.
+	Cipher CipherKind
+	// RenameExt, when non-empty, is appended to encrypted file names.
+	RenameExt string
+	// DropNote writes a ransom note into each directory visited.
+	DropNote bool
+	// MoveOverOriginal (Class C): dispose of the original by renaming the
+	// new file over it, linking old and new content (41 of 63 Class C
+	// samples); otherwise the original is deleted.
+	MoveOverOriginal bool
+	// CannotHandleReadOnly (the 2008 GPcode quirk): the sample does not
+	// work around failures on read-only files.
+	CannotHandleReadOnly bool
+	// BrokenDelete (Class C): the sample's disposal logic is defective —
+	// it attempts deletion against the wrong path and never removes an
+	// original. The paper observed two such samples, detected with zero
+	// files lost (§V-B footnote, §V-C).
+	BrokenDelete bool
+	// PrependStub (Virlock): the new file is an executable stub carrying
+	// the encrypted payload.
+	PrependStub bool
+	// DeleteShadowCopies makes the sample wipe all volume shadow copies
+	// before attacking (TeslaCrypt disables and removes them, §III). The
+	// engine deliberately ignores these operations: they do not directly
+	// alter user data.
+	DeleteShadowCopies bool
+	// Evasion applies an §III-F indicator-evasion strategy to the
+	// sample's output (see EvasiveSample).
+	Evasion EvasionKind
+	// SkipFirstDirectory delays encryption until the second directory
+	// visited, writing only the ransom note in the first (TeslaCrypt,
+	// §V-C).
+	SkipFirstDirectory bool
+	// TempDir is where Class B samples park files (outside the protected
+	// tree).
+	TempDir string
+	// ChunkKB bounds the read/write chunk size in KiB; the per-sample rng
+	// jitters within it.
+	ChunkKB int
+}
+
+// familySpec maps Table I rows onto behaviour profiles and sample counts.
+type familySpec struct {
+	profile Profile
+	countA  int
+	countB  int
+	countC  int
+}
+
+// tableI reproduces the family/class breakdown of Table I exactly:
+// 282 Class A, 147 Class B and 63 Class C samples — 492 in total.
+func tableI() []familySpec {
+	return []familySpec{
+		{
+			profile: Profile{Family: "CryptoDefense", Traversal: TraverseShuffled, Cipher: CipherAES,
+				RenameExt: "", DropNote: true, MoveOverOriginal: true},
+			countC: 18,
+		},
+		{
+			profile: Profile{Family: "CryptoFortress", Traversal: TraverseShuffled, Cipher: CipherAES,
+				RenameExt: ".frtrss", DropNote: true},
+			countA: 2,
+		},
+		{
+			profile: Profile{Family: "CryptoLocker", Traversal: TraverseShuffled, Cipher: CipherAES,
+				RenameExt: ".encrypted", DropNote: true, MoveOverOriginal: true},
+			countA: 13, countB: 16, countC: 2,
+		},
+		{
+			profile: Profile{Family: "CryptoLocker (copycat)", Traversal: TraverseShuffled, Cipher: CipherRC4,
+				RenameExt: ".clf", DropNote: true},
+			countB: 1, countC: 1,
+		},
+		{
+			profile: Profile{Family: "CryptoTorLocker2015", Traversal: TraverseShuffled, Cipher: CipherAES,
+				RenameExt: ".CryptoTorLocker2015!", DropNote: true},
+			countA: 1,
+		},
+		{
+			profile: Profile{Family: "CryptoWall", Traversal: TraverseTopDown, Cipher: CipherAES,
+				DropNote: true, MoveOverOriginal: true, DeleteShadowCopies: true},
+			countA: 2, countC: 6,
+		},
+		{
+			profile: Profile{Family: "CTB-Locker", Traversal: TraverseSizeAscending, Cipher: CipherAES,
+				Extensions: []string{"txt", "md"}, RenameExt: ".ctbl", DropNote: true},
+			countA: 1, countB: 120, countC: 1,
+		},
+		{
+			profile: Profile{Family: "Filecoder", Traversal: TraverseShuffled, Cipher: CipherAES,
+				RenameExt: ".crypted", DropNote: true, MoveOverOriginal: true},
+			countA: 51, countB: 9, countC: 12,
+		},
+		{
+			profile: Profile{Family: "GPcode", Traversal: TraverseTopDown, Cipher: CipherRC4,
+				RenameExt: ".PWNED", DropNote: true, CannotHandleReadOnly: true},
+			countA: 12, countC: 1,
+		},
+		{
+			profile: Profile{Family: "MBL Advisory", Traversal: TraverseShuffled, Cipher: CipherRC4,
+				DropNote: true, MoveOverOriginal: true},
+			countC: 1,
+		},
+		{
+			profile: Profile{Family: "PoshCoder", Traversal: TraverseShuffled, Cipher: CipherAES,
+				RenameExt: ".poshcoder", DropNote: true},
+			countA: 1,
+		},
+		{
+			profile: Profile{Family: "Ransom-FUE", Traversal: TraverseShuffled, Cipher: CipherAES,
+				RenameExt: ".fue", DropNote: true},
+			countB: 1,
+		},
+		{
+			profile: Profile{Family: "TeslaCrypt", Traversal: TraverseDFS, Cipher: CipherAES,
+				RenameExt: ".ecc", DropNote: true, SkipFirstDirectory: true, MoveOverOriginal: true,
+				DeleteShadowCopies: true},
+			countA: 148, countC: 1,
+		},
+		{
+			profile: Profile{Family: "Virlock", Traversal: TraverseShuffled, Cipher: CipherXOR,
+				RenameExt: ".exe", DropNote: false, MoveOverOriginal: true, PrependStub: true},
+			countC: 20,
+		},
+		{
+			profile: Profile{Family: "Xorist", Traversal: TraverseShuffled, Cipher: CipherXOR,
+				RenameExt: ".EnCiPhErEd", DropNote: true},
+			countA: 51,
+		},
+	}
+}
+
+// FamilyNames returns the 14 family names in Table I order ("Ransom-FUE"
+// included; the paper excludes it from family counts as generically
+// labelled).
+func FamilyNames() []string {
+	specs := tableI()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.profile.Family
+	}
+	return names
+}
+
+// Sample is one concrete ransomware specimen: a family profile plus a
+// per-sample seed that jitters its low-level behaviour.
+type Sample struct {
+	// ID is a stable specimen identifier, e.g. "TeslaCrypt-A-017".
+	ID string
+	// Profile is the family behaviour.
+	Profile Profile
+	// Seed drives the sample's private randomness.
+	Seed int64
+}
+
+// Roster generates the full 492-sample evaluation set of Table I,
+// deterministically from seed.
+func Roster(seed int64) []Sample {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Sample
+	for _, spec := range tableI() {
+		for _, cc := range []struct {
+			class Class
+			count int
+		}{{ClassA, spec.countA}, {ClassB, spec.countB}, {ClassC, spec.countC}} {
+			class, count := cc.class, cc.count
+			for i := 0; i < count; i++ {
+				p := spec.profile
+				p.Class = class
+				p.TempDir = "/Windows/Temp"
+				p.ChunkKB = 8 + rng.Intn(56)
+				if class != ClassC {
+					p.MoveOverOriginal = false
+				}
+				out = append(out, Sample{
+					ID:      fmt.Sprintf("%s-%s-%03d", p.Family, class, i),
+					Profile: p,
+					Seed:    rng.Int63(),
+				})
+			}
+		}
+	}
+	// Some Class C specimens delete originals instead of moving over them,
+	// evading the union linking: the paper observed 41 of 63 Class C
+	// samples moving over the original and 22 deleting it. Three profiles
+	// are delete-based already; flip 19 more deterministically.
+	flipped := 0
+	for i := range out {
+		if out[i].Profile.Class == ClassC && out[i].Profile.MoveOverOriginal && flipped < 19 &&
+			(out[i].Profile.Family == "CryptoDefense" || out[i].Profile.Family == "Virlock") {
+			out[i].Profile.MoveOverOriginal = false
+			flipped++
+		}
+	}
+	// Two Class C samples have defective disposal logic and never remove
+	// an original ("created new files but did not successfully remove the
+	// original files", §V-B footnote): the ancient GPcode specimen and one
+	// CryptoDefense variant.
+	brokenDone := map[string]bool{"GPcode": false, "CryptoDefense": false}
+	for i := range out {
+		if out[i].Profile.Class != ClassC {
+			continue
+		}
+		if done, tracked := brokenDone[out[i].Profile.Family]; tracked && !done {
+			brokenDone[out[i].Profile.Family] = true
+			out[i].Profile.BrokenDelete = true
+			out[i].Profile.MoveOverOriginal = false
+		}
+	}
+	return out
+}

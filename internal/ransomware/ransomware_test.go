@@ -1,0 +1,396 @@
+package ransomware
+
+import (
+	"strings"
+	"testing"
+
+	"cryptodrop/internal/corpus"
+	"cryptodrop/internal/entropy"
+	"cryptodrop/internal/vfs"
+)
+
+func TestRosterMatchesTableI(t *testing.T) {
+	roster := Roster(1)
+	if len(roster) != 492 {
+		t.Fatalf("roster size = %d, want 492", len(roster))
+	}
+	classCounts := map[Class]int{}
+	familyCounts := map[string]int{}
+	for _, s := range roster {
+		classCounts[s.Profile.Class]++
+		familyCounts[s.Profile.Family]++
+	}
+	if classCounts[ClassA] != 282 || classCounts[ClassB] != 147 || classCounts[ClassC] != 63 {
+		t.Fatalf("class counts = %v, want A=282 B=147 C=63", classCounts)
+	}
+	wantFamilies := map[string]int{
+		"CryptoDefense": 18, "CryptoFortress": 2, "CryptoLocker": 31,
+		"CryptoLocker (copycat)": 2, "CryptoTorLocker2015": 1, "CryptoWall": 8,
+		"CTB-Locker": 122, "Filecoder": 72, "GPcode": 13, "MBL Advisory": 1,
+		"PoshCoder": 1, "Ransom-FUE": 1, "TeslaCrypt": 149, "Virlock": 20,
+		"Xorist": 51,
+	}
+	for fam, want := range wantFamilies {
+		if familyCounts[fam] != want {
+			t.Errorf("family %s: %d samples, want %d", fam, familyCounts[fam], want)
+		}
+	}
+	if len(FamilyNames()) != 15 { // 14 families + generically-labelled Ransom-FUE
+		t.Fatalf("FamilyNames = %d entries", len(FamilyNames()))
+	}
+}
+
+func TestRosterClassCDisposalSplit(t *testing.T) {
+	// 41 of 63 Class C samples move the new file over the original; 22
+	// delete it (§V-B2).
+	moveOver, deletes := 0, 0
+	for _, s := range Roster(1) {
+		if s.Profile.Class != ClassC {
+			continue
+		}
+		if s.Profile.MoveOverOriginal {
+			moveOver++
+		} else {
+			deletes++
+		}
+	}
+	if moveOver != 41 || deletes != 22 {
+		t.Fatalf("Class C disposal split = %d move-over / %d delete, want 41/22", moveOver, deletes)
+	}
+}
+
+func TestRosterDeterministic(t *testing.T) {
+	a, b := Roster(5), Roster(5)
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Seed != b[i].Seed {
+			t.Fatalf("roster not deterministic at %d", i)
+		}
+	}
+	c := Roster(6)
+	if a[0].Seed == c[0].Seed {
+		t.Fatal("different roster seeds produced identical sample seeds")
+	}
+}
+
+// buildVictim creates a small corpus.
+func buildVictim(t *testing.T) (*vfs.FS, *corpus.Manifest) {
+	t.Helper()
+	fs := vfs.New()
+	m, err := corpus.Build(fs, corpus.Spec{Seed: 3, Files: 120, Dirs: 15, SizeScale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, m
+}
+
+// countModified compares the manifest hashes against the filesystem.
+func countModified(t *testing.T, fs *vfs.FS, m *corpus.Manifest) (lost int) {
+	t.Helper()
+	for _, e := range m.Entries {
+		content, err := fs.ReadFileRaw(e.Path)
+		if err != nil {
+			lost++ // deleted or renamed away
+			continue
+		}
+		sum := sha256Of(content)
+		if sum != e.SHA256 {
+			lost++
+		}
+	}
+	return lost
+}
+
+func sha256Of(b []byte) [32]byte {
+	var s [32]byte
+	copy(s[:], sumSHA256(b))
+	return s
+}
+
+func TestClassAEncryptsEverything(t *testing.T) {
+	fs, m := buildVictim(t)
+	s := Sample{ID: "test-A", Seed: 9, Profile: Profile{
+		Family: "TestFam", Class: ClassA, Traversal: TraverseShuffled,
+		Cipher: CipherAES, ChunkKB: 16,
+	}}
+	res, err := s.Run(fs, 100, m.Root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Suspended {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	lost := countModified(t, fs, m)
+	// All non-read-only targeted files should be encrypted.
+	if lost < len(m.Entries)*3/4 {
+		t.Fatalf("only %d of %d files modified by unimpeded Class A", lost, len(m.Entries))
+	}
+	// Encrypted content must be high-entropy (checked on files large
+	// enough for byte entropy to saturate).
+	var checked bool
+	for _, e := range m.Entries {
+		if e.ReadOnly || e.Size < 8192 {
+			continue
+		}
+		content, err := fs.ReadFileRaw(e.Path)
+		if err != nil {
+			continue
+		}
+		if ent := entropy.Shannon(content); ent < 7.5 {
+			t.Fatalf("%s entropy %.2f after encryption, want ≥ 7.5", e.Path, ent)
+		}
+		checked = true
+		break
+	}
+	if !checked {
+		t.Fatal("no encrypted file verified")
+	}
+}
+
+func TestClassBMovesThroughTemp(t *testing.T) {
+	fs, m := buildVictim(t)
+	s := Sample{ID: "test-B", Seed: 10, Profile: Profile{
+		Family: "TestFam", Class: ClassB, Traversal: TraverseShuffled,
+		Cipher: CipherAES, RenameExt: ".locked", TempDir: "/Windows/Temp", ChunkKB: 16,
+	}}
+	res, err := s.Run(fs, 100, m.Root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FilesAttacked == 0 {
+		t.Fatal("no files attacked")
+	}
+	// Originals replaced by .locked files.
+	locked := 0
+	err = fs.Walk(m.Root, func(info vfs.FileInfo) error {
+		if strings.HasSuffix(info.Path, ".locked") {
+			locked++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if locked != res.FilesAttacked {
+		t.Fatalf("%d .locked files, want %d", locked, res.FilesAttacked)
+	}
+	// Temp dir must be empty again (files moved back).
+	infos, err := fs.List("/Windows/Temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 0 {
+		t.Fatalf("%d files left in temp", len(infos))
+	}
+}
+
+func TestClassCDeleteLeavesEncryptedCopies(t *testing.T) {
+	fs, m := buildVictim(t)
+	s := Sample{ID: "test-C", Seed: 11, Profile: Profile{
+		Family: "TestFam", Class: ClassC, Traversal: TraverseTopDown,
+		Cipher: CipherRC4, RenameExt: ".enc", ChunkKB: 16,
+	}}
+	res, err := s.Run(fs, 100, m.Root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FilesAttacked == 0 {
+		t.Fatal("no files attacked")
+	}
+	encCount := 0
+	err = fs.Walk(m.Root, func(info vfs.FileInfo) error {
+		if strings.HasSuffix(info.Path, ".enc") {
+			encCount++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if encCount != res.FilesAttacked {
+		t.Fatalf("%d .enc files, want %d", encCount, res.FilesAttacked)
+	}
+}
+
+func TestReadOnlyQuirk(t *testing.T) {
+	// A CannotHandleReadOnly sample must fail to dispose of read-only
+	// originals; a normal sample clears the attribute and succeeds.
+	run := func(quirk bool) (remaining int) {
+		fs := vfs.New()
+		m, err := corpus.Build(fs, corpus.Spec{Seed: 4, Files: 60, Dirs: 8, SizeScale: 0.2, ReadOnlyFraction: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := Sample{ID: "test-ro", Seed: 12, Profile: Profile{
+			Family: "GPcodeish", Class: ClassC, Traversal: TraverseTopDown,
+			Cipher: CipherRC4, RenameExt: ".pwn", CannotHandleReadOnly: quirk, ChunkKB: 16,
+		}}
+		if _, err := s.Run(fs, 100, m.Root, nil); err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range m.Entries {
+			if !e.ReadOnly {
+				continue
+			}
+			if content, err := fs.ReadFileRaw(e.Path); err == nil {
+				if sha256Of(content) == e.SHA256 {
+					remaining++
+				}
+			}
+		}
+		return remaining
+	}
+	if got := run(true); got == 0 {
+		t.Fatal("quirky sample disposed of read-only originals")
+	}
+	if got := run(false); got != 0 {
+		t.Fatalf("normal sample left %d read-only originals", got)
+	}
+}
+
+func TestStopHaltsSample(t *testing.T) {
+	fs, m := buildVictim(t)
+	s := Sample{ID: "test-stop", Seed: 13, Profile: Profile{
+		Family: "TestFam", Class: ClassA, Traversal: TraverseShuffled,
+		Cipher: CipherAES, ChunkKB: 16,
+	}}
+	calls := 0
+	res, err := s.Run(fs, 100, m.Root, func() bool {
+		calls++
+		return calls > 10
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Suspended || res.Completed {
+		t.Fatalf("result = %+v, want suspended", res)
+	}
+	if res.FilesAttacked > 12 {
+		t.Fatalf("attacked %d files after stop", res.FilesAttacked)
+	}
+}
+
+func TestCTBLockerOrdering(t *testing.T) {
+	fs, m := buildVictim(t)
+	s := Sample{ID: "ctb", Seed: 14, Profile: Profile{
+		Family: "CTB-Locker", Class: ClassA, Traversal: TraverseSizeAscending,
+		Extensions: []string{"txt", "md"}, Cipher: CipherAES, ChunkKB: 16,
+	}}
+	rngTargets, err := s.collectTargets(fs, m.Root, newTestRand(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rngTargets) == 0 {
+		t.Fatal("no txt/md targets found")
+	}
+	for i := 1; i < len(rngTargets); i++ {
+		if rngTargets[i].size < rngTargets[i-1].size {
+			t.Fatalf("targets not size-ascending at %d", i)
+		}
+	}
+	for _, tgt := range rngTargets {
+		if !strings.HasSuffix(tgt.path, ".txt") && !strings.HasSuffix(tgt.path, ".md") {
+			t.Fatalf("non-txt/md target %s", tgt.path)
+		}
+	}
+}
+
+func TestTeslaCryptSkipsFirstDirectory(t *testing.T) {
+	fs, m := buildVictim(t)
+	s := Sample{ID: "tesla", Seed: 15, Profile: Profile{
+		Family: "TeslaCrypt", Class: ClassA, Traversal: TraverseDFS,
+		Cipher: CipherAES, RenameExt: ".ecc", DropNote: true,
+		SkipFirstDirectory: true, ChunkKB: 16,
+	}}
+	res, err := s.Run(fs, 100, m.Root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NotesDropped == 0 {
+		t.Fatal("no notes dropped")
+	}
+	if res.FilesAttacked == 0 {
+		t.Fatal("no files attacked")
+	}
+}
+
+func TestVirlockPrependsStub(t *testing.T) {
+	fs, m := buildVictim(t)
+	s := Sample{ID: "virlock", Seed: 16, Profile: Profile{
+		Family: "Virlock", Class: ClassC, Traversal: TraverseShuffled,
+		Cipher: CipherXOR, RenameExt: ".exe", MoveOverOriginal: true,
+		PrependStub: true, ChunkKB: 16,
+	}}
+	if _, err := s.Run(fs, 100, m.Root, nil); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	err := fs.Walk(m.Root, func(info vfs.FileInfo) error {
+		if info.IsDir || found {
+			return nil
+		}
+		content, err := fs.ReadFileRaw(info.Path)
+		if err != nil || len(content) < 2 {
+			return nil
+		}
+		if content[0] == 'M' && content[1] == 'Z' {
+			found = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("no MZ-stubbed file found after Virlock run")
+	}
+}
+
+func TestCipherKinds(t *testing.T) {
+	plain := []byte(strings.Repeat("the secret business plan ", 200))
+	for _, kind := range []CipherKind{CipherAES, CipherRC4, CipherXOR} {
+		enc := newEncryptor(kind, 42).encrypt(plain, 7)
+		if len(enc) != len(plain) {
+			t.Fatalf("%v: length changed", kind)
+		}
+		if ent := entropy.Shannon(enc); ent < 7.0 {
+			t.Fatalf("%v ciphertext entropy %.2f, want ≥ 7.0", kind, ent)
+		}
+		// Deterministic for the same seed and nonce.
+		enc2 := newEncryptor(kind, 42).encrypt(plain, 7)
+		if string(enc) != string(enc2) {
+			t.Fatalf("%v not deterministic", kind)
+		}
+		// Different nonce → different ciphertext.
+		enc3 := newEncryptor(kind, 42).encrypt(plain, 8)
+		if string(enc) == string(enc3) {
+			t.Fatalf("%v ignores the file nonce", kind)
+		}
+	}
+}
+
+func TestNoteIsLowEntropy(t *testing.T) {
+	s := Sample{ID: "n", Seed: 17, Profile: Profile{Family: "TeslaCrypt"}}
+	note := s.noteText(newTestRand(17))
+	if ent := entropy.Shannon(note); ent > 5.5 {
+		t.Fatalf("ransom note entropy %.2f, want low", ent)
+	}
+	if !strings.Contains(string(note), "BTC") {
+		t.Fatal("note does not demand payment")
+	}
+}
+
+func TestShadowCopyWipe(t *testing.T) {
+	fs, m := buildVictim(t)
+	fs.CreateShadowCopy("backup-1")
+	fs.CreateShadowCopy("backup-2")
+	s := Sample{ID: "tesla-vss", Seed: 21, Profile: Profile{
+		Family: "TeslaCrypt", Class: ClassA, Traversal: TraverseDFS,
+		Cipher: CipherAES, DeleteShadowCopies: true, ChunkKB: 16,
+	}}
+	if _, err := s.Run(fs, 100, m.Root, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.ShadowCopies(); len(got) != 0 {
+		t.Fatalf("shadow copies survive: %v", got)
+	}
+}

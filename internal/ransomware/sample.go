@@ -1,0 +1,482 @@
+package ransomware
+
+import (
+	"fmt"
+	"math/rand"
+	"path"
+	"sort"
+	"strings"
+
+	"cryptodrop/internal/vfs"
+)
+
+// RunResult summarises one sample execution.
+type RunResult struct {
+	// FilesAttacked counts files on which the sample completed its
+	// transformation before stopping.
+	FilesAttacked int
+	// NotesDropped counts ransom notes written.
+	NotesDropped int
+	// OpErrors counts filesystem operations that failed (vetoes,
+	// read-only files).
+	OpErrors int
+	// Suspended reports the sample was stopped by the monitor.
+	Suspended bool
+	// Completed reports the sample ran out of targets.
+	Completed bool
+}
+
+// target is one file the sample plans to attack.
+type target struct {
+	path  string
+	size  int64
+	depth int
+}
+
+// Run executes the sample as process pid against the documents tree rooted
+// at root. stop, if non-nil, is polled between operations; when it returns
+// true (the monitor suspended the process) the run ends with
+// Suspended=true. Run only returns an error for harness-level failures —
+// in-attack op failures are counted, as real malware shrugs them off.
+func (s *Sample) Run(fsys *vfs.FS, pid int, root string, stop func() bool) (RunResult, error) {
+	return s.run(fsys, func(int) int { return pid }, root, stop)
+}
+
+// RunAsFamily executes the sample's attack spread across a family of worker
+// processes, rotating per file — the score-dilution evasion a per-process
+// scoreboard is vulnerable to and family scoring defeats. stop is polled
+// with each worker's PID in turn.
+func (s *Sample) RunAsFamily(fsys *vfs.FS, pids []int, root string, stop func(pid int) bool) (RunResult, error) {
+	if len(pids) == 0 {
+		return RunResult{}, fmt.Errorf("sample %s: no worker pids", s.ID)
+	}
+	var wrapped func() bool
+	if stop != nil {
+		wrapped = func() bool {
+			for _, pid := range pids {
+				if stop(pid) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	return s.run(fsys, func(i int) int { return pids[i%len(pids)] }, root, wrapped)
+}
+
+// run is the shared attack loop; pidFor selects the acting process for the
+// i-th file.
+func (s *Sample) run(fsys *vfs.FS, pidFor func(i int) int, root string, stop func() bool) (RunResult, error) {
+	var res RunResult
+	rng := rand.New(rand.NewSource(s.Seed))
+	if stop == nil {
+		stop = func() bool { return false }
+	}
+	if s.Profile.Class == ClassB {
+		if err := fsys.MkdirAll(s.Profile.TempDir); err != nil {
+			return res, fmt.Errorf("sample %s: temp dir: %w", s.ID, err)
+		}
+	}
+	if s.Profile.DeleteShadowCopies {
+		// vssadmin delete shadows /all — frustrate recovery before the
+		// attack. These volume-level operations do not touch user data
+		// and are invisible to the detector.
+		for _, name := range fsys.ShadowCopies() {
+			if err := fsys.DeleteShadowCopy(name); err != nil {
+				res.OpErrors++
+			}
+		}
+	}
+	targets, err := s.collectTargets(fsys, root, rng)
+	if err != nil {
+		return res, fmt.Errorf("sample %s: enumerate: %w", s.ID, err)
+	}
+	note := s.noteText(rng)
+	notedDirs := make(map[string]bool)
+	firstDir := ""
+	for i, tgt := range targets {
+		pid := pidFor(i)
+		if stop() {
+			res.Suspended = true
+			return res, nil
+		}
+		dir := path.Dir(tgt.path)
+		if s.Profile.DropNote && !notedDirs[dir] {
+			notedDirs[dir] = true
+			notePath := path.Join(dir, s.noteName())
+			if err := fsys.WriteFile(pid, notePath, note); err != nil {
+				res.OpErrors++
+			} else {
+				res.NotesDropped++
+			}
+			if stop() {
+				res.Suspended = true
+				return res, nil
+			}
+		}
+		if s.Profile.SkipFirstDirectory {
+			if firstDir == "" {
+				firstDir = dir
+			}
+			if dir == firstDir && i < len(targets)-1 {
+				continue
+			}
+		}
+		ok := s.attack(fsys, pid, tgt, rng, &res)
+		if ok {
+			res.FilesAttacked++
+		}
+		if stop() {
+			res.Suspended = true
+			return res, nil
+		}
+	}
+	res.Completed = true
+	return res, nil
+}
+
+// collectTargets enumerates and orders the files the sample will attack.
+func (s *Sample) collectTargets(fsys *vfs.FS, root string, rng *rand.Rand) ([]target, error) {
+	exts := s.Profile.Extensions
+	if len(exts) == 0 {
+		exts = productivityExts
+	}
+	wanted := make(map[string]bool, len(exts))
+	for _, e := range exts {
+		wanted[e] = true
+	}
+	var targets []target
+	var walk func(dir string, depth int) error
+	walk = func(dir string, depth int) error {
+		infos, err := fsys.List(dir)
+		if err != nil {
+			return err
+		}
+		// Depth-first families descend before touching files.
+		if s.Profile.Traversal == TraverseDFS {
+			for _, info := range infos {
+				if info.IsDir {
+					if err := walk(info.Path, depth+1); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		for _, info := range infos {
+			if info.IsDir {
+				continue
+			}
+			ext := strings.ToLower(strings.TrimPrefix(path.Ext(info.Path), "."))
+			if !wanted[ext] {
+				continue
+			}
+			targets = append(targets, target{path: info.Path, size: info.Size, depth: depth})
+		}
+		if s.Profile.Traversal != TraverseDFS {
+			for _, info := range infos {
+				if info.IsDir {
+					if err := walk(info.Path, depth+1); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(root, 0); err != nil {
+		return nil, err
+	}
+	switch s.Profile.Traversal {
+	case TraverseDFS:
+		// Walk order already visits deepest directories first.
+	case TraverseSizeAscending:
+		sort.Slice(targets, func(i, j int) bool {
+			if targets[i].size != targets[j].size {
+				return targets[i].size < targets[j].size
+			}
+			return targets[i].path < targets[j].path
+		})
+	case TraverseTopDown:
+		sort.SliceStable(targets, func(i, j int) bool { return targets[i].depth < targets[j].depth })
+	case TraverseShuffled:
+		// Shuffle directory visit order but keep files grouped per
+		// directory, like malware iterating a shuffled directory list.
+		byDir := make(map[string][]target)
+		var dirs []string
+		for _, t := range targets {
+			d := path.Dir(t.path)
+			if _, ok := byDir[d]; !ok {
+				dirs = append(dirs, d)
+			}
+			byDir[d] = append(byDir[d], t)
+		}
+		rng.Shuffle(len(dirs), func(i, j int) { dirs[i], dirs[j] = dirs[j], dirs[i] })
+		targets = targets[:0]
+		for _, d := range dirs {
+			targets = append(targets, byDir[d]...)
+		}
+	}
+	return targets, nil
+}
+
+// attack transforms one file per the sample's class. It reports whether the
+// transformation completed.
+func (s *Sample) attack(fsys *vfs.FS, pid int, tgt target, rng *rand.Rand, res *RunResult) bool {
+	switch s.Profile.Class {
+	case ClassA:
+		return s.attackInPlace(fsys, pid, tgt, rng, res)
+	case ClassB:
+		return s.attackMoveOut(fsys, pid, tgt, rng, res)
+	case ClassC:
+		return s.attackNewFile(fsys, pid, tgt, rng, res)
+	default:
+		return false
+	}
+}
+
+// chunkSize returns a jittered IO chunk size for this sample.
+func (s *Sample) chunkSize(rng *rand.Rand) int {
+	kb := s.Profile.ChunkKB
+	if kb <= 0 {
+		kb = 32
+	}
+	return (kb/2 + rng.Intn(kb/2+1) + 1) * 1024
+}
+
+// readChunks reads the whole file through the handle in chunks, producing
+// the multi-operation read stream real malware generates.
+func readChunks(h *vfs.Handle, chunk int) ([]byte, error) {
+	var content []byte
+	buf := make([]byte, chunk)
+	for {
+		n, err := h.Read(buf)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return content, nil
+		}
+		content = append(content, buf[:n]...)
+	}
+}
+
+// writeChunks writes data through the handle in chunks.
+func writeChunks(h *vfs.Handle, data []byte, chunk int) error {
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := h.Write(data[off:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// attackInPlace is Class A: read, overwrite in place, close, optional
+// rename.
+func (s *Sample) attackInPlace(fsys *vfs.FS, pid int, tgt target, rng *rand.Rand, res *RunResult) bool {
+	h, err := fsys.Open(pid, tgt.path, vfs.ReadWrite)
+	if err != nil {
+		res.OpErrors++
+		return false
+	}
+	chunk := s.chunkSize(rng)
+	content, err := readChunks(h, chunk)
+	if err != nil {
+		res.OpErrors++
+		_ = h.Close()
+		return false
+	}
+	enc := s.encryptorFor().encrypt(content, uint64(tgt.size)^uint64(len(tgt.path))<<17)
+	enc = applyEvasion(s.Profile.Evasion, content, enc, rng)
+	h.SeekTo(0)
+	if err := writeChunks(h, enc, chunk); err != nil {
+		res.OpErrors++
+		_ = h.Close()
+		return false
+	}
+	if err := h.Close(); err != nil {
+		res.OpErrors++
+		return false
+	}
+	if s.Profile.RenameExt != "" {
+		if err := fsys.Rename(pid, tgt.path, tgt.path+s.Profile.RenameExt); err != nil {
+			res.OpErrors++
+		}
+	}
+	return true
+}
+
+// attackMoveOut is Class B: move to the temp directory, rewrite there
+// (unmonitored), move back under a new name.
+func (s *Sample) attackMoveOut(fsys *vfs.FS, pid int, tgt target, rng *rand.Rand, res *RunResult) bool {
+	tmp := path.Join(s.Profile.TempDir, fmt.Sprintf("~wrk%04d.tmp", rng.Intn(10000)))
+	if err := fsys.Rename(pid, tgt.path, tmp); err != nil {
+		res.OpErrors++
+		return false
+	}
+	h, err := fsys.Open(pid, tmp, vfs.ReadWrite)
+	if err != nil {
+		// Typically a read-only attribute: clear it and retry, else put
+		// the file back where it was.
+		res.OpErrors++
+		if s.Profile.CannotHandleReadOnly || fsys.SetReadOnly(tmp, false) != nil {
+			_ = fsys.Rename(pid, tmp, tgt.path)
+			return false
+		}
+		h, err = fsys.Open(pid, tmp, vfs.ReadWrite)
+		if err != nil {
+			res.OpErrors++
+			_ = fsys.Rename(pid, tmp, tgt.path)
+			return false
+		}
+	}
+	chunk := s.chunkSize(rng)
+	content, err := readChunks(h, chunk)
+	if err != nil {
+		res.OpErrors++
+		_ = h.Close()
+		return false
+	}
+	enc := s.encryptorFor().encrypt(content, uint64(tgt.size)^uint64(len(tgt.path))<<13)
+	enc = applyEvasion(s.Profile.Evasion, content, enc, rng)
+	h.SeekTo(0)
+	if err := writeChunks(h, enc, chunk); err != nil {
+		res.OpErrors++
+		_ = h.Close()
+		return false
+	}
+	if err := h.Close(); err != nil {
+		res.OpErrors++
+		return false
+	}
+	back := tgt.path + s.Profile.RenameExt
+	if s.Profile.RenameExt == "" {
+		back = tgt.path + ".locked"
+	}
+	if err := fsys.Rename(pid, tmp, back); err != nil {
+		res.OpErrors++
+		return false
+	}
+	return true
+}
+
+// attackNewFile is Class C: read the original, write an independent new
+// file, then dispose of the original by overwriting move or delete.
+func (s *Sample) attackNewFile(fsys *vfs.FS, pid int, tgt target, rng *rand.Rand, res *RunResult) bool {
+	chunk := s.chunkSize(rng)
+	h, err := fsys.Open(pid, tgt.path, vfs.ReadOnly)
+	if err != nil {
+		res.OpErrors++
+		return false
+	}
+	content, err := readChunks(h, chunk)
+	if err != nil {
+		res.OpErrors++
+		_ = h.Close()
+		return false
+	}
+	if err := h.Close(); err != nil {
+		res.OpErrors++
+	}
+	enc := s.encryptorFor().encrypt(content, uint64(tgt.size)^uint64(len(tgt.path))<<11)
+	enc = applyEvasion(s.Profile.Evasion, content, enc, rng)
+	if s.Profile.PrependStub {
+		// Virlock-style infection: the new file is an executable stub
+		// carrying the encrypted payload.
+		stub := append([]byte("MZ\x90\x00\x03\x00\x00\x00"), []byte("VIRLOCK-STUB")...)
+		enc = append(stub, enc...)
+	}
+	ext := s.Profile.RenameExt
+	if ext == "" {
+		ext = ".encrypted"
+	}
+	newPath := tgt.path + ext
+	wh, err := fsys.Open(pid, newPath, vfs.WriteOnly|vfs.Create|vfs.Truncate)
+	if err != nil {
+		res.OpErrors++
+		return false
+	}
+	if err := writeChunks(wh, enc, chunk); err != nil {
+		res.OpErrors++
+		_ = wh.Close()
+		return false
+	}
+	if err := wh.Close(); err != nil {
+		res.OpErrors++
+		return false
+	}
+	if s.Profile.MoveOverOriginal {
+		if err := fsys.Rename(pid, newPath, tgt.path); err != nil {
+			res.OpErrors++
+			return s.disposeStubborn(fsys, pid, tgt.path, res)
+		}
+		return true
+	}
+	if s.Profile.BrokenDelete {
+		// Defective disposal: the delete targets a mangled path and fails
+		// every time; the sample never notices (§V-B footnote).
+		if err := fsys.Delete(pid, tgt.path+".$$"); err != nil {
+			res.OpErrors++
+		}
+		return true
+	}
+	if err := fsys.Delete(pid, tgt.path); err != nil {
+		res.OpErrors++
+		return s.disposeStubborn(fsys, pid, tgt.path, res)
+	}
+	return true
+}
+
+// disposeStubborn handles a failed disposal (typically a read-only
+// original). Samples with the 2008 GPcode quirk give up; everyone else
+// clears the attribute and retries, as real malware does.
+func (s *Sample) disposeStubborn(fsys *vfs.FS, pid int, p string, res *RunResult) bool {
+	if s.Profile.CannotHandleReadOnly {
+		return false
+	}
+	if err := fsys.SetReadOnly(p, false); err != nil {
+		return false
+	}
+	if err := fsys.Delete(pid, p); err != nil {
+		res.OpErrors++
+		return false
+	}
+	return true
+}
+
+// encryptorFor builds the sample's encryptor.
+func (s *Sample) encryptorFor() *encryptor {
+	return newEncryptor(s.Profile.Cipher, s.Seed)
+}
+
+// noteName is the ransom note file name.
+func (s *Sample) noteName() string {
+	switch s.Profile.Family {
+	case "TeslaCrypt":
+		return "HELP_TO_DECRYPT_YOUR_FILES.txt"
+	case "CTB-Locker":
+		return "Decrypt-All-Files.txt"
+	case "CryptoWall":
+		return "HELP_DECRYPT.TXT"
+	default:
+		return "HOW_TO_RECOVER_FILES.txt"
+	}
+}
+
+// noteText composes the ransom demand: a short, low-entropy text write in
+// every directory — the writes whose over-influence the paper's weighted
+// entropy mean is designed to resist (§IV-C1).
+func (s *Sample) noteText(rng *rand.Rand) []byte {
+	amount := 1 + rng.Intn(3)
+	return []byte(fmt.Sprintf(
+		"!!! YOUR FILES HAVE BEEN ENCRYPTED by %s !!!\n\n"+
+			"All of your documents, photos and databases were encrypted with a\n"+
+			"strong algorithm. The only way to recover them is to purchase the\n"+
+			"private key held by us.\n\n"+
+			"Send %d BTC to wallet %016x and contact us via the Tor hidden\n"+
+			"service gate%08x.onion with your personal code %08X.\n",
+		s.Profile.Family, amount, rng.Uint64(), rng.Uint32(), rng.Uint32()))
+}

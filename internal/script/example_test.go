@@ -1,0 +1,43 @@
+package script_test
+
+import (
+	"fmt"
+
+	"cryptodrop/internal/corpus"
+	"cryptodrop/internal/script"
+	"cryptodrop/internal/vfs"
+)
+
+// Example runs a tiny interpreted encryptor against an unmonitored victim
+// filesystem — the §V-E scenario where the "binary" is just text piped into
+// an interpreter.
+func Example() {
+	src := `
+targets *.txt
+key k 16
+foreach f
+  read $f data
+  encrypt data k
+  write $f data
+end
+`
+	fsys := vfs.New()
+	m, err := corpus.Build(fsys, corpus.Spec{Seed: 8, Files: 40, Dirs: 5, SizeScale: 0.2, ReadOnlyFraction: -1})
+	if err != nil {
+		fmt.Println("corpus:", err)
+		return
+	}
+	prog, err := script.Parse(src)
+	if err != nil {
+		fmt.Println("parse:", err)
+		return
+	}
+	res, err := script.NewInterp(fsys, 1, m.Root, 8, nil).Run(prog)
+	if err != nil {
+		fmt.Println("run:", err)
+		return
+	}
+	fmt.Println("files encrypted:", res.FilesProcessed == len(m.ByExt("txt")))
+	// Output:
+	// files encrypted: true
+}

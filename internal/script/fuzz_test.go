@@ -1,0 +1,16 @@
+package script
+
+import "testing"
+
+func FuzzParse(f *testing.F) {
+	f.Add(poshCoder)
+	f.Add("foreach f\nend")
+	f.Add("key k 16\ntargets *")
+	f.Add("note a \"b c\"")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src) // must never panic
+		if err == nil && prog == nil {
+			t.Fatal("nil program without error")
+		}
+	})
+}

@@ -1,0 +1,305 @@
+package script
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"fmt"
+	"math/rand"
+	"path"
+	"strings"
+
+	"cryptodrop/internal/vfs"
+)
+
+// Result summarises a script execution.
+type Result struct {
+	// FilesProcessed counts foreach iterations completed.
+	FilesProcessed int
+	// NotesDropped counts ransom notes written.
+	NotesDropped int
+	// OpErrors counts failed filesystem operations.
+	OpErrors int
+	// Stopped reports the interpreter halted because stop() returned true
+	// (the monitor suspended the process).
+	Stopped bool
+}
+
+// Interp executes a Program against a virtual filesystem as one process —
+// the in-memory interpreter that signature scanners never get to inspect.
+type Interp struct {
+	fs   *vfs.FS
+	pid  int
+	root string
+	stop func() bool
+	seed int64
+
+	keys    map[string][]byte
+	bufs    map[string][]byte
+	targets []string
+	note    *NoteStmt
+
+	res       Result
+	notedDirs map[string]bool
+	fileNonce uint64
+}
+
+// NewInterp prepares an interpreter running as pid against the documents
+// tree at root. stop, if non-nil, is polled between operations; seed drives
+// key derivation.
+func NewInterp(fsys *vfs.FS, pid int, root string, seed int64, stop func() bool) *Interp {
+	if stop == nil {
+		stop = func() bool { return false }
+	}
+	return &Interp{
+		fs: fsys, pid: pid, root: root, stop: stop, seed: seed,
+		keys:      make(map[string][]byte),
+		bufs:      make(map[string][]byte),
+		notedDirs: make(map[string]bool),
+	}
+}
+
+// Run executes the program. Filesystem op failures are counted, not fatal
+// (malware shrugs them off); genuine interpreter errors (unknown buffer,
+// missing key) abort.
+func (in *Interp) Run(prog *Program) (Result, error) {
+	for _, st := range prog.Stmts {
+		if in.stop() {
+			in.res.Stopped = true
+			return in.res, nil
+		}
+		if err := in.exec(st, nil); err != nil {
+			return in.res, err
+		}
+		if in.res.Stopped {
+			return in.res, nil
+		}
+	}
+	return in.res, nil
+}
+
+// exec runs one statement with the given variable environment.
+func (in *Interp) exec(st Stmt, env map[string]string) error {
+	switch s := st.(type) {
+	case KeyStmt:
+		rng := rand.New(rand.NewSource(in.seed ^ int64(len(s.Name))<<32))
+		key := make([]byte, s.Bytes)
+		rng.Read(key)
+		in.keys[s.Name] = key
+		return nil
+	case TargetsStmt:
+		in.targets = s.Patterns
+		return nil
+	case NoteStmt:
+		note := s
+		in.note = &note
+		return nil
+	case ForeachStmt:
+		return in.execForeach(s)
+	case ReadStmt:
+		return in.execRead(s, env)
+	case EncryptStmt:
+		return in.execEncrypt(s)
+	case WriteStmt:
+		return in.execWrite(s, env)
+	case RenameStmt:
+		from := s.From.Eval(env)
+		to := s.To.Eval(env)
+		if err := in.fs.Rename(in.pid, from, to); err != nil {
+			in.res.OpErrors++
+		} else if cur, ok := env["__current"]; ok && cur == from {
+			env["__current"] = to
+		}
+		return nil
+	case DeleteStmt:
+		if err := in.fs.Delete(in.pid, s.Path.Eval(env)); err != nil {
+			in.res.OpErrors++
+		}
+		return nil
+	default:
+		return fmt.Errorf("script: unsupported statement %T", st)
+	}
+}
+
+// execForeach iterates the victim files matching the target patterns.
+func (in *Interp) execForeach(s ForeachStmt) error {
+	if len(in.targets) == 0 {
+		return fmt.Errorf("script: foreach without targets")
+	}
+	var victims []string
+	err := in.fs.Walk(in.root, func(info vfs.FileInfo) error {
+		if info.IsDir {
+			return nil
+		}
+		base := path.Base(info.Path)
+		for _, pat := range in.targets {
+			if ok, _ := path.Match(pat, base); ok {
+				victims = append(victims, info.Path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("script: enumerate: %w", err)
+	}
+	for _, victim := range victims {
+		if in.stop() {
+			in.res.Stopped = true
+			return nil
+		}
+		if in.note != nil {
+			dir := path.Dir(victim)
+			if !in.notedDirs[dir] {
+				in.notedDirs[dir] = true
+				if err := in.fs.WriteFile(in.pid, path.Join(dir, in.note.Name), []byte(in.note.Text)); err != nil {
+					in.res.OpErrors++
+				} else {
+					in.res.NotesDropped++
+				}
+			}
+		}
+		env := map[string]string{s.Var: victim, "__current": victim}
+		for _, st := range s.Body {
+			if in.stop() {
+				in.res.Stopped = true
+				return nil
+			}
+			if err := in.exec(st, env); err != nil {
+				return err
+			}
+		}
+		in.res.FilesProcessed++
+	}
+	return nil
+}
+
+func (in *Interp) execRead(s ReadStmt, env map[string]string) error {
+	p := s.Path.Eval(env)
+	h, err := in.fs.Open(in.pid, p, vfs.ReadOnly)
+	if err != nil {
+		in.res.OpErrors++
+		in.bufs[s.Buf] = nil
+		return nil
+	}
+	var content []byte
+	buf := make([]byte, 32*1024)
+	for {
+		n, rerr := h.Read(buf)
+		if rerr != nil {
+			in.res.OpErrors++
+			break
+		}
+		if n == 0 {
+			break
+		}
+		content = append(content, buf[:n]...)
+	}
+	if err := h.Close(); err != nil {
+		in.res.OpErrors++
+	}
+	in.bufs[s.Buf] = content
+	return nil
+}
+
+func (in *Interp) execEncrypt(s EncryptStmt) error {
+	key, ok := in.keys[s.Key]
+	if !ok {
+		return fmt.Errorf("script: unknown key %q", s.Key)
+	}
+	content, ok := in.bufs[s.Buf]
+	if !ok {
+		return fmt.Errorf("script: unknown buffer %q", s.Buf)
+	}
+	if len(content) == 0 {
+		return nil
+	}
+	// AES-CTR with a per-file nonce, like the compiled families.
+	block, err := aes.NewCipher(pad16(key))
+	if err != nil {
+		return fmt.Errorf("script: cipher: %w", err)
+	}
+	in.fileNonce++
+	iv := make([]byte, aes.BlockSize)
+	for i := 0; i < 8; i++ {
+		iv[i] = byte(in.fileNonce >> (8 * i))
+	}
+	out := make([]byte, len(content))
+	cipher.NewCTR(block, iv).XORKeyStream(out, content)
+	in.bufs[s.Buf] = out
+	return nil
+}
+
+// pad16 stretches or truncates a key to AES-128 length.
+func pad16(key []byte) []byte {
+	out := make([]byte, 16)
+	for i := range out {
+		out[i] = key[i%len(key)]
+	}
+	return out
+}
+
+func (in *Interp) execWrite(s WriteStmt, env map[string]string) error {
+	content, ok := in.bufs[s.Buf]
+	if !ok {
+		return fmt.Errorf("script: unknown buffer %q", s.Buf)
+	}
+	p := s.Path.Eval(env)
+	h, err := in.fs.Open(in.pid, p, vfs.WriteOnly|vfs.Create|vfs.Truncate)
+	if err != nil {
+		in.res.OpErrors++
+		return nil
+	}
+	for off := 0; off < len(content); off += 16 * 1024 {
+		end := off + 16*1024
+		if end > len(content) {
+			end = len(content)
+		}
+		if _, err := h.Write(content[off:end]); err != nil {
+			in.res.OpErrors++
+			break
+		}
+	}
+	if err := h.Close(); err != nil {
+		in.res.OpErrors++
+	}
+	return nil
+}
+
+// Morph returns a source-level variant of a script: comments, blank lines
+// and variable renamings that change every byte a signature could match
+// while preserving behaviour — the §V-E "add a single character and
+// resubmit" experiment, automated.
+func Morph(src string, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	junkWords := []string{"invoice", "totally", "legit", "updater", "helper", "svc"}
+	var out strings.Builder
+	fmt.Fprintf(&out, "# %s %s build %d\n", junkWords[rng.Intn(len(junkWords))], junkWords[rng.Intn(len(junkWords))], rng.Intn(10000))
+	for _, line := range strings.Split(src, "\n") {
+		if rng.Intn(3) == 0 {
+			fmt.Fprintf(&out, "# %x\n", rng.Uint32())
+		}
+		out.WriteString(line)
+		out.WriteString("\n")
+	}
+	// Rename buffer/key identifiers consistently, on whole-token
+	// boundaries so trailing occurrences are covered too.
+	renames := map[string]string{
+		"buf": fmt.Sprintf("b%d", rng.Intn(1000)),
+		"k":   fmt.Sprintf("q%d", rng.Intn(1000)),
+	}
+	var renamed []string
+	for _, line := range strings.Split(out.String(), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "#") {
+			renamed = append(renamed, line)
+			continue
+		}
+		fields := strings.Fields(line)
+		for i, f := range fields {
+			if to, ok := renames[f]; ok {
+				fields[i] = to
+			}
+		}
+		renamed = append(renamed, strings.Join(fields, " "))
+	}
+	return strings.Join(renamed, "\n")
+}

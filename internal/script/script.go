@@ -1,0 +1,290 @@
+// Package script implements a small interpreted language for expressing
+// ransomware-like file transformations, reproducing the §V-E PoshCoder
+// analysis: ransomware "does not need to be a compiled binary — it can be
+// quickly morphed into an unknown variant and typed or piped directly into
+// an interpreter", where signature-based products cannot see it because it
+// never exists on disk. CryptoDrop, watching only the data, is indifferent
+// to the delivery mechanism: a script variant morphed by any amount of
+// comment/whitespace/renaming churn performs the same filesystem operations
+// and is detected identically (verified by the package tests).
+//
+// The language is line-oriented:
+//
+//	# comments and blank lines are ignored
+//	key k 16                 # derive a named encryption key (16 bytes)
+//	targets *.docx *.pdf     # glob patterns selecting victim files
+//	note HOW_TO.txt "ALL YOUR FILES..."   # ransom note per directory
+//	foreach f                # iterate victim files, binding $f
+//	  read $f buf            # read file into a named buffer
+//	  encrypt buf k          # encrypt buffer with key
+//	  write $f buf           # overwrite the file
+//	  rename $f $f.locked    # optional rename (suffix appended)
+//	end
+//	delete $f                # (inside foreach) delete instead of rename
+//
+// Scripts parse to an AST (Parse) and execute against the virtual
+// filesystem (Program.Run), going through the same filter chain as any
+// process — so the monitor scores them like any other actor.
+package script
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Stmt is one executable statement.
+type Stmt interface{ stmt() }
+
+// KeyStmt derives a named key of the given byte length.
+type KeyStmt struct {
+	// Name binds the key.
+	Name string
+	// Bytes is the key length.
+	Bytes int
+}
+
+// TargetsStmt sets the victim glob patterns.
+type TargetsStmt struct {
+	// Patterns are file-name globs, e.g. "*.docx".
+	Patterns []string
+}
+
+// NoteStmt drops a ransom note in every directory visited.
+type NoteStmt struct {
+	// Name is the note file name.
+	Name string
+	// Text is the note content.
+	Text string
+}
+
+// ForeachStmt iterates over the victim files.
+type ForeachStmt struct {
+	// Var is the loop variable (referenced as $Var).
+	Var string
+	// Body executes per file.
+	Body []Stmt
+}
+
+// ReadStmt reads a file into a buffer.
+type ReadStmt struct {
+	// Path is the file expression (usually the loop variable).
+	Path Expr
+	// Buf names the destination buffer.
+	Buf string
+}
+
+// EncryptStmt encrypts a buffer in place with a named key.
+type EncryptStmt struct {
+	// Buf is the buffer name.
+	Buf string
+	// Key is the key name.
+	Key string
+}
+
+// WriteStmt writes a buffer to a file (truncating).
+type WriteStmt struct {
+	// Path is the destination expression.
+	Path Expr
+	// Buf is the source buffer name.
+	Buf string
+}
+
+// RenameStmt renames a file.
+type RenameStmt struct {
+	// From and To are path expressions.
+	From, To Expr
+}
+
+// DeleteStmt removes a file.
+type DeleteStmt struct {
+	// Path is the target expression.
+	Path Expr
+}
+
+func (KeyStmt) stmt()     {}
+func (TargetsStmt) stmt() {}
+func (NoteStmt) stmt()    {}
+func (ForeachStmt) stmt() {}
+func (ReadStmt) stmt()    {}
+func (EncryptStmt) stmt() {}
+func (WriteStmt) stmt()   {}
+func (RenameStmt) stmt()  {}
+func (DeleteStmt) stmt()  {}
+
+// Expr is a string-valued expression: a literal with embedded $var
+// references; "$f.locked" evaluates to the value of f plus ".locked".
+type Expr struct {
+	raw string
+}
+
+// Eval substitutes variables from env.
+func (e Expr) Eval(env map[string]string) string {
+	out := e.raw
+	// Longest-name-first substitution so $file wins over $f.
+	names := make([]string, 0, len(env))
+	for name := range env {
+		names = append(names, name)
+	}
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if len(names[j]) > len(names[i]) {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	for _, name := range names {
+		out = strings.ReplaceAll(out, "$"+name, env[name])
+	}
+	return out
+}
+
+// Program is a parsed script.
+type Program struct {
+	// Stmts are the top-level statements.
+	Stmts []Stmt
+}
+
+// ParseError reports a syntax error with its line number.
+type ParseError struct {
+	// Line is 1-based.
+	Line int
+	// Msg describes the problem.
+	Msg string
+}
+
+// Error formats the parse error.
+func (e *ParseError) Error() string { return fmt.Sprintf("script: line %d: %s", e.Line, e.Msg) }
+
+// Parse compiles source into a Program.
+func Parse(src string) (*Program, error) {
+	p := &parser{lines: strings.Split(src, "\n")}
+	stmts, err := p.block(false)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Stmts: stmts}, nil
+}
+
+type parser struct {
+	lines []string
+	pos   int
+}
+
+// errf builds a ParseError at the current line.
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &ParseError{Line: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// next returns the next meaningful line's fields, or nil at EOF.
+func (p *parser) next() []string {
+	for p.pos < len(p.lines) {
+		line := strings.TrimSpace(p.lines[p.pos])
+		p.pos++
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return tokenize(line)
+	}
+	return nil
+}
+
+// tokenize splits a line into fields, honouring double quotes.
+func tokenize(line string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	for _, r := range line {
+		switch {
+		case r == '"':
+			inQuote = !inQuote
+		case !inQuote && (r == ' ' || r == '\t'):
+			if cur.Len() > 0 {
+				out = append(out, cur.String())
+				cur.Reset()
+			}
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+// block parses statements until EOF (or "end" when inLoop).
+func (p *parser) block(inLoop bool) ([]Stmt, error) {
+	var out []Stmt
+	for {
+		fields := p.next()
+		if fields == nil {
+			if inLoop {
+				return nil, p.errf("unterminated foreach (missing end)")
+			}
+			return out, nil
+		}
+		switch fields[0] {
+		case "end":
+			if !inLoop {
+				return nil, p.errf("end outside foreach")
+			}
+			return out, nil
+		case "key":
+			if len(fields) != 3 {
+				return nil, p.errf("key wants: key <name> <bytes>")
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n <= 0 {
+				return nil, p.errf("key length %q invalid", fields[2])
+			}
+			out = append(out, KeyStmt{Name: fields[1], Bytes: n})
+		case "targets":
+			if len(fields) < 2 {
+				return nil, p.errf("targets wants at least one pattern")
+			}
+			out = append(out, TargetsStmt{Patterns: fields[1:]})
+		case "note":
+			if len(fields) < 3 {
+				return nil, p.errf("note wants: note <name> <text>")
+			}
+			out = append(out, NoteStmt{Name: fields[1], Text: strings.Join(fields[2:], " ")})
+		case "foreach":
+			if len(fields) != 2 {
+				return nil, p.errf("foreach wants: foreach <var>")
+			}
+			body, err := p.block(true)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ForeachStmt{Var: fields[1], Body: body})
+		case "read":
+			if len(fields) != 3 {
+				return nil, p.errf("read wants: read <path> <buf>")
+			}
+			out = append(out, ReadStmt{Path: Expr{raw: fields[1]}, Buf: fields[2]})
+		case "encrypt":
+			if len(fields) != 3 {
+				return nil, p.errf("encrypt wants: encrypt <buf> <key>")
+			}
+			out = append(out, EncryptStmt{Buf: fields[1], Key: fields[2]})
+		case "write":
+			if len(fields) != 3 {
+				return nil, p.errf("write wants: write <path> <buf>")
+			}
+			out = append(out, WriteStmt{Path: Expr{raw: fields[1]}, Buf: fields[2]})
+		case "rename":
+			if len(fields) != 3 {
+				return nil, p.errf("rename wants: rename <from> <to>")
+			}
+			out = append(out, RenameStmt{From: Expr{raw: fields[1]}, To: Expr{raw: fields[2]}})
+		case "delete":
+			if len(fields) != 2 {
+				return nil, p.errf("delete wants: delete <path>")
+			}
+			out = append(out, DeleteStmt{Path: Expr{raw: fields[1]}})
+		default:
+			return nil, p.errf("unknown command %q", fields[0])
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package script
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cryptodrop"
+	"cryptodrop/internal/corpus"
+	"cryptodrop/internal/entropy"
+	"cryptodrop/internal/proc"
+	"cryptodrop/internal/vfs"
+)
+
+// poshCoder is the reference script: a PoshCoder-like Class A encryptor.
+const poshCoder = `
+# PoshCoder-like encrypting ransomware
+key k 16
+targets *.docx *.pdf *.txt *.xlsx *.jpg *.csv *.md
+note HOW_TO_RECOVER.txt "ALL YOUR FILES ARE ENCRYPTED. PAY 1 BTC."
+foreach f
+  read $f buf
+  encrypt buf k
+  write $f buf
+  rename $f $f.poshcoder
+end
+`
+
+func TestParsePoshCoder(t *testing.T) {
+	prog, err := Parse(poshCoder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Stmts) != 4 {
+		t.Fatalf("stmts = %d, want 4", len(prog.Stmts))
+	}
+	loop, ok := prog.Stmts[3].(ForeachStmt)
+	if !ok {
+		t.Fatalf("last stmt = %T, want ForeachStmt", prog.Stmts[3])
+	}
+	if len(loop.Body) != 4 || loop.Var != "f" {
+		t.Fatalf("loop = %+v", loop)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"unknown command", "explode everything", "unknown command"},
+		{"unterminated loop", "targets *.txt\nforeach f\nread $f b", "unterminated"},
+		{"stray end", "end", "end outside"},
+		{"bad key length", "key k zero", "invalid"},
+		{"key arity", "key k", "key wants"},
+		{"note arity", "note x", "note wants"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(tt.src)
+			if err == nil {
+				t.Fatal("no error")
+			}
+			var perr *ParseError
+			if !errors.As(err, &perr) {
+				t.Fatalf("error type %T", err)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("err = %v, want containing %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestTokenizeQuotes(t *testing.T) {
+	got := tokenize(`note HOW.txt "pay us 1 BTC now"`)
+	if len(got) != 3 || got[2] != "pay us 1 BTC now" {
+		t.Fatalf("tokenize = %q", got)
+	}
+}
+
+func TestExprEval(t *testing.T) {
+	env := map[string]string{"f": "/docs/a.txt", "file": "/docs/b.txt"}
+	if got := (Expr{raw: "$f.locked"}).Eval(env); got != "/docs/a.txt.locked" {
+		t.Fatalf("eval = %q", got)
+	}
+	// Longest name wins: $file must not be clobbered by $f.
+	if got := (Expr{raw: "$file"}).Eval(env); got != "/docs/b.txt" {
+		t.Fatalf("eval $file = %q", got)
+	}
+}
+
+// victimFS builds a small corpus with a monitor attached.
+func victimFS(t *testing.T) (*vfs.FS, *corpus.Manifest, *proc.Table, *cryptodrop.Monitor) {
+	t.Helper()
+	fs := vfs.New()
+	m, err := corpus.Build(fs, corpus.Spec{Seed: 60, Files: 250, Dirs: 30, SizeScale: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := proc.NewTable()
+	mon, err := cryptodrop.NewMonitor(fs, procs, cryptodrop.WithRoot(m.Root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, m, procs, mon
+}
+
+func TestScriptRansomwareEncrypts(t *testing.T) {
+	// Without a monitor, the script must genuinely encrypt.
+	fs := vfs.New()
+	m, err := corpus.Build(fs, corpus.Spec{Seed: 61, Files: 100, Dirs: 10, SizeScale: 0.25, ReadOnlyFraction: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Parse(poshCoder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewInterp(fs, 1, m.Root, 5, nil).Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FilesProcessed == 0 || res.NotesDropped == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	// A processed file must now be high-entropy ciphertext at a renamed
+	// path.
+	locked := 0
+	err = fs.Walk(m.Root, func(info vfs.FileInfo) error {
+		if strings.HasSuffix(info.Path, ".poshcoder") {
+			locked++
+			if locked == 1 && info.Size > 4096 {
+				content, err := fs.ReadFileRaw(info.Path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if e := entropy.Shannon(content); e < 7.5 {
+					t.Fatalf("encrypted file entropy %.2f", e)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if locked != res.FilesProcessed {
+		t.Fatalf("%d locked files, %d processed", locked, res.FilesProcessed)
+	}
+}
+
+func TestMonitorStopsScriptRansomware(t *testing.T) {
+	fs, m, procs, mon := victimFS(t)
+	prog, err := Parse(poshCoder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid := procs.Spawn("powershell.exe")
+	res, err := NewInterp(fs, pid, m.Root, 6, func() bool { return procs.Suspended(pid) }).Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatalf("script not stopped: %+v", res)
+	}
+	if len(mon.Detections()) != 1 {
+		t.Fatal("no detection recorded")
+	}
+	if res.FilesProcessed > 25 {
+		t.Fatalf("script processed %d files before suspension", res.FilesProcessed)
+	}
+}
+
+func TestMorphedVariantBehavesIdentically(t *testing.T) {
+	// §V-E: trivially morphing the script defeats signatures; CryptoDrop
+	// detects the variant identically because the data transformations
+	// are unchanged.
+	morphed := Morph(poshCoder, 99)
+	if morphed == poshCoder {
+		t.Fatal("morph did not change the source")
+	}
+	if !strings.Contains(morphed, "#") {
+		t.Fatal("morph added no comments")
+	}
+
+	run := func(src string) (int, bool) {
+		fs, m, procs, mon := victimFS(t)
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v\n%s", err, src)
+		}
+		pid := procs.Spawn("powershell.exe")
+		res, err := NewInterp(fs, pid, m.Root, 7, func() bool { return procs.Suspended(pid) }).Run(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FilesProcessed, len(mon.Detections()) == 1
+	}
+	origFiles, origDetected := run(poshCoder)
+	morphFiles, morphDetected := run(morphed)
+	if !origDetected || !morphDetected {
+		t.Fatal("a variant escaped detection")
+	}
+	if origFiles != morphFiles {
+		t.Fatalf("morphed variant behaved differently: %d vs %d files", origFiles, morphFiles)
+	}
+}
+
+func TestScriptClassCDelete(t *testing.T) {
+	// A Class C script: write a copy, delete the original.
+	src := `
+targets *.txt *.csv *.md
+key k 32
+foreach f
+  read $f data
+  encrypt data k
+  write $f.enc data
+  delete $f
+end
+`
+	fs, m, procs, mon := victimFS(t)
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid := procs.Spawn("script.exe")
+	res, err := NewInterp(fs, pid, m.Root, 8, func() bool { return procs.Suspended(pid) }).Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatalf("Class C script not stopped: %+v", res)
+	}
+	rep, _ := mon.Report(pid)
+	if rep.Deletes == 0 {
+		t.Fatal("no deletes recorded")
+	}
+}

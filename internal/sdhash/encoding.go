@@ -1,0 +1,84 @@
+package sdhash
+
+import (
+	"bytes"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// digestMagic prefixes the text encoding, versioned like sdhash's digest
+// file header ("sdbf").
+const digestMagic = "cdsd:1"
+
+// ErrBadEncoding is returned when a text digest cannot be decoded.
+var ErrBadEncoding = errors.New("sdhash: malformed digest encoding")
+
+// MarshalText encodes the digest as a single line, in the spirit of
+// sdhash's digest files: header, input size, feature count, then one
+// base64-encoded Bloom filter (with its feature count) per segment.
+//
+//	cdsd:1:<size>:<features>:<n>:<count>:<b64>:<count>:<b64>...
+func (d *Digest) MarshalText() ([]byte, error) {
+	if d == nil {
+		return nil, fmt.Errorf("%w: nil digest", ErrBadEncoding)
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s:%d:%d:%d", digestMagic, d.size, d.features, len(d.filters))
+	for i, f := range d.filters {
+		fmt.Fprintf(&b, ":%d:%s", d.counts[i], base64.StdEncoding.EncodeToString(f))
+	}
+	return b.Bytes(), nil
+}
+
+// UnmarshalText decodes a digest produced by MarshalText.
+func (d *Digest) UnmarshalText(text []byte) error {
+	parts := strings.Split(string(text), ":")
+	if len(parts) < 5 || parts[0]+":"+parts[1] != digestMagic {
+		return fmt.Errorf("%w: bad header", ErrBadEncoding)
+	}
+	size, err := strconv.Atoi(parts[2])
+	if err != nil || size < 0 {
+		return fmt.Errorf("%w: size", ErrBadEncoding)
+	}
+	features, err := strconv.Atoi(parts[3])
+	if err != nil || features < 0 {
+		return fmt.Errorf("%w: feature count", ErrBadEncoding)
+	}
+	n, err := strconv.Atoi(parts[4])
+	if err != nil || n < 0 {
+		return fmt.Errorf("%w: filter count", ErrBadEncoding)
+	}
+	rest := parts[5:]
+	if len(rest) != 2*n {
+		return fmt.Errorf("%w: want %d filter fields, have %d", ErrBadEncoding, 2*n, len(rest))
+	}
+	out := Digest{size: size, features: features}
+	for i := 0; i < n; i++ {
+		count, err := strconv.Atoi(rest[2*i])
+		if err != nil || count < 0 {
+			return fmt.Errorf("%w: filter %d count", ErrBadEncoding, i)
+		}
+		raw, err := base64.StdEncoding.DecodeString(rest[2*i+1])
+		if err != nil {
+			return fmt.Errorf("%w: filter %d payload: %v", ErrBadEncoding, i, err)
+		}
+		if len(raw) != bloomBytes {
+			return fmt.Errorf("%w: filter %d is %d bytes, want %d", ErrBadEncoding, i, len(raw), bloomBytes)
+		}
+		out.filters = append(out.filters, raw)
+		out.counts = append(out.counts, count)
+	}
+	*d = out
+	return nil
+}
+
+// String returns a short human-readable summary.
+func (d *Digest) String() string {
+	if d == nil {
+		return "sdhash(nil)"
+	}
+	return fmt.Sprintf("sdhash(%dB, %d features, %d filters)", d.size, d.features, len(d.filters))
+}

@@ -1,0 +1,104 @@
+package sdhash
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	data := genText(100, 48*1024)
+	orig, err := Compute(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := orig.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Digest
+	if err := decoded.UnmarshalText(text); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.FeatureCount() != orig.FeatureCount() ||
+		decoded.FilterCount() != orig.FilterCount() ||
+		decoded.InputSize() != orig.InputSize() {
+		t.Fatalf("metadata changed: %v vs %v", &decoded, orig)
+	}
+	if score := decoded.Compare(orig); score < 95 {
+		t.Fatalf("round-tripped digest compares at %d", score)
+	}
+	// And it still distinguishes unrelated content.
+	other, err := Compute(genRandomTextForEncoding(200, 48*1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Compare(other) > 90 {
+		t.Fatal("round-tripped digest lost discrimination")
+	}
+}
+
+// genRandomTextForEncoding mirrors the helper in sdhash_test with a
+// different vocabulary.
+func genRandomTextForEncoding(seed int64, n int) []byte {
+	out := make([]byte, n)
+	s := uint64(seed)
+	for i := range out {
+		s = s*6364136223846793005 + 1442695040888963407
+		out[i] = byte('a' + (s>>33)%26)
+		if i%7 == 6 {
+			out[i] = ' '
+		}
+	}
+	return out
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	good, err := Compute(genText(101, 8192))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := good.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"empty":            "",
+		"bad magic":        "nope:1:100:4:0",
+		"bad size":         "cdsd:1:x:4:0",
+		"bad filter count": "cdsd:1:100:4:x",
+		"missing fields":   "cdsd:1:100:4:2:5",
+		"bad base64":       "cdsd:1:100:4:1:5:!!!",
+		"short filter":     "cdsd:1:100:4:1:5:QUJD",
+		"truncated":        string(text[:len(text)/2]),
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			var d Digest
+			if err := d.UnmarshalText([]byte(in)); !errors.Is(err, ErrBadEncoding) {
+				t.Fatalf("err = %v, want ErrBadEncoding", err)
+			}
+		})
+	}
+}
+
+func TestDigestString(t *testing.T) {
+	var nilDigest *Digest
+	if got := nilDigest.String(); got != "sdhash(nil)" {
+		t.Fatalf("String(nil) = %q", got)
+	}
+	d, err := Compute(genText(102, 8192))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(d.String(), "features") {
+		t.Fatalf("String() = %q", d.String())
+	}
+}
+
+func TestMarshalNil(t *testing.T) {
+	var nilDigest *Digest
+	if _, err := nilDigest.MarshalText(); !errors.Is(err, ErrBadEncoding) {
+		t.Fatalf("err = %v, want ErrBadEncoding", err)
+	}
+}

@@ -1,0 +1,51 @@
+package sdhash_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"cryptodrop/internal/sdhash"
+)
+
+// ExampleSimilarity shows the property CryptoDrop's similarity indicator is
+// built on: an edited copy of a document scores high against the original,
+// while an encrypted version scores like random data.
+func ExampleSimilarity() {
+	var doc bytes.Buffer
+	for i := 0; i < 400; i++ {
+		fmt.Fprintf(&doc, "line %d of the quarterly report: revenue item %d, note %x.\n", i, i*37, i*i)
+	}
+	original := doc.Bytes()
+
+	edited := append([]byte("REVISED: "), original...)
+	score, err := sdhash.Similarity(original, edited)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("edited copy scores high:", score > 50)
+
+	encrypted := make([]byte, len(original))
+	state := uint64(0x2545F4914F6CDD1D)
+	for i, b := range original {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		encrypted[i] = b ^ byte(state)
+	}
+	do, err := sdhash.Compute(original)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	de, err := sdhash.Compute(encrypted)
+	if err != nil {
+		// Ciphertext usually has no characteristic features at all.
+		fmt.Println("ciphertext digestable:", false)
+		return
+	}
+	fmt.Println("ciphertext scores near zero:", do.Compare(de) <= 4)
+	// Output:
+	// edited copy scores high: true
+	// ciphertext digestable: false
+}

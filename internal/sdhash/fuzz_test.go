@@ -1,0 +1,38 @@
+package sdhash
+
+import "testing"
+
+func FuzzComputeCompare(f *testing.F) {
+	f.Add([]byte("hello world"), []byte("hello mars"))
+	f.Add(make([]byte, 600), make([]byte, 600))
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		da, errA := Compute(a)
+		db, errB := Compute(b)
+		if errA != nil || errB != nil {
+			return
+		}
+		s1 := da.Compare(db)
+		s2 := db.Compare(da)
+		if s1 != s2 {
+			t.Fatalf("asymmetric: %d vs %d", s1, s2)
+		}
+		if s1 < 0 || s1 > 100 {
+			t.Fatalf("score out of range: %d", s1)
+		}
+	})
+}
+
+func FuzzUnmarshalText(f *testing.F) {
+	d, err := Compute(genText(1, 4096))
+	if err == nil {
+		if text, err := d.MarshalText(); err == nil {
+			f.Add(string(text))
+		}
+	}
+	f.Add("cdsd:1:0:0:0")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, s string) {
+		var d Digest
+		_ = d.UnmarshalText([]byte(s)) // must never panic
+	})
+}

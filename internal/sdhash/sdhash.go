@@ -1,0 +1,303 @@
+// Package sdhash implements a similarity-preserving digest in the style of
+// Roussev's sdhash ("Data Fingerprinting with Similarity Digests", 2010),
+// which the paper uses for its similarity indicator (§III-B).
+//
+// The digest selects statistically improbable 64-byte features from the
+// input — windows whose Shannon entropy falls in a characteristic band and
+// that are locally maximal in precedence — and inserts their hashes into a
+// sequence of Bloom filters. Comparing two digests estimates how many
+// features they share, yielding a confidence score from 0 to 100:
+//
+//   - 100 means the inputs are almost certainly homologous;
+//   - 0 is "statistically comparable to two blobs of random data" — which is
+//     exactly what a file and its ciphertext look like.
+//
+// Like sdhash, inputs smaller than MinInputSize produce no digest, a
+// property the paper's CTB-Locker small-file analysis (§V-C) depends on.
+package sdhash
+
+import (
+	"crypto/sha1"
+	"errors"
+	"math"
+	"math/bits"
+)
+
+const (
+	// WindowSize is the feature size in bytes.
+	WindowSize = 64
+	// MinInputSize is the smallest input that can produce a digest; sdhash
+	// cannot generate similarity scores for files below 512 bytes.
+	MinInputSize = 512
+	// bloomBytes is the size of one Bloom filter (2048 bits).
+	bloomBytes = 256
+	bloomBits  = bloomBytes * 8
+	// featuresPerFilter is the number of features inserted into a filter
+	// before a new one is started.
+	featuresPerFilter = 128
+	// hashesPerFeature is the number of 11-bit Bloom indexes derived from
+	// each feature hash.
+	hashesPerFeature = 5
+	// minFeatures is the minimum number of selected features required to
+	// form a digest.
+	minFeatures = 4
+	// selectionSpan is the one-sided neighbourhood (in windows) within
+	// which a feature must have maximal precedence to be selected.
+	selectionSpan = 32
+	// minFeatureGap is the minimum distance in bytes between the start
+	// offsets of two selected features.
+	minFeatureGap = 16
+)
+
+// Digest errors.
+var (
+	// ErrTooSmall is returned for inputs below MinInputSize.
+	ErrTooSmall = errors.New("sdhash: input below minimum size")
+	// ErrNoFeatures is returned when the input yields too few
+	// characteristic features (e.g. uniformly random or constant data).
+	ErrNoFeatures = errors.New("sdhash: input has too few characteristic features")
+)
+
+// Digest is a similarity-preserving digest of a byte stream.
+type Digest struct {
+	filters  [][]byte // each bloomBytes long
+	counts   []int    // features per filter
+	features int
+	size     int // input length in bytes
+}
+
+// FeatureCount returns the number of features folded into the digest.
+func (d *Digest) FeatureCount() int { return d.features }
+
+// FilterCount returns the number of Bloom filters in the digest.
+func (d *Digest) FilterCount() int { return len(d.filters) }
+
+// InputSize returns the length in bytes of the digested input.
+func (d *Digest) InputSize() int { return d.size }
+
+// precedence maps a window's entropy to a selection rank. Both very low
+// entropy (constant runs, padding) and near-maximal entropy (compressed or
+// encrypted regions) rank at zero, so random-looking data generates few
+// features — the property that drives ciphertext scores to zero.
+func precedence(e float64) int {
+	// A 64-byte window has at most 64 distinct values → max entropy 6 bits.
+	// Scale to a 0..1000 bucket like sdhash's entropy scoring.
+	bucket := int(e * 1000 / 6)
+	switch {
+	case bucket < 100:
+		return 0
+	case bucket >= 890:
+		// Near-random: uniformly sampled 64-byte windows land around
+		// bucket 930+ (entropy ≈ 5.6+ of 6), with a tail reaching down
+		// toward 890. Zero the whole band so ciphertext and compressed
+		// streams generate no features.
+		return 0
+	case bucket >= 850:
+		return 1 + (890-bucket)/10
+	default:
+		// Unimodal ramp peaking in the mid-entropy band where
+		// characteristic, low-probability features live.
+		return 5 + bucket/10
+	}
+}
+
+// windowEntropies returns the Shannon entropy of every WindowSize-byte
+// window of data, computed incrementally in O(n).
+func windowEntropies(data []byte) []float64 {
+	n := len(data) - WindowSize + 1
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	var freq [256]int
+	// S = Σ f·log2(f); H = log2(W) − S/W for fixed window size W.
+	var s float64
+	for _, b := range data[:WindowSize] {
+		freq[b]++
+	}
+	for _, f := range freq {
+		if f > 1 {
+			s += float64(f) * math.Log2(float64(f))
+		}
+	}
+	logW := math.Log2(WindowSize)
+	out[0] = logW - s/WindowSize
+	for i := 1; i < n; i++ {
+		outb := data[i-1]
+		inb := data[i+WindowSize-1]
+		if outb != inb {
+			s -= flog(freq[outb])
+			freq[outb]--
+			s += flog(freq[outb])
+			s -= flog(freq[inb])
+			freq[inb]++
+			s += flog(freq[inb])
+		}
+		out[i] = logW - s/WindowSize
+	}
+	return out
+}
+
+func flog(f int) float64 {
+	if f <= 1 {
+		return 0
+	}
+	return float64(f) * math.Log2(float64(f))
+}
+
+// selectFeatures returns the start offsets of selected features: windows
+// whose precedence rank is positive and maximal within ±selectionSpan
+// windows, at least minFeatureGap bytes apart.
+func selectFeatures(data []byte) []int {
+	ents := windowEntropies(data)
+	if len(ents) == 0 {
+		return nil
+	}
+	ranks := make([]int16, len(ents))
+	for i, e := range ents {
+		ranks[i] = int16(precedence(e))
+	}
+	var selected []int
+	last := -minFeatureGap
+	for i, r := range ranks {
+		if r == 0 || i-last < minFeatureGap {
+			continue
+		}
+		lo := i - selectionSpan
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + selectionSpan
+		if hi >= len(ranks) {
+			hi = len(ranks) - 1
+		}
+		isMax := true
+		for j := lo; j <= hi; j++ {
+			if ranks[j] > r || (ranks[j] == r && j < i) {
+				isMax = false
+				break
+			}
+		}
+		if isMax {
+			selected = append(selected, i)
+			last = i
+		}
+	}
+	return selected
+}
+
+// Compute builds the similarity digest of data.
+func Compute(data []byte) (*Digest, error) {
+	if len(data) < MinInputSize {
+		return nil, ErrTooSmall
+	}
+	offsets := selectFeatures(data)
+	if len(offsets) < minFeatures {
+		return nil, ErrNoFeatures
+	}
+	d := &Digest{size: len(data)}
+	cur := make([]byte, bloomBytes)
+	n := 0
+	for _, off := range offsets {
+		h := sha1.Sum(data[off : off+WindowSize])
+		insertFeature(cur, h)
+		n++
+		d.features++
+		if n == featuresPerFilter {
+			d.filters = append(d.filters, cur)
+			d.counts = append(d.counts, n)
+			cur = make([]byte, bloomBytes)
+			n = 0
+		}
+	}
+	if n > 0 {
+		d.filters = append(d.filters, cur)
+		d.counts = append(d.counts, n)
+	}
+	return d, nil
+}
+
+// insertFeature sets hashesPerFeature 11-bit indexes from the SHA-1 feature
+// hash in the Bloom filter.
+func insertFeature(filter []byte, h [20]byte) {
+	for k := 0; k < hashesPerFeature; k++ {
+		// 11 bits per index, consecutive, starting at bit k*11.
+		bitoff := k * 11
+		idx := (uint32(h[bitoff/8]) | uint32(h[bitoff/8+1])<<8 | uint32(h[bitoff/8+2])<<16) >> (uint(bitoff) % 8)
+		idx &= bloomBits - 1
+		filter[idx/8] |= 1 << (idx % 8)
+	}
+}
+
+// Compare scores the similarity of two digests from 0 to 100. A score of
+// 100 indicates near-certain homology; 0 is indistinguishable from comparing
+// random data. Comparison is symmetric.
+func (d *Digest) Compare(other *Digest) int {
+	if d == nil || other == nil || len(d.filters) == 0 || len(other.filters) == 0 {
+		return 0
+	}
+	a, b := d, other
+	if len(a.filters) > len(b.filters) {
+		a, b = b, a
+	}
+	total := 0
+	for i, fa := range a.filters {
+		best := 0
+		for j, fb := range b.filters {
+			s := filterScore(fa, a.counts[i], fb, b.counts[j])
+			if s > best {
+				best = s
+			}
+		}
+		total += best
+	}
+	return total / len(a.filters)
+}
+
+// filterScore compares two Bloom filters, normalising away the overlap
+// expected from chance alone.
+func filterScore(fa []byte, ca int, fb []byte, cb int) int {
+	var common, na, nb int
+	for i := range fa {
+		common += bits.OnesCount8(fa[i] & fb[i])
+		na += bits.OnesCount8(fa[i])
+		nb += bits.OnesCount8(fb[i])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	expected := float64(na) * float64(nb) / bloomBits
+	maxCommon := float64(na)
+	if nb < na {
+		maxCommon = float64(nb)
+	}
+	if maxCommon <= expected {
+		return 0
+	}
+	score := 100 * (float64(common) - expected) / (maxCommon - expected)
+	// Like sdhash, treat low-feature filters with weak overlap as noise.
+	if ca < 8 || cb < 8 {
+		score -= 10
+	}
+	if score < 0 {
+		return 0
+	}
+	if score > 100 {
+		return 100
+	}
+	return int(score)
+}
+
+// Similarity is a convenience wrapper digesting both inputs and comparing
+// them. It returns an error if either input cannot be digested.
+func Similarity(a, b []byte) (int, error) {
+	da, err := Compute(a)
+	if err != nil {
+		return 0, err
+	}
+	db, err := Compute(b)
+	if err != nil {
+		return 0, err
+	}
+	return da.Compare(db), nil
+}

@@ -1,0 +1,15 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzRead(f *testing.F) {
+	f.Add(`{"seq":1,"op":"write","pid":3,"path":"/a","data":"aGk="}`)
+	f.Add("{}")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, line string) {
+		_, _ = Read(strings.NewReader(line)) // must never panic
+	})
+}

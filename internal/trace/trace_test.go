@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cryptodrop"
+	"cryptodrop/internal/corpus"
+	"cryptodrop/internal/proc"
+	"cryptodrop/internal/ransomware"
+	"cryptodrop/internal/vfs"
+)
+
+func TestRecorderCapturesStream(t *testing.T) {
+	fs := vfs.New()
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	fs.SetInterceptor(interceptOnly{rec})
+	if err := fs.MkdirAll("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(7, "/d/f.txt", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile(7, "/d/f.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(7, "/d/f.txt", "/d/g.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete(7, "/d/g.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	records, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(records)) != rec.Records() {
+		t.Fatalf("read %d records, recorder says %d", len(records), rec.Records())
+	}
+	wantOps := []string{"create", "write", "close", "open", "read", "close", "rename", "delete"}
+	if len(records) != len(wantOps) {
+		t.Fatalf("records = %d, want %d", len(records), len(wantOps))
+	}
+	for i, rec := range records {
+		if rec.Op != wantOps[i] {
+			t.Fatalf("record %d op = %s, want %s", i, rec.Op, wantOps[i])
+		}
+		if rec.Seq != int64(i+1) {
+			t.Fatalf("record %d seq = %d", i, rec.Seq)
+		}
+		if rec.PID != 7 {
+			t.Fatalf("record %d pid = %d", i, rec.PID)
+		}
+	}
+	if records[1].DataB64 == "" {
+		t.Fatal("write record lost its payload")
+	}
+}
+
+// interceptOnly adapts a single filter as a vfs.Interceptor.
+type interceptOnly struct{ r *Recorder }
+
+func (i interceptOnly) PreOp(op *vfs.Op) error { return i.r.PreOp(op) }
+func (i interceptOnly) PostOp(op *vfs.Op)      { i.r.PostOp(op) }
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"op":"explode","seq":1}` + "\n")); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	records, err := Read(strings.NewReader("\n\n"))
+	if err != nil || len(records) != 0 {
+		t.Fatalf("blank lines: %v, %d records", err, len(records))
+	}
+}
+
+func TestReplayReproducesDetection(t *testing.T) {
+	// Record a ransomware run on machine A, then replay the trace on a
+	// fresh machine B with the same corpus: the engine must reach the
+	// same verdict.
+	spec := corpus.Spec{Seed: 70, Files: 200, Dirs: 25, SizeScale: 0.25}
+
+	// Machine A: corpus + monitor + recorder; run the sample.
+	fsA := vfs.New()
+	m, err := corpus.Build(fsA, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procsA := proc.NewTable()
+	monA, err := cryptodrop.NewMonitor(fsA, procsA, cryptodrop.WithRoot(m.Root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traceBuf bytes.Buffer
+	rec := NewRecorder(&traceBuf)
+	if err := monA.Chain().Attach(500000, rec); err != nil {
+		t.Fatal(err)
+	}
+	sample := ransomware.Sample{ID: "traced", Seed: 71, Profile: ransomware.Profile{
+		Family: "TestFam", Class: ransomware.ClassA, Traversal: ransomware.TraverseShuffled,
+		Cipher: ransomware.CipherAES, RenameExt: ".enc", ChunkKB: 16,
+	}}
+	pidA := procsA.Spawn(sample.ID)
+	res, err := sample.Run(fsA, pidA, m.Root, func() bool { return procsA.Suspended(pidA) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Suspended {
+		t.Fatal("sample not suspended on machine A")
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Machine B: identical corpus, fresh monitor; replay the trace.
+	records, err := Read(&traceBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) == 0 {
+		t.Fatal("empty trace")
+	}
+	fsB := vfs.New()
+	if _, err := corpus.Build(fsB, spec); err != nil {
+		t.Fatal(err)
+	}
+	procsB := proc.NewTable()
+	monB, err := cryptodrop.NewMonitor(fsB, procsB, cryptodrop.WithoutEnforcement(), cryptodrop.WithRoot(m.Root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Register the traced PID so reports resolve.
+	for procsB.Spawn("replayed") < pidA {
+	}
+	rr, err := Replay(fsB, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Applied == 0 {
+		t.Fatalf("nothing applied: %+v", rr)
+	}
+	if len(monB.Detections()) != 1 {
+		t.Fatalf("replay produced %d detections, want 1 (applied %d, skipped %d)",
+			len(monB.Detections()), rr.Applied, rr.Skipped)
+	}
+	repA, _ := monA.Report(pidA)
+	repB, _ := monB.Report(pidA)
+	if !repB.Detected {
+		t.Fatal("replayed process not detected")
+	}
+	// Scores track closely (replay flattens handle modes slightly).
+	if diff := repA.Score - repB.Score; diff > 25 || diff < -25 {
+		t.Fatalf("scores diverge: A=%.1f B=%.1f", repA.Score, repB.Score)
+	}
+}
+
+func TestReplaySkipsForeignFiles(t *testing.T) {
+	records := []Record{
+		{Seq: 1, Op: "delete", PID: 1, Path: "/never/existed"},
+		{Seq: 2, Op: "rename", PID: 1, Path: "/also/missing", NewPath: "/x"},
+	}
+	fs := vfs.New()
+	rr, err := Replay(fs, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Skipped != 2 || rr.Applied != 0 {
+		t.Fatalf("result = %+v", rr)
+	}
+}

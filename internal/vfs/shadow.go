@@ -1,0 +1,82 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Shadow copies model the Windows Volume Shadow Copy Service: whole-volume
+// snapshots that backup software creates and that ransomware (TeslaCrypt
+// among others, §III) deletes to frustrate recovery. Shadow-copy operations
+// are volume-level administration, not user-data access, so they do not
+// pass through the filter chain — the paper explicitly ignores them because
+// "they do not directly alter user data".
+
+// ErrNoShadowCopy is returned when a named shadow copy does not exist.
+var ErrNoShadowCopy = errors.New("vfs: no such shadow copy")
+
+// shadowStore holds a filesystem's shadow copies.
+type shadowStore struct {
+	mu     sync.Mutex
+	copies map[string]*FS
+}
+
+// shadows lazily initialises the store.
+func (fs *FS) shadows() *shadowStore {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.shadowCopies == nil {
+		fs.shadowCopies = &shadowStore{copies: make(map[string]*FS)}
+	}
+	return fs.shadowCopies
+}
+
+// CreateShadowCopy snapshots the entire volume under the given name,
+// overwriting any previous snapshot with that name.
+func (fs *FS) CreateShadowCopy(name string) {
+	snap := fs.Clone()
+	st := fs.shadows()
+	st.mu.Lock()
+	st.copies[name] = snap
+	st.mu.Unlock()
+}
+
+// ShadowCopies lists snapshot names, sorted.
+func (fs *FS) ShadowCopies() []string {
+	st := fs.shadows()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	names := make([]string, 0, len(st.copies))
+	for name := range st.copies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DeleteShadowCopy removes a snapshot (vssadmin delete shadows), the
+// recovery-frustration step ransomware performs before encrypting.
+func (fs *FS) DeleteShadowCopy(name string) error {
+	st := fs.shadows()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.copies[name]; !ok {
+		return fmt.Errorf("%s: %w", name, ErrNoShadowCopy)
+	}
+	delete(st.copies, name)
+	return nil
+}
+
+// RestoreShadowCopy returns the snapshot filesystem for recovery.
+func (fs *FS) RestoreShadowCopy(name string) (*FS, error) {
+	st := fs.shadows()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	snap, ok := st.copies[name]
+	if !ok {
+		return nil, fmt.Errorf("%s: %w", name, ErrNoShadowCopy)
+	}
+	return snap.Clone(), nil
+}

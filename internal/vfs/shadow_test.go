@@ -1,0 +1,100 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestShadowCopyLifecycle(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile(1, "/docs/report.txt", []byte("original")); err == nil {
+		t.Fatal("write without parent dir should fail")
+	}
+	if err := fs.MkdirAll("/docs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(1, "/docs/report.txt", []byte("original")); err != nil {
+		t.Fatal(err)
+	}
+	fs.CreateShadowCopy("daily")
+	if got := fs.ShadowCopies(); len(got) != 1 || got[0] != "daily" {
+		t.Fatalf("ShadowCopies = %v", got)
+	}
+
+	// Ransom the live volume.
+	if err := fs.WriteFile(1, "/docs/report.txt", []byte("ENCRYPTED!!!")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery from the snapshot sees the original.
+	snap, err := fs.RestoreShadowCopy("daily")
+	if err != nil {
+		t.Fatal(err)
+	}
+	content, err := snap.ReadFile(1, "/docs/report.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(content) != "original" {
+		t.Fatalf("snapshot content = %q", content)
+	}
+
+	// Deleting the snapshot removes the recovery path.
+	if err := fs.DeleteShadowCopy("daily"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.RestoreShadowCopy("daily"); !errors.Is(err, ErrNoShadowCopy) {
+		t.Fatalf("restore after delete = %v", err)
+	}
+	if err := fs.DeleteShadowCopy("daily"); !errors.Is(err, ErrNoShadowCopy) {
+		t.Fatalf("double delete = %v", err)
+	}
+}
+
+func TestShadowCopyIsolatedFromLiveWrites(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(1, "/d/a", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	fs.CreateShadowCopy("s")
+	// Restore twice: each restore is itself an isolated clone.
+	r1, err := fs.RestoreShadowCopy("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.WriteFile(1, "/d/a", []byte("mutated-restore")); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := fs.RestoreShadowCopy("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	content, _ := r2.ReadFile(1, "/d/a")
+	if string(content) != "v1" {
+		t.Fatalf("second restore polluted by first: %q", content)
+	}
+}
+
+func TestShadowOpsBypassInterceptor(t *testing.T) {
+	// Shadow-copy administration is volume-level, not user-data access:
+	// it must not traverse the filter chain (the paper ignores these ops).
+	fs := New()
+	if err := fs.MkdirAll("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(1, "/d/a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	rec := &recorder{}
+	fs.SetInterceptor(rec)
+	fs.CreateShadowCopy("s")
+	if err := fs.DeleteShadowCopy("s"); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.pre)+len(rec.post) != 0 {
+		t.Fatalf("shadow ops passed through the filter: %d events", len(rec.post))
+	}
+}

@@ -1,0 +1,749 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMkdirAndStat(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/docs/work/reports"); err != nil {
+		t.Fatal(err)
+	}
+	info, err := fs.Stat("/docs/work/reports")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.IsDir {
+		t.Fatal("expected directory")
+	}
+	if _, err := fs.Stat("/docs/missing"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Stat missing = %v, want ErrNotExist", err)
+	}
+}
+
+func TestMkdirExisting(t *testing.T) {
+	fs := New()
+	if err := fs.Mkdir("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/a"); !errors.Is(err, ErrExist) {
+		t.Fatalf("second Mkdir = %v, want ErrExist", err)
+	}
+	if err := fs.MkdirAll("/a"); err != nil {
+		t.Fatalf("MkdirAll existing = %v, want nil", err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/docs"); err != nil {
+		t.Fatal(err)
+	}
+	content := []byte("hello cryptodrop")
+	if err := fs.WriteFile(1, "/docs/note.txt", content); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile(1, "/docs/note.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatalf("read %q, want %q", got, content)
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	fs := New()
+	if _, err := fs.Open(1, "/nope.txt", ReadOnly); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("err = %v, want ErrNotExist", err)
+	}
+}
+
+func TestOpenFlagsValidation(t *testing.T) {
+	fs := New()
+	if _, err := fs.Open(1, "/x", 0); !errors.Is(err, ErrBadFlag) {
+		t.Fatalf("open with no flags = %v, want ErrBadFlag", err)
+	}
+}
+
+func TestReadOnHandleNotOpenForRead(t *testing.T) {
+	fs := New()
+	h, err := fs.Create(1, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if _, err := h.Read(make([]byte, 4)); !errors.Is(err, ErrBadFlag) {
+		t.Fatalf("read on write-only handle = %v, want ErrBadFlag", err)
+	}
+}
+
+func TestWriteOnReadOnlyHandle(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile(1, "/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	h, err := fs.Open(1, "/f", ReadOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if _, err := h.Write([]byte("y")); !errors.Is(err, ErrBadFlag) {
+		t.Fatalf("write on read-only handle = %v, want ErrBadFlag", err)
+	}
+}
+
+func TestTruncateOnOpen(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile(1, "/f", []byte("long original content")); err != nil {
+		t.Fatal(err)
+	}
+	h, err := fs.Open(1, "/f", WriteOnly|Truncate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile(1, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new" {
+		t.Fatalf("content = %q, want %q", got, "new")
+	}
+}
+
+func TestAppend(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile(1, "/f", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	h, err := fs.Open(1, "/f", WriteOnly|Append)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("def")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.ReadFile(1, "/f")
+	if string(got) != "abcdef" {
+		t.Fatalf("content = %q, want abcdef", got)
+	}
+}
+
+func TestWriteAtOffsetGrowsFile(t *testing.T) {
+	fs := New()
+	h, err := fs.Create(1, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SeekTo(4)
+	if _, err := h.Write([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.ReadFile(1, "/f")
+	want := append([]byte{0, 0, 0, 0}, []byte("tail")...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("content = %v, want %v", got, want)
+	}
+}
+
+func TestInPlaceOverwrite(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile(1, "/f", []byte("AAAABBBB")); err != nil {
+		t.Fatal(err)
+	}
+	h, err := fs.Open(1, "/f", ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("XX")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.ReadFile(1, "/f")
+	if string(got) != "XXAABBBB" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+func TestDoubleClose(t *testing.T) {
+	fs := New()
+	h, err := fs.Create(1, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("second close = %v, want ErrClosed", err)
+	}
+	if _, err := h.Write([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile(1, "/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete(1, "/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/f"); !errors.Is(err, ErrNotExist) {
+		t.Fatal("file still exists after delete")
+	}
+	if err := fs.Delete(1, "/f"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("delete missing = %v, want ErrNotExist", err)
+	}
+}
+
+func TestDeleteReadOnlyFails(t *testing.T) {
+	// Windows semantics the GPcode 2008 sample trips over (§V-C).
+	fs := New()
+	if err := fs.WriteFile(1, "/f", []byte("precious")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SetReadOnly("/f", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete(1, "/f"); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("delete read-only = %v, want ErrReadOnly", err)
+	}
+	if _, err := fs.Open(1, "/f", WriteOnly); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("open read-only for write = %v, want ErrReadOnly", err)
+	}
+	if err := fs.SetReadOnly("/f", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete(1, "/f"); err != nil {
+		t.Fatalf("delete after clearing attribute = %v", err)
+	}
+}
+
+func TestDeleteNonEmptyDir(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(1, "/d/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete(1, "/d"); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("delete non-empty dir = %v, want ErrNotEmpty", err)
+	}
+	if err := fs.Delete(1, "/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete(1, "/d"); err != nil {
+		t.Fatalf("delete empty dir = %v", err)
+	}
+}
+
+func TestRenamePreservesFileID(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/docs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("/tmp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(1, "/docs/f.txt", []byte("content")); err != nil {
+		t.Fatal(err)
+	}
+	before, err := fs.Stat("/docs/f.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Class B pattern: move out, then move back under a different name.
+	if err := fs.Rename(1, "/docs/f.txt", "/tmp/work.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(1, "/tmp/work.bin", "/docs/f.txt.locked"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := fs.Stat("/docs/f.txt.locked")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.FileID != after.FileID {
+		t.Fatalf("file ID changed across moves: %d -> %d", before.FileID, after.FileID)
+	}
+}
+
+func TestRenameReplacesTarget(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile(1, "/orig", []byte("original")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(1, "/new", []byte("encrypted")); err != nil {
+		t.Fatal(err)
+	}
+	origInfo, _ := fs.Stat("/orig")
+
+	var replaced uint64
+	rec := &recorder{onPost: func(op *Op) {
+		if op.Kind == OpRename {
+			replaced = op.ReplacedID
+		}
+	}}
+	fs.SetInterceptor(rec)
+	if err := fs.Rename(1, "/new", "/orig"); err != nil {
+		t.Fatal(err)
+	}
+	if replaced != origInfo.FileID {
+		t.Fatalf("ReplacedID = %d, want %d", replaced, origInfo.FileID)
+	}
+	got, _ := fs.ReadFile(1, "/orig")
+	if string(got) != "encrypted" {
+		t.Fatalf("content after replace = %q", got)
+	}
+	if _, err := fs.Stat("/new"); !errors.Is(err, ErrNotExist) {
+		t.Fatal("source still exists after rename")
+	}
+}
+
+func TestRenameOntoReadOnlyFails(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile(1, "/orig", []byte("original")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(1, "/new", []byte("encrypted")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SetReadOnly("/orig", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(1, "/new", "/orig"); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("rename over read-only = %v, want ErrReadOnly", err)
+	}
+}
+
+// recorder is a test interceptor.
+type recorder struct {
+	pre    []Op
+	post   []Op
+	onPre  func(op *Op) error
+	onPost func(op *Op)
+}
+
+func (r *recorder) PreOp(op *Op) error {
+	r.pre = append(r.pre, *op)
+	if r.onPre != nil {
+		return r.onPre(op)
+	}
+	return nil
+}
+
+func (r *recorder) PostOp(op *Op) {
+	r.post = append(r.post, *op)
+	if r.onPost != nil {
+		r.onPost(op)
+	}
+}
+
+func TestInterceptorSeesOpStream(t *testing.T) {
+	fs := New()
+	rec := &recorder{}
+	fs.SetInterceptor(rec)
+	if err := fs.WriteFile(42, "/f", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile(42, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "payload" {
+		t.Fatalf("read %q", data)
+	}
+	var kinds []OpKind
+	for _, op := range rec.post {
+		kinds = append(kinds, op.Kind)
+		if op.PID != 42 {
+			t.Fatalf("op %v pid = %d, want 42", op.Kind, op.PID)
+		}
+	}
+	want := []OpKind{OpCreate, OpWrite, OpClose, OpOpen, OpRead, OpClose}
+	if len(kinds) != len(want) {
+		t.Fatalf("ops = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("ops = %v, want %v", kinds, want)
+		}
+	}
+	// Write payload must be visible.
+	if string(rec.post[1].Data) != "payload" {
+		t.Fatalf("write op data = %q", rec.post[1].Data)
+	}
+	// Read payload must be visible post-op.
+	if string(rec.post[4].Data) != "payload" {
+		t.Fatalf("read op data = %q", rec.post[4].Data)
+	}
+	// Close op of the write handle must record Wrote.
+	if !rec.post[2].Wrote {
+		t.Fatal("close op Wrote = false for write handle")
+	}
+	if rec.post[5].Wrote {
+		t.Fatal("close op Wrote = true for read handle")
+	}
+}
+
+func TestInterceptorVeto(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile(1, "/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	denied := errors.New("process suspended")
+	fs.SetInterceptor(&recorder{onPre: func(op *Op) error {
+		if op.Kind == OpDelete {
+			return denied
+		}
+		return nil
+	}})
+	if err := fs.Delete(1, "/f"); !errors.Is(err, denied) {
+		t.Fatalf("delete = %v, want veto error", err)
+	}
+	if _, err := fs.Stat("/f"); err != nil {
+		t.Fatal("vetoed delete removed the file")
+	}
+}
+
+func TestOpCounts(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile(1, "/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile(1, "/f"); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.OpCount(OpWrite); got != 1 {
+		t.Fatalf("write count = %d, want 1", got)
+	}
+	if got := fs.OpCount(OpRead); got != 1 {
+		t.Fatalf("read count = %d, want 1", got)
+	}
+	if got := fs.OpCount(OpClose); got != 2 {
+		t.Fatalf("close count = %d, want 2", got)
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/d/sub"); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"/d/z.txt", "/d/a.txt", "/d/m.txt"} {
+		if err := fs.WriteFile(1, name, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos, err := fs.List("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, info := range infos {
+		names = append(names, info.Path)
+	}
+	want := []string{"/d/a.txt", "/d/m.txt", "/d/sub", "/d/z.txt"}
+	if len(names) != len(want) {
+		t.Fatalf("List = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("List = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestWalkAndTreeStats(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/docs/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(1, "/docs/f1", bytes.Repeat([]byte("x"), 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(1, "/docs/a/f2", bytes.Repeat([]byte("y"), 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(1, "/docs/a/b/f3", bytes.Repeat([]byte("z"), 30)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := fs.TreeStats("/docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Files != 3 || s.Dirs != 2 || s.Bytes != 60 {
+		t.Fatalf("stats = %+v, want 3 files, 2 dirs, 60 bytes", s)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/docs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(1, "/docs/f", []byte("original")); err != nil {
+		t.Fatal(err)
+	}
+	clone := fs.Clone()
+
+	// Mutating the clone must not affect the original (copy-on-write).
+	h, err := clone.Open(1, "/docs/f", ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("ENCRYPTD")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := clone.WriteFile(1, "/docs/new", []byte("note")); err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := fs.ReadFile(1, "/docs/f")
+	if string(orig) != "original" {
+		t.Fatalf("original mutated through clone: %q", orig)
+	}
+	if _, err := fs.Stat("/docs/new"); !errors.Is(err, ErrNotExist) {
+		t.Fatal("file created in clone appeared in original")
+	}
+
+	// And vice versa: mutating the original must not affect the clone.
+	h2, err := fs.Open(1, "/docs/f", ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h2.Write([]byte("CHANGED!")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cloned, _ := clone.ReadFile(1, "/docs/f")
+	if string(cloned) != "ENCRYPTD" {
+		t.Fatalf("clone mutated through original: %q", cloned)
+	}
+}
+
+func TestClonePreservesReadOnly(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile(1, "/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SetReadOnly("/f", true); err != nil {
+		t.Fatal(err)
+	}
+	clone := fs.Clone()
+	if err := clone.Delete(1, "/f"); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("clone lost read-only attribute: %v", err)
+	}
+}
+
+func TestReadFileRawBypassesInterceptor(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile(1, "/f", []byte("secret")); err != nil {
+		t.Fatal(err)
+	}
+	rec := &recorder{}
+	fs.SetInterceptor(rec)
+	data, err := fs.ReadFileRaw("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "secret" {
+		t.Fatalf("raw read = %q", data)
+	}
+	if len(rec.pre)+len(rec.post) != 0 {
+		t.Fatal("raw read passed through the interceptor")
+	}
+}
+
+func TestReadFileRawByID(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(1, "/a/f", []byte("tracked")); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := fs.Stat("/a/f")
+	if err := fs.Rename(1, "/a/f", "/a/g"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFileRawByID(info.FileID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "tracked" {
+		t.Fatalf("by-ID read = %q", data)
+	}
+	if _, err := fs.ReadFileRawByID(99999); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("missing ID = %v, want ErrNotExist", err)
+	}
+}
+
+func TestPathCleaning(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("docs/sub"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(1, "docs/sub/../sub/./f.txt", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/docs/sub/f.txt"); err != nil {
+		t.Fatalf("cleaned path not found: %v", err)
+	}
+}
+
+func TestWriteReadPropertyRoundTrip(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/p"); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	f := func(data []byte) bool {
+		i++
+		p := "/p/file" + string(rune('a'+i%26))
+		if err := fs.WriteFile(1, p, data); err != nil {
+			return false
+		}
+		got, err := fs.ReadFile(1, p)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWriteFileUnfiltered(b *testing.B) {
+	fs := New()
+	if err := fs.MkdirAll("/d"); err != nil {
+		b.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("x"), 16*1024)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fs.WriteFile(1, "/d/f", data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCloneTree(b *testing.B) {
+	fs := New()
+	for i := 0; i < 50; i++ {
+		dir := "/d" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		if err := fs.MkdirAll(dir); err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 20; j++ {
+			p := dir + "/f" + string(rune('a'+j))
+			if err := fs.WriteFile(1, p, bytes.Repeat([]byte("z"), 4096)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs.Clone()
+	}
+}
+
+func TestConcurrentAccessSafe(t *testing.T) {
+	// Multiple goroutines reading, writing and cloning concurrently must
+	// not race (run under -race in CI).
+	fs := New()
+	if err := fs.MkdirAll("/d"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := fs.WriteFile(0, "/d/f"+string(rune('a'+i)), bytes.Repeat([]byte{byte(i)}, 4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				switch (w + i) % 4 {
+				case 0:
+					if _, err := fs.ReadFile(w, "/d/f"+string(rune('a'+i%20))); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					if err := fs.WriteFile(w, "/d/w"+string(rune('a'+w)), []byte("data")); err != nil {
+						t.Error(err)
+						return
+					}
+				case 2:
+					clone := fs.Clone()
+					if _, err := clone.ReadFile(w, "/d/f"+string(rune('a'+i%20))); err != nil {
+						t.Error(err)
+						return
+					}
+				default:
+					if _, err := fs.Stat("/d"); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestHandleOnCloneIndependent(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile(1, "/f", bytes.Repeat([]byte("x"), 1024)); err != nil {
+		t.Fatal(err)
+	}
+	clone := fs.Clone()
+	h, err := clone.Open(1, "/f", vfsReadWrite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("MUTATED")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := fs.ReadFile(1, "/f")
+	if string(orig[:7]) == "MUTATED" {
+		t.Fatal("write through clone handle mutated the original")
+	}
+}
+
+// vfsReadWrite avoids the exported-constant collision in older tests.
+func vfsReadWrite() OpenFlag { return ReadWrite }
