@@ -132,6 +132,21 @@ func WithFamilyScoring() Option {
 	return func(o *options) { o.familyScoring = true }
 }
 
+// WithMeasureWorkers bounds how many file measurements (similarity digest,
+// entropy, type sniff) may run concurrently off the event path. Zero — the
+// default — keeps every measurement synchronous, bit-identical to the
+// sequential engine; DefaultMeasureWorkers sizes the pool to the machine.
+// Detection verdicts and scores are unchanged either way: only the point in
+// the operation stream where a transformation's score lands may shift by a
+// few operations for the affected process.
+func WithMeasureWorkers(n int) Option {
+	return func(o *options) { o.cfg.Workers = n }
+}
+
+// DefaultMeasureWorkers returns the measurement pool size matched to the
+// machine, for use with WithMeasureWorkers.
+func DefaultMeasureWorkers() int { return core.DefaultWorkers() }
+
 // WithDetectionHandler registers a callback invoked once per detection,
 // after the process family has been suspended.
 func WithDetectionHandler(fn func(Detection)) Option {

@@ -1,0 +1,185 @@
+package core
+
+// Concurrency regression tests for the sharded scoreboard and the
+// measurement pool. Run with -race: these tests exist to catch lock-window
+// regressions (a delete racing the content read of a completed rewrite) and
+// cross-shard ordering bugs, not to assert timing.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cryptodrop/internal/corpus"
+	"cryptodrop/internal/vfs"
+)
+
+// TestConcurrentDeleteCloseSameFile is the regression test for the old
+// readRaw unlock/relock window: PostOp used to release the engine-wide lock
+// to read the rewritten file's content and then re-acquire it, so a
+// concurrent delete of the same file ID could mutate the file cache inside
+// a window the close handler believed was covered by its lock. The engine
+// now reads content before taking any scoreboard lock; a delete racing the
+// read must leave the engine consistent — the close either sees the content
+// (and scores the transformation) or sees a read error (and scores
+// nothing), never a torn state.
+func TestConcurrentDeleteCloseSameFile(t *testing.T) {
+	fs, eng := setup(t, DefaultConfig(testRoot))
+	p := testRoot + "/contended.docx"
+	content := corpus.Generate("docx", 99, 8192)
+
+	const rounds = 300
+	var wg sync.WaitGroup
+	wg.Add(2)
+	start := make(chan struct{})
+
+	// Writer: rewrite and close the file as pid 1.
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < rounds; i++ {
+			h, err := fs.Open(1, p, vfs.WriteOnly|vfs.Create)
+			if err != nil {
+				continue // deleted out from under us; recreated next round
+			}
+			h.Write(keystream(int64(i), 4096))
+			h.Close()
+		}
+	}()
+	// Deleter: remove and recreate the same path as pid 2, churning the
+	// file ID the writer is closing against.
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < rounds; i++ {
+			fs.Delete(2, p)
+			fs.WriteFile(2, p, content)
+		}
+	}()
+	close(start)
+	wg.Wait()
+
+	// The engine must still be consistent and serviceable.
+	eng.Flush()
+	for _, pid := range []int{1, 2} {
+		if _, ok := eng.Report(pid); !ok {
+			t.Fatalf("no report for pid %d after contended run", pid)
+		}
+	}
+}
+
+// TestConcurrentPostOpDistinctProcesses drives the full detection hot path
+// from many goroutines, each acting as its own process on its own file: the
+// sharded scoreboard must keep every process's bookkeeping isolated, and
+// every transformation must land exactly once.
+func TestConcurrentPostOpDistinctProcesses(t *testing.T) {
+	cfg := DefaultConfig(testRoot)
+	cfg.Workers = 4
+	fs, eng := setup(t, cfg)
+
+	const procs = 16
+	var wg sync.WaitGroup
+	for g := 0; g < procs; g++ {
+		pid := 100 + g
+		p := fmt.Sprintf("%s/worker%02d.docx", testRoot, g)
+		if err := fs.WriteFile(0, p, corpus.Generate("docx", int64(g), 8192)); err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				encryptInPlace(t, fs, pid, p)
+			}
+		}()
+	}
+	wg.Wait()
+	eng.Flush()
+
+	for g := 0; g < procs; g++ {
+		rep, ok := eng.Report(100 + g)
+		if !ok {
+			t.Fatalf("no report for pid %d", 100+g)
+		}
+		if rep.FilesTransformed != 5 {
+			t.Errorf("pid %d: FilesTransformed = %d, want 5", 100+g, rep.FilesTransformed)
+		}
+		if rep.Score <= 0 {
+			t.Errorf("pid %d: score = %v, want > 0 after repeated encryption", 100+g, rep.Score)
+		}
+	}
+}
+
+// TestWorkerPoolMatchesSequential replays one deterministic single-threaded
+// workload through a synchronous engine (Workers = 0) and a pooled engine
+// (Workers = 4) and requires identical verdicts: same scores, same
+// per-indicator points, same union state, same detection operation indexes.
+// This is the invariant the deferred-apply design exists to preserve — the
+// pool moves measurement off the event path without changing what the
+// engine concludes.
+func TestWorkerPoolMatchesSequential(t *testing.T) {
+	run := func(workers int) (*Engine, []Detection) {
+		cfg := DefaultConfig(testRoot)
+		cfg.Workers = workers
+		fs, eng := setup(t, cfg)
+		// A Class A pass over the corpus as pid 7, with benign reads from
+		// pid 8 interleaved.
+		files, err := fs.List(testRoot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, fi := range files {
+			p := fi.Path
+			if i%3 == 0 {
+				if _, err := fs.ReadFile(8, p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			encryptInPlace(t, fs, 7, p)
+		}
+		return eng, eng.Detections()
+	}
+
+	seqEng, seqDets := run(0)
+	poolEng, poolDets := run(4)
+
+	if len(seqDets) != len(poolDets) {
+		t.Fatalf("detections: sequential %d, pooled %d", len(seqDets), len(poolDets))
+	}
+	for i := range seqDets {
+		s, p := seqDets[i], poolDets[i]
+		if s.PID != p.PID || s.Score != p.Score || s.Threshold != p.Threshold ||
+			s.Union != p.Union || s.OpIndex != p.OpIndex {
+			t.Errorf("detection %d differs: sequential %+v, pooled %+v", i, s, p)
+		}
+	}
+	seqReps, poolReps := seqEng.Reports(), poolEng.Reports()
+	if len(seqReps) != len(poolReps) {
+		t.Fatalf("reports: sequential %d, pooled %d", len(seqReps), len(poolReps))
+	}
+	for i := range seqReps {
+		s, p := seqReps[i], poolReps[i]
+		if s.PID != p.PID || s.Score != p.Score || s.Union != p.Union ||
+			s.Detected != p.Detected || s.FilesTransformed != p.FilesTransformed {
+			t.Errorf("report %d differs: sequential %+v, pooled %+v", i, s, p)
+		}
+		for ind, pts := range s.IndicatorPoints {
+			if p.IndicatorPoints[ind] != pts {
+				t.Errorf("pid %d indicator %v: sequential %v, pooled %v",
+					s.PID, ind, pts, p.IndicatorPoints[ind])
+			}
+		}
+		if len(s.History) != len(p.History) {
+			t.Errorf("pid %d history length: sequential %d, pooled %d",
+				s.PID, len(s.History), len(p.History))
+			continue
+		}
+		for j := range s.History {
+			if s.History[j] != p.History[j] {
+				t.Errorf("pid %d history[%d]: sequential %+v, pooled %+v",
+					s.PID, j, s.History[j], p.History[j])
+				break
+			}
+		}
+	}
+}

@@ -20,6 +20,8 @@
 // so suspension follows almost immediately.
 package core
 
+import "runtime"
+
 // Default thresholds from the paper (§IV-C1, §V-A).
 const (
 	// DefaultNonUnionThreshold is the reputation score at which a process
@@ -130,6 +132,13 @@ type Config struct {
 	// DisabledIndicators suppresses scoring (and union participation) of
 	// the listed indicators (ablation studies).
 	DisabledIndicators []Indicator
+	// Workers sizes the measurement worker pool. Zero (the default) keeps
+	// every measurement synchronous on the event path — bit-identical to
+	// the original sequential engine, which the deterministic experiments
+	// rely on. A positive value bounds how many file measurements (sdhash
+	// digest + entropy + magic sniff) may run concurrently off the event
+	// path; DefaultWorkers sizes it to the machine.
+	Workers int
 	// FamilyOf, if set, maps an acting PID to its scoring group (typically
 	// the root ancestor of the process family). All processes in a group
 	// share one scoreboard entry, so malware cannot dilute its score by
@@ -140,6 +149,10 @@ type Config struct {
 	// the moment its score crosses the effective threshold.
 	OnDetection func(Detection)
 }
+
+// DefaultWorkers returns the measurement pool size matched to the machine:
+// one worker per schedulable CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // DefaultConfig returns a Config with the paper's parameters, protecting
 // root.

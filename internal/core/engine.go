@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"cryptodrop/internal/magic"
 	"cryptodrop/internal/sdhash"
@@ -18,23 +19,33 @@ import (
 // the flagged process family) belongs to the monitor that owns it.
 //
 // Create an Engine with New and attach it to the filesystem's filter chain.
-// All methods are safe for concurrent use.
+// All methods are safe for concurrent use. The scoreboard is sharded by
+// scoring-group PID and the file-state cache by file ID, so operations from
+// distinct processes on distinct files never contend on a shared lock; see
+// DESIGN.md ("Concurrency model") for the shard layout and ordering
+// guarantees.
 type Engine struct {
-	mu  sync.Mutex
 	cfg Config
 	fs  *vfs.FS
 
-	procs map[int]*procState
+	// procs is the sharded per-process scoreboard.
+	procs procTable
 	// files caches the measured previous-version state of protected
-	// files, keyed by stable file ID so it survives renames and moves.
-	files map[uint64]*fileState
-	// creators records which process created each file, distinguishing a
-	// process deleting its own temp files from one destroying the user's
-	// pre-existing data.
-	creators map[uint64]int
+	// files, keyed by stable file ID so it survives renames and moves,
+	// sharded by ID. It also tracks which process created each file,
+	// distinguishing a process deleting its own temp files from one
+	// destroying the user's pre-existing data.
+	files fileTable
 
-	disabled   map[Indicator]bool
-	opIndex    int64
+	// pool runs measurement kernels off the event path when cfg.Workers
+	// is positive; nil means fully synchronous (bit-identical to the
+	// original single-threaded engine).
+	pool *measurePool
+
+	disabled map[Indicator]bool
+	opIndex  atomic.Int64
+
+	detMu      sync.Mutex
 	detections []Detection
 }
 
@@ -44,14 +55,17 @@ func New(cfg Config, fsys *vfs.FS) *Engine {
 	for _, ind := range cfg.DisabledIndicators {
 		disabled[ind] = true
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:      cfg,
 		fs:       fsys,
-		procs:    make(map[int]*procState),
-		files:    make(map[uint64]*fileState),
-		creators: make(map[uint64]int),
 		disabled: disabled,
 	}
+	e.procs.init()
+	e.files.init()
+	if cfg.Workers > 0 {
+		e.pool = newMeasurePool(cfg.Workers)
+	}
+	return e
 }
 
 // Name identifies the engine in a filter chain.
@@ -66,19 +80,22 @@ func (e *Engine) inRoot(p string) bool {
 	return p == root || strings.HasPrefix(p, root+"/")
 }
 
-// proc returns (creating if needed) the scoreboard entry for pid — or for
-// pid's scoring group when family scoring is configured; e.mu held.
-func (e *Engine) proc(pid int) *procState {
+// lockProc resolves pid to its scoring group, locks the owning scoreboard
+// shard and returns the (created if needed) entry. The caller must unlock
+// sh.mu when done with the entry.
+func (e *Engine) lockProc(pid int) (ps *procState, sh *procShard) {
 	if e.cfg.FamilyOf != nil {
 		pid = e.cfg.FamilyOf(pid)
 	}
-	ps, ok := e.procs[pid]
+	sh = e.procs.shard(pid)
+	sh.mu.Lock()
+	ps, ok := sh.m[pid]
 	if !ok {
 		ps = newProcState(pid)
 		ps.delta.SetUnweighted(e.cfg.UnweightedEntropy)
-		e.procs[pid] = ps
+		sh.m[pid] = ps
 	}
-	return ps
+	return ps, sh
 }
 
 // PreOp snapshots file state that would otherwise be destroyed by the
@@ -108,25 +125,23 @@ func (e *Engine) PreOp(op *vfs.Op) error {
 	return nil
 }
 
-// snapshot caches the current content state of the file with the given ID if
-// not already cached.
+// snapshot caches the current content state of the file with the given ID
+// if not already cached. The content read and measurement run without any
+// engine lock held; with a measurement pool the digestion itself is
+// deferred to a worker and later lookups wait on the resolving task.
 func (e *Engine) snapshot(id uint64) {
-	e.mu.Lock()
-	_, ok := e.files[id]
-	e.mu.Unlock()
-	if ok {
+	if e.files.has(id) {
 		return
 	}
 	content, err := e.fs.ReadFileRawByID(id)
 	if err != nil || len(content) == 0 {
 		return
 	}
-	st := measureFile(content)
-	e.mu.Lock()
-	if _, ok := e.files[id]; !ok {
-		e.files[id] = st
+	if e.pool != nil {
+		e.files.storeIfMissing(id, e.pool.submit(content))
+		return
 	}
-	e.mu.Unlock()
+	e.files.storeIfMissing(id, resolvedTask(measureFile(content)))
 }
 
 func (e *Engine) snapshotIfMissing(id uint64) { e.snapshot(id) }
@@ -137,95 +152,158 @@ func (e *Engine) PostOp(op *vfs.Op) {
 	if !relevant {
 		return
 	}
-	e.mu.Lock()
-	e.opIndex++
-	ps := e.proc(op.PID)
+	ps, sh := e.lockProc(op.PID)
+	// Fold in any measurement results completed since the process's last
+	// operation, in submission order, before scoring the new operation.
+	dets := e.drainPending(ps)
+
+	// Transformation-evaluating ops (a completed rewrite, a rename into
+	// the protected tree) need the file's current content. The read — and
+	// in synchronous mode the measurement — happens with the shard lock
+	// released, so a concurrent delete or rename can no longer mutate the
+	// file cache under a lock the reader believes it still holds.
+	var job *measureTask
+	if e.needsContent(op) {
+		sh.mu.Unlock()
+		job = e.prepareMeasure(op.FileID)
+		sh.mu.Lock()
+	}
+
+	opIdx := e.opIndex.Add(1)
 	switch op.Kind {
 	case vfs.OpRead:
-		e.handleRead(ps, op)
+		e.handleRead(ps, op, opIdx)
 	case vfs.OpWrite:
-		e.handleWrite(ps, op)
+		e.handleWrite(ps, op, opIdx)
 	case vfs.OpClose:
-		e.handleClose(ps, op)
+		e.handleClose(ps, op, job, opIdx)
 	case vfs.OpDelete:
-		e.handleDelete(ps, op)
+		e.handleDelete(ps, op, opIdx)
 	case vfs.OpRename:
-		e.handleRename(ps, op)
+		e.handleRename(ps, op, job, opIdx)
 	case vfs.OpCreate:
-		e.creators[op.FileID] = op.PID
+		e.files.setCreator(op.FileID, op.PID)
 		ps.dirsTouched[path.Dir(op.Path)] = true
 	case vfs.OpOpen:
 		ps.dirsTouched[path.Dir(op.Path)] = true
 	}
-	det, fire := e.checkDetection(ps)
-	e.mu.Unlock()
-	if fire && e.cfg.OnDetection != nil {
-		e.cfg.OnDetection(det)
+	if det, fire := e.checkDetection(ps, opIdx); fire {
+		dets = append(dets, det)
+	}
+	sh.mu.Unlock()
+	e.dispatch(dets)
+}
+
+// needsContent reports whether the operation evaluates a file
+// transformation and therefore needs the file's current content measured;
+// the caller holds the proc-shard lock.
+func (e *Engine) needsContent(op *vfs.Op) bool {
+	switch op.Kind {
+	case vfs.OpClose:
+		return op.Wrote
+	case vfs.OpRename:
+		return e.inRoot(op.NewPath) && (op.ReplacedID != 0 || e.files.has(op.FileID))
+	}
+	return false
+}
+
+// prepareMeasure reads the file's content (no engine lock held) and starts
+// its measurement: on the pool when configured, inline otherwise. It
+// returns nil when the content cannot be read (e.g. the file was deleted in
+// the window since the operation completed).
+func (e *Engine) prepareMeasure(id uint64) *measureTask {
+	content, err := e.fs.ReadFileRawByID(id)
+	if err != nil {
+		return nil
+	}
+	if e.pool != nil {
+		return e.pool.submit(content)
+	}
+	return resolvedTask(measureFile(content))
+}
+
+// dispatch invokes the detection callback for each fired detection, in
+// order, outside all engine locks.
+func (e *Engine) dispatch(dets []Detection) {
+	if e.cfg.OnDetection == nil {
+		return
+	}
+	for _, d := range dets {
+		e.cfg.OnDetection(d)
 	}
 }
 
 // handleRead folds a read payload into the entropy tracker and funneling
-// sets; e.mu held.
-func (e *Engine) handleRead(ps *procState, op *vfs.Op) {
+// sets; proc-shard lock held.
+func (e *Engine) handleRead(ps *procState, op *vfs.Op, opIdx int64) {
 	ps.delta.AddRead(op.Data)
 	ps.dirsTouched[path.Dir(op.Path)] = true
 	ps.touchExt(extOf(op.Path))
 	if op.Offset == 0 && len(op.Data) > 0 {
-		t := magic.Identify(op.Data)
+		// Identify the type being read, consulting the per-process sniff
+		// cache first: re-reading the same unchanged prefix must not pay
+		// for a full magic scan every time.
+		key := ps.sniff.key(op.FileID, op.Data)
+		t, ok := ps.sniff.get(key)
+		if !ok {
+			t = magic.Identify(op.Data)
+			ps.sniff.put(key, t)
+		}
 		ps.typesRead[t.ID] = true
-		e.checkFunneling(ps)
+		e.checkFunneling(ps, opIdx)
 	}
 }
 
 // handleWrite folds a write payload into the entropy tracker and applies
-// per-operation entropy-delta scoring; e.mu held.
-func (e *Engine) handleWrite(ps *procState, op *vfs.Op) {
+// per-operation entropy-delta scoring; proc-shard lock held.
+func (e *Engine) handleWrite(ps *procState, op *vfs.Op, opIdx int64) {
 	ps.delta.AddWrite(op.Data)
 	ps.dirsTouched[path.Dir(op.Path)] = true
 	ps.touchExt(extOf(op.Path))
 	if e.deltaSuspicious(ps) {
-		e.award(ps, IndicatorEntropyDelta, e.cfg.Points.EntropyDeltaOp)
+		e.award(ps, IndicatorEntropyDelta, e.cfg.Points.EntropyDeltaOp, opIdx)
 	}
 }
 
 // deltaSuspicious reports whether the process's current entropy delta
-// exceeds the threshold; e.mu held.
+// exceeds the threshold; proc-shard lock held.
 func (e *Engine) deltaSuspicious(ps *procState) bool {
 	d, ok := ps.delta.Delta()
 	return ok && d >= e.cfg.EntropyDeltaThreshold
 }
 
 // handleClose evaluates a completed file rewrite against the cached
-// previous-version state; e.mu held.
-func (e *Engine) handleClose(ps *procState, op *vfs.Op) {
-	if !op.Wrote {
+// previous-version state; proc-shard lock held.
+func (e *Engine) handleClose(ps *procState, op *vfs.Op, job *measureTask, opIdx int64) {
+	if !op.Wrote || job == nil {
 		return
 	}
-	e.evaluateTransformation(ps, op.FileID, op.FileID)
+	e.evaluate(ps, job, op.FileID, e.files.entry(op.FileID), opIdx)
 }
 
-// handleDelete scores a protected file removal; e.mu held. Removing a file
-// the process itself created (temp/autosave churn) is ordinary behaviour and
-// scores far lower than destroying the user's pre-existing data — the bulk
-// deletion the secondary indicator targets (§III-D).
-func (e *Engine) handleDelete(ps *procState, op *vfs.Op) {
+// handleDelete scores a protected file removal; proc-shard lock held.
+// Removing a file the process itself created (temp/autosave churn) is
+// ordinary behaviour and scores far lower than destroying the user's
+// pre-existing data — the bulk deletion the secondary indicator targets
+// (§III-D).
+func (e *Engine) handleDelete(ps *procState, op *vfs.Op, opIdx int64) {
 	ps.deletes++
 	ps.dirsTouched[path.Dir(op.Path)] = true
 	ps.touchExt(extOf(op.Path))
 	pts := e.cfg.Points.Deletion
-	if e.creators[op.FileID] == op.PID {
+	if e.files.creator(op.FileID) == op.PID {
 		pts = e.cfg.Points.DeletionOwn
 	}
-	e.award(ps, IndicatorDeletion, pts)
-	delete(e.files, op.FileID)
-	delete(e.creators, op.FileID)
+	e.award(ps, IndicatorDeletion, pts, opIdx)
+	e.files.drop(op.FileID)
+	e.files.dropCreator(op.FileID)
 }
 
 // handleRename links file state across moves. A rename that replaces an
 // existing protected file is a Class B/C transformation of the replaced
 // file; a move back into the protected root is checked against the moved
-// file's own cached state; e.mu held.
-func (e *Engine) handleRename(ps *procState, op *vfs.Op) {
+// file's own cached state; proc-shard lock held.
+func (e *Engine) handleRename(ps *procState, op *vfs.Op, job *measureTask, opIdx int64) {
 	if e.inRoot(op.Path) {
 		ps.dirsTouched[path.Dir(op.Path)] = true
 	}
@@ -239,65 +317,99 @@ func (e *Engine) handleRename(ps *procState, op *vfs.Op) {
 	if op.ReplacedID != 0 {
 		// The incoming file replaced a protected file: compare the new
 		// content against the replaced file's snapshot.
-		e.evaluateTransformation(ps, op.FileID, op.ReplacedID)
-		delete(e.files, op.ReplacedID)
+		if job != nil {
+			e.evaluate(ps, job, op.FileID, e.files.entry(op.ReplacedID), opIdx)
+		}
+		e.files.drop(op.ReplacedID)
 		return
 	}
-	if _, ok := e.files[op.FileID]; ok {
+	if prev := e.files.entry(op.FileID); prev != nil && job != nil {
 		// The file itself returned to the protected tree (Class B):
 		// compare against its own pre-move state.
-		e.evaluateTransformation(ps, op.FileID, op.FileID)
+		e.evaluate(ps, job, op.FileID, prev, opIdx)
 	}
 }
 
-// evaluateTransformation compares the current content of file contentID
-// against the cached previous state of file prevID, awarding type-change and
-// similarity points, then refreshes the cache; e.mu held.
-func (e *Engine) evaluateTransformation(ps *procState, contentID, prevID uint64) {
-	prev := e.files[prevID]
-	content, err := e.readRaw(contentID)
-	if err != nil {
+// pendingApply is a transformation evaluation whose measurement may still
+// be resolving on the pool: the new content's measurement task, the
+// previous-version state captured when the operation was scored, and the
+// operation index the award should be recorded under.
+type pendingApply struct {
+	job       *measureTask
+	prev      *measureTask
+	contentID uint64
+	opIdx     int64
+}
+
+// evaluate scores the transformation of file contentID (measured by job)
+// against the previous state prev. Without a pool the evaluation applies
+// immediately — bit-identical to the original sequential engine. With a
+// pool it is queued on the process and folded back in submission order at
+// the process's next operation (or at a Flush/report), so per-process
+// scoring order is exactly the order the sequential engine would use;
+// proc-shard lock held.
+func (e *Engine) evaluate(ps *procState, job *measureTask, contentID uint64, prev *measureTask, opIdx int64) {
+	p := pendingApply{job: job, prev: prev, contentID: contentID, opIdx: opIdx}
+	if e.pool == nil {
+		e.applyPending(ps, p)
 		return
 	}
-	newState := measureFile(content)
+	ps.pending = append(ps.pending, p)
+}
+
+// applyPending applies one queued evaluation; proc-shard lock held.
+func (e *Engine) applyPending(ps *procState, p pendingApply) {
+	newState := p.job.state()
 	ps.typesWritten[newState.typ.ID] = true
-	e.checkFunneling(ps)
+	e.checkFunneling(ps, p.opIdx)
+	prev := p.prev.state()
 	if prev == nil {
 		// A brand-new file of untyped high-entropy content, written while
 		// the process reads lower-entropy data: the shape of a Class C
 		// encrypted copy (§V-C).
 		if newState.typ.IsData() && newState.entropy > 7.0 && e.deltaSuspicious(ps) {
-			e.award(ps, IndicatorEntropyDelta, e.cfg.Points.NewCipherFile)
+			e.award(ps, IndicatorEntropyDelta, e.cfg.Points.NewCipherFile, p.opIdx)
 		}
 	}
 	if prev != nil {
 		ps.filesTransformed++
 		if newState.typ.ID != prev.typ.ID {
-			e.award(ps, IndicatorTypeChange, e.cfg.Points.TypeChange)
+			e.award(ps, IndicatorTypeChange, e.cfg.Points.TypeChange, p.opIdx)
 		}
 		// A dissimilarity verdict requires a reliable previous digest:
 		// digests with very few features (chance features in random-like
 		// data, e.g. JPEG scan streams) carry no confidence — the same
 		// reliability caveat sdhash applies to sparse digests.
 		if reliableDigest(prev) && e.dissimilar(prev.digest, newState.digest) {
-			e.award(ps, IndicatorSimilarity, e.cfg.Points.Similarity)
+			e.award(ps, IndicatorSimilarity, e.cfg.Points.Similarity, p.opIdx)
 		}
 		// File-level entropy increase: the rewrite pushed this file's own
 		// entropy up by at least the Δe threshold — the resolution that
 		// catches even compressed formats gaining entropy (§IV-C1).
 		if newState.entropy-prev.entropy >= e.cfg.EntropyDeltaThreshold {
-			e.award(ps, IndicatorEntropyDelta, e.cfg.Points.EntropyDeltaFile)
+			e.award(ps, IndicatorEntropyDelta, e.cfg.Points.EntropyDeltaFile, p.opIdx)
 		}
 	}
-	e.files[contentID] = newState
+	e.files.store(p.contentID, newState)
 }
 
-// readRaw reads file content by ID with the engine lock released, since the
-// filesystem takes its own lock.
-func (e *Engine) readRaw(id uint64) ([]byte, error) {
-	e.mu.Unlock()
-	defer e.mu.Lock()
-	return e.fs.ReadFileRawByID(id)
+// drainPending applies every queued evaluation for the process in
+// submission order, re-checking detection against each evaluation's own
+// operation index; proc-shard lock held. Fired detections are returned for
+// dispatch outside the lock.
+func (e *Engine) drainPending(ps *procState) []Detection {
+	if len(ps.pending) == 0 {
+		return nil
+	}
+	var dets []Detection
+	for _, p := range ps.pending {
+		e.applyPending(ps, p)
+		if det, fire := e.checkDetection(ps, p.opIdx); fire {
+			dets = append(dets, det)
+		}
+	}
+	ps.pending = ps.pending[:0]
+	return dets
 }
 
 // minReliableFeatures is the feature count above which a digest is always
@@ -330,20 +442,21 @@ func (e *Engine) dissimilar(prev *sdhash.Digest, next *sdhash.Digest) bool {
 }
 
 // checkFunneling awards the one-time funneling score when the process has
-// read many more distinct types than it has written; e.mu held.
-func (e *Engine) checkFunneling(ps *procState) {
+// read many more distinct types than it has written; proc-shard lock held.
+func (e *Engine) checkFunneling(ps *procState, opIdx int64) {
 	if ps.funnelFired || len(ps.typesWritten) == 0 {
 		return
 	}
 	if len(ps.typesRead)-len(ps.typesWritten) >= e.cfg.FunnelingThreshold {
 		ps.funnelFired = true
-		e.award(ps, IndicatorFunneling, e.cfg.Points.Funneling)
+		e.award(ps, IndicatorFunneling, e.cfg.Points.Funneling, opIdx)
 	}
 }
 
 // award adds points for an indicator occurrence and re-evaluates union
-// indication; e.mu held. Disabled indicators are ignored entirely.
-func (e *Engine) award(ps *procState, ind Indicator, pts float64) {
+// indication; proc-shard lock held. Disabled indicators are ignored
+// entirely.
+func (e *Engine) award(ps *procState, ind Indicator, pts float64, opIdx int64) {
 	if e.disabled[ind] {
 		return
 	}
@@ -351,14 +464,14 @@ func (e *Engine) award(ps *procState, ind Indicator, pts float64) {
 	ps.indicatorPoints[ind] += pts
 	ps.score += pts
 	if len(ps.history) < maxHistory {
-		ps.history = append(ps.history, ScorePoint{OpIndex: e.opIndex, Score: ps.score})
+		ps.history = append(ps.history, ScorePoint{OpIndex: opIdx, Score: ps.score})
 	}
-	e.checkUnion(ps)
+	e.checkUnion(ps, opIdx)
 }
 
 // checkUnion fires union indication once all three primary indicators have
-// been observed for the process; e.mu held.
-func (e *Engine) checkUnion(ps *procState) {
+// been observed for the process; proc-shard lock held.
+func (e *Engine) checkUnion(ps *procState, opIdx int64) {
 	if ps.unionFired || e.cfg.DisableUnion {
 		return
 	}
@@ -370,13 +483,14 @@ func (e *Engine) checkUnion(ps *procState) {
 	ps.unionFired = true
 	ps.score += e.cfg.Points.UnionBonus
 	if len(ps.history) < maxHistory {
-		ps.history = append(ps.history, ScorePoint{OpIndex: e.opIndex, Score: ps.score})
+		ps.history = append(ps.history, ScorePoint{OpIndex: opIdx, Score: ps.score})
 	}
 }
 
 // checkDetection evaluates the process against its effective threshold;
-// e.mu held. The Detection is returned for dispatch outside the lock.
-func (e *Engine) checkDetection(ps *procState) (Detection, bool) {
+// proc-shard lock held. The Detection is returned for dispatch outside the
+// lock.
+func (e *Engine) checkDetection(ps *procState, opIdx int64) (Detection, bool) {
 	if ps.detected {
 		return Detection{}, false
 	}
@@ -393,14 +507,32 @@ func (e *Engine) checkDetection(ps *procState) (Detection, bool) {
 		Score:      ps.score,
 		Threshold:  threshold,
 		Union:      ps.unionFired,
-		OpIndex:    e.opIndex,
+		OpIndex:    opIdx,
 		Indicators: make(map[Indicator]float64, len(ps.indicatorPoints)),
 	}
 	for ind, pts := range ps.indicatorPoints {
 		det.Indicators[ind] = pts
 	}
+	e.detMu.Lock()
 	e.detections = append(e.detections, det)
+	e.detMu.Unlock()
 	return det, true
+}
+
+// Flush applies every queued measurement result across all processes,
+// dispatching any detections that fire. It returns once the scoreboard
+// reflects all operations observed so far.
+func (e *Engine) Flush() {
+	var dets []Detection
+	for i := range e.procs.shards {
+		sh := &e.procs.shards[i]
+		sh.mu.Lock()
+		for _, ps := range sh.m {
+			dets = append(dets, e.drainPending(ps)...)
+		}
+		sh.mu.Unlock()
+	}
+	e.dispatch(dets)
 }
 
 // Report returns the scoreboard snapshot for pid (resolved to its scoring
@@ -409,31 +541,43 @@ func (e *Engine) Report(pid int) (ProcessReport, bool) {
 	if e.cfg.FamilyOf != nil {
 		pid = e.cfg.FamilyOf(pid)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	ps, ok := e.procs[pid]
+	sh := e.procs.shard(pid)
+	sh.mu.Lock()
+	ps, ok := sh.m[pid]
 	if !ok {
+		sh.mu.Unlock()
 		return ProcessReport{}, false
 	}
-	return ps.report(), true
+	dets := e.drainPending(ps)
+	rep := ps.report()
+	sh.mu.Unlock()
+	e.dispatch(dets)
+	return rep, true
 }
 
 // Reports returns snapshots for every scored process, ordered by PID.
 func (e *Engine) Reports() []ProcessReport {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	out := make([]ProcessReport, 0, len(e.procs))
-	for _, ps := range e.procs {
-		out = append(out, ps.report())
+	var out []ProcessReport
+	var dets []Detection
+	for i := range e.procs.shards {
+		sh := &e.procs.shards[i]
+		sh.mu.Lock()
+		for _, ps := range sh.m {
+			dets = append(dets, e.drainPending(ps)...)
+			out = append(out, ps.report())
+		}
+		sh.mu.Unlock()
 	}
+	e.dispatch(dets)
 	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
 	return out
 }
 
 // Detections returns all detections in occurrence order.
 func (e *Engine) Detections() []Detection {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.Flush()
+	e.detMu.Lock()
+	defer e.detMu.Unlock()
 	out := make([]Detection, len(e.detections))
 	copy(out, e.detections)
 	return out
@@ -441,9 +585,7 @@ func (e *Engine) Detections() []Detection {
 
 // OpIndex returns the number of protected-scope operations processed.
 func (e *Engine) OpIndex() int64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.opIndex
+	return e.opIndex.Load()
 }
 
 // extOf returns the lower-case extension of p without the dot.

@@ -62,6 +62,11 @@ type procState struct {
 	dirsTouched map[string]bool
 	// history records the score trajectory (capped, see maxHistory).
 	history []ScorePoint
+	// pending holds transformation evaluations whose measurement may
+	// still be resolving on the pool, in submission order.
+	pending []pendingApply
+	// sniff caches identified types of offset-0 read prefixes.
+	sniff sniffCache
 }
 
 // ScorePoint is one step of a process's score trajectory.

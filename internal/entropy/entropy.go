@@ -13,11 +13,35 @@
 // ransom-note drops) do not over-influence the mean.
 package entropy
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // MaxEntropy is the maximum Shannon entropy of a byte stream, reached when
 // all 256 byte values are equally likely.
 const MaxEntropy = 8.0
+
+// freqPool recycles byte-frequency histograms across Shannon calls. The
+// engine measures entropy on every read and write of every scored process,
+// so the histogram is the single hottest allocation site of the detection
+// path; reusing tables keeps the hot loop allocation-free no matter how
+// the compiler's escape analysis treats a local array.
+var freqPool = sync.Pool{New: func() any { return new([256]int) }}
+
+// flogTabSize bounds the precomputed f·log2(f) table. Frequencies at or
+// above the bound (only possible for payloads ≥ flogTabSize bytes, and then
+// for at most a handful of byte values) fall back to math.Log2.
+const flogTabSize = 4096
+
+// flogTab[f] = f·log2(f), the per-frequency term of the entropy sum.
+var flogTab = func() *[flogTabSize]float64 {
+	var t [flogTabSize]float64
+	for f := 2; f < flogTabSize; f++ {
+		t[f] = float64(f) * math.Log2(float64(f))
+	}
+	return &t
+}()
 
 // Shannon returns the Shannon entropy of data in bits per byte, a value in
 // [0, 8]. An empty slice has zero entropy.
@@ -25,24 +49,32 @@ func Shannon(data []byte) float64 {
 	if len(data) == 0 {
 		return 0
 	}
-	var freq [256]int
+	freq := freqPool.Get().(*[256]int)
+	clear(freq[:])
 	for _, b := range data {
 		freq[b]++
 	}
-	return shannonFromFreq(freq[:], len(data))
+	e := shannonFromFreq(freq, len(data))
+	freqPool.Put(freq)
+	return e
 }
 
-func shannonFromFreq(freq []int, total int) float64 {
-	var e float64
-	n := float64(total)
+// shannonFromFreq computes H = log2(n) − (Σ f·log2 f)/n, the frequency
+// form of the Shannon sum: it needs one logarithm per distinct byte value
+// (table-served for small frequencies) instead of one division and one
+// logarithm per probability.
+func shannonFromFreq(freq *[256]int, total int) float64 {
+	var s float64
 	for _, f := range freq {
-		if f == 0 {
-			continue
+		if f > 1 {
+			if f < flogTabSize {
+				s += flogTab[f]
+			} else {
+				s += float64(f) * math.Log2(float64(f))
+			}
 		}
-		p := float64(f) / n
-		e -= p * math.Log2(p)
 	}
-	return e
+	return math.Log2(float64(total)) - s/float64(total)
 }
 
 // Weight returns the paper's operation weight w = 0.125 × ⌊e⌉ × b for an

@@ -9,6 +9,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"cryptodrop"
@@ -174,9 +175,23 @@ func (r *Runner) RunBenign(w benign.Workload) (BenignOutcome, error) {
 	return out, nil
 }
 
-// RunRoster executes every sample in the roster sequentially. The progress
-// callback, if non-nil, is invoked after each sample.
+// RunRoster executes every sample in the roster. Samples are independent —
+// each runs against its own pristine corpus clone and monitor — so when no
+// trace recorder is attached and no progress callback needs in-order
+// delivery, the roster fans out across GOMAXPROCS workers. Outcomes are
+// returned in roster order and are identical to the sequential path. With a
+// progress callback or recorder attached, execution stays sequential and
+// progress is invoked after each sample in order.
 func (r *Runner) RunRoster(roster []ransomware.Sample, progress func(i int, out SampleOutcome)) ([]SampleOutcome, error) {
+	if r.recorder == nil && progress == nil && len(roster) > 1 {
+		if w := runtime.GOMAXPROCS(0); w > 1 {
+			return r.RunRosterParallel(roster, w, nil)
+		}
+	}
+	return r.runRosterSeq(roster, progress)
+}
+
+func (r *Runner) runRosterSeq(roster []ransomware.Sample, progress func(i int, out SampleOutcome)) ([]SampleOutcome, error) {
 	outcomes := make([]SampleOutcome, 0, len(roster))
 	for i, s := range roster {
 		out, err := r.RunSample(s)
@@ -197,7 +212,7 @@ func (r *Runner) RunRoster(roster []ransomware.Sample, progress func(i int, out 
 // serialised. workers ≤ 1 falls back to the sequential path.
 func (r *Runner) RunRosterParallel(roster []ransomware.Sample, workers int, progress func(i int, out SampleOutcome)) ([]SampleOutcome, error) {
 	if workers <= 1 {
-		return r.RunRoster(roster, progress)
+		return r.runRosterSeq(roster, progress)
 	}
 	outcomes := make([]SampleOutcome, len(roster))
 	errs := make([]error, len(roster))

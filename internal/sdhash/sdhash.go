@@ -21,6 +21,7 @@ import (
 	"errors"
 	"math"
 	"math/bits"
+	"sync"
 )
 
 const (
@@ -101,6 +102,20 @@ func precedence(e float64) int {
 	}
 }
 
+// flogTab[f] = f·log2(f) for the window frequencies f ∈ [0, WindowSize],
+// precomputed once so the rolling-entropy inner loop performs no logarithm
+// calls at all. Entries use the same expression the direct computation
+// used, so results are bit-identical.
+var flogTab = func() *[WindowSize + 1]float64 {
+	var t [WindowSize + 1]float64
+	for f := 2; f <= WindowSize; f++ {
+		t[f] = float64(f) * math.Log2(float64(f))
+	}
+	return &t
+}()
+
+func flog(f int) float64 { return flogTab[f] }
+
 // windowEntropies returns the Shannon entropy of every WindowSize-byte
 // window of data, computed incrementally in O(n).
 func windowEntropies(data []byte) []float64 {
@@ -116,9 +131,7 @@ func windowEntropies(data []byte) []float64 {
 		freq[b]++
 	}
 	for _, f := range freq {
-		if f > 1 {
-			s += float64(f) * math.Log2(float64(f))
-		}
+		s += flog(f)
 	}
 	logW := math.Log2(WindowSize)
 	out[0] = logW - s/WindowSize
@@ -138,24 +151,51 @@ func windowEntropies(data []byte) []float64 {
 	return out
 }
 
-func flog(f int) float64 {
-	if f <= 1 {
-		return 0
-	}
-	return float64(f) * math.Log2(float64(f))
-}
+// rankPool recycles per-window rank buffers across Compute calls: a 1 MiB
+// input needs a ~2 MiB rank buffer, which dominated the digest's
+// allocation profile when it was rebuilt per call.
+var rankPool = sync.Pool{New: func() any { return new([]int16) }}
 
 // selectFeatures returns the start offsets of selected features: windows
 // whose precedence rank is positive and maximal within ±selectionSpan
-// windows, at least minFeatureGap bytes apart.
+// windows, at least minFeatureGap bytes apart. The per-window entropies are
+// folded directly into precedence ranks as the window rolls — one fused
+// O(n) pass with no intermediate entropy slice.
 func selectFeatures(data []byte) []int {
-	ents := windowEntropies(data)
-	if len(ents) == 0 {
+	n := len(data) - WindowSize + 1
+	if n <= 0 {
 		return nil
 	}
-	ranks := make([]int16, len(ents))
-	for i, e := range ents {
-		ranks[i] = int16(precedence(e))
+	bufp := rankPool.Get().(*[]int16)
+	ranks := *bufp
+	if cap(ranks) < n {
+		ranks = make([]int16, n)
+	} else {
+		ranks = ranks[:n]
+	}
+	var freq [256]int
+	// S = Σ f·log2(f); H = log2(W) − S/W for fixed window size W.
+	var s float64
+	for _, b := range data[:WindowSize] {
+		freq[b]++
+	}
+	for _, f := range freq {
+		s += flog(f)
+	}
+	logW := math.Log2(WindowSize)
+	ranks[0] = int16(precedence(logW - s/WindowSize))
+	for i := 1; i < n; i++ {
+		outb := data[i-1]
+		inb := data[i+WindowSize-1]
+		if outb != inb {
+			s -= flog(freq[outb])
+			freq[outb]--
+			s += flog(freq[outb])
+			s -= flog(freq[inb])
+			freq[inb]++
+			s += flog(freq[inb])
+		}
+		ranks[i] = int16(precedence(logW - s/WindowSize))
 	}
 	var selected []int
 	last := -minFeatureGap
@@ -183,6 +223,8 @@ func selectFeatures(data []byte) []int {
 			last = i
 		}
 	}
+	*bufp = ranks
+	rankPool.Put(bufp)
 	return selected
 }
 
