@@ -19,6 +19,7 @@ import (
 
 	"cryptodrop/internal/corpus"
 	"cryptodrop/internal/livewatch"
+	"cryptodrop/internal/telemetry"
 	"cryptodrop/internal/vfs"
 )
 
@@ -36,24 +37,35 @@ func run(args []string) error {
 		interval   = fs.Duration("interval", time.Second, "poll/drain interval")
 		selftest   = fs.Bool("selftest", false, "stage a corpus in a temp dir and simulate an attack")
 		useInotify = fs.Bool("inotify", false, "use the Linux inotify source instead of polling (Linux only)")
+		telAddr    = fs.String("telemetry", "", "serve /metrics, /debug/vars and pprof on this address (e.g. :9090)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var reg *telemetry.Registry
+	if *telAddr != "" {
+		reg = telemetry.NewRegistry()
+		_, bound, err := telemetry.Serve(*telAddr, reg, nil)
+		if err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+		fmt.Printf("telemetry: serving /metrics, /debug/vars and /debug/pprof on http://%s\n", bound)
+	}
 	if *selftest {
-		return runSelftest(*interval, *useInotify)
+		return runSelftest(*interval, *useInotify, reg)
 	}
 	if *dir == "" {
 		return fmt.Errorf("pass -dir <directory> or -selftest")
 	}
-	return watch(*dir, *interval, *useInotify, nil)
+	return watch(*dir, *interval, *useInotify, reg, nil)
 }
 
 // watch runs the watcher until interrupted (or until attack, if non-nil,
 // finishes and the alert fires).
-func watch(dir string, interval time.Duration, useInotify bool, attack func() error) error {
+func watch(dir string, interval time.Duration, useInotify bool, reg *telemetry.Registry, attack func() error) error {
 	alerts := make(chan livewatch.Alert, 1)
 	cfg := livewatch.AnalyzerConfig{
+		Telemetry: reg,
 		OnAlert: func(a livewatch.Alert) {
 			select {
 			case alerts <- a:
@@ -113,7 +125,7 @@ func watch(dir string, interval time.Duration, useInotify bool, attack func() er
 
 // runSelftest stages a real corpus in a temp directory and encrypts it
 // while the watcher runs.
-func runSelftest(interval time.Duration, useInotify bool) error {
+func runSelftest(interval time.Duration, useInotify bool, reg *telemetry.Registry) error {
 	stage, err := os.MkdirTemp("", "cryptodrop-selftest-")
 	if err != nil {
 		return err
@@ -159,5 +171,5 @@ func runSelftest(interval time.Duration, useInotify bool) error {
 			return os.WriteFile(p, enc, 0o644)
 		})
 	}
-	return watch(stage, interval, useInotify, attack)
+	return watch(stage, interval, useInotify, reg, attack)
 }

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"cryptodrop/internal/telemetry"
 )
 
 func TestCDLiveSelftest(t *testing.T) {
@@ -11,7 +13,7 @@ func TestCDLiveSelftest(t *testing.T) {
 		t.Skip("multi-second watcher loop")
 	}
 	done := make(chan error, 1)
-	go func() { done <- runSelftest(150*time.Millisecond, false) }()
+	go func() { done <- runSelftest(150*time.Millisecond, false, telemetry.NewRegistry()) }()
 	select {
 	case err := <-done:
 		if err != nil {
@@ -39,7 +41,7 @@ func TestCDLiveSelftestInotify(t *testing.T) {
 		t.Skip("multi-second watcher loop")
 	}
 	done := make(chan error, 1)
-	go func() { done <- runSelftest(150*time.Millisecond, true) }()
+	go func() { done <- runSelftest(150*time.Millisecond, true, nil) }()
 	select {
 	case err := <-done:
 		if err != nil && !strings.Contains(err.Error(), "only available on Linux") {

@@ -18,6 +18,7 @@ import (
 	"cryptodrop"
 	"cryptodrop/internal/corpus"
 	"cryptodrop/internal/proc"
+	"cryptodrop/internal/telemetry"
 	"cryptodrop/internal/trace"
 	"cryptodrop/internal/vfs"
 )
@@ -39,6 +40,7 @@ func run(args []string) error {
 		scale     = fs.Float64("scale", 0.5, "corpus size scale")
 		threshold = fs.Float64("threshold", 0, "override the non-union threshold (0 = default)")
 		noCorpus  = fs.Bool("no-corpus", false, "replay against an empty filesystem (trace-created files only)")
+		traceOut  = fs.String("trace-out", "", "dump flight-recorder detection traces to this JSON file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +75,11 @@ func run(args []string) error {
 	if *threshold > 0 {
 		opts = append(opts, cryptodrop.WithNonUnionThreshold(*threshold))
 	}
+	var flight *telemetry.FlightRecorder
+	if *traceOut != "" {
+		flight = telemetry.NewFlightRecorder(telemetry.DefaultFlightCapacity)
+		opts = append(opts, cryptodrop.WithFlightRecorder(flight))
+	}
 	mon, err := cryptodrop.NewMonitor(fsys, procs, opts...)
 	if err != nil {
 		return err
@@ -93,5 +100,34 @@ func run(args []string) error {
 			fmt.Printf("   %-18v %.2f\n", ind, pts)
 		}
 	}
+	if flight != nil {
+		if err := dumpTraces(*traceOut, flight, mon.Detections()); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// dumpTraces writes one flight-recorder trace per detected scoring group;
+// with no detections, every group's trace is dumped (the score trajectory is
+// still useful for what-if tuning below the threshold).
+func dumpTraces(path string, flight *telemetry.FlightRecorder, detections []cryptodrop.Detection) error {
+	var traces []telemetry.Trace
+	if len(detections) > 0 {
+		for _, d := range detections {
+			traces = append(traces, flight.Trace(d.PID))
+		}
+	} else {
+		traces = flight.Traces()
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteTraces(f, traces); err != nil {
+		f.Close()
+		return fmt.Errorf("write traces: %w", err)
+	}
+	fmt.Printf("flight recorder: %d trace(s) written to %s\n", len(traces), path)
+	return f.Close()
 }

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cryptodrop/internal/corpus"
+	"cryptodrop/internal/experiments"
+	"cryptodrop/internal/ransomware"
+	"cryptodrop/internal/telemetry"
+	"cryptodrop/internal/trace"
+)
+
+// TestReplayTraceOutRoundTrip captures an attack trace, replays it through
+// the command with -trace-out, and checks the dumped flight-recorder JSON
+// explains the replayed detection: a detection trace exists, parses back,
+// and its ordered events sum to a score past the paper's union threshold.
+func TestReplayTraceOutRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full capture+replay cycle")
+	}
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "attack.jsonl")
+	outPath := filepath.Join(dir, "flight.json")
+
+	// Capture: run one Class A sample against a small corpus, recording the
+	// operation stream — the same capture path cmd/cryptodrop -trace uses.
+	spec := corpus.Spec{Seed: 7, Files: 200, Dirs: 20, SizeScale: 0.25}
+	var sample ransomware.Sample
+	found := false
+	for _, s := range ransomware.Roster(spec.Seed) {
+		if s.Profile.Class == ransomware.ClassA {
+			sample, found = s, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no Class A sample in roster")
+	}
+	runner, err := experiments.NewRunner(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(f)
+	runner.SetTraceRecorder(rec)
+	out, err := runner.RunSample(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Detected {
+		t.Fatalf("sample %s not detected during capture", sample.ID)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay through the command with flight-recorder dumping on.
+	args := []string{
+		"-trace", tracePath,
+		"-seed", "7", "-files", "200", "-dirs", "20", "-scale", "0.25",
+		"-trace-out", outPath,
+	}
+	if err := run(args); err != nil {
+		t.Fatalf("cdreplay run: %v", err)
+	}
+
+	// Round-trip: the dumped JSON parses back into traces.
+	g, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	traces, err := telemetry.ReadTraces(g)
+	if err != nil {
+		t.Fatalf("parse dumped traces: %v", err)
+	}
+	if len(traces) == 0 {
+		t.Fatal("no traces dumped for a detected replay")
+	}
+	tr := traces[0]
+	if len(tr.Events) == 0 {
+		t.Fatal("detection trace has no events")
+	}
+	sum := 0.0
+	var prevSeq uint64
+	for i, ev := range tr.Events {
+		sum += ev.Points
+		if i > 0 && ev.Seq <= prevSeq {
+			t.Fatalf("events out of order: seq %d then %d", prevSeq, ev.Seq)
+		}
+		prevSeq = ev.Seq
+	}
+	if math.Abs(sum-tr.TotalPoints) > 1e-9 {
+		t.Fatalf("event points sum to %g, TotalPoints says %g", sum, tr.TotalPoints)
+	}
+	// The replayed detection crossed a detection threshold; the union
+	// threshold (140) is the lowest possible.
+	if tr.TotalPoints < 140 {
+		t.Fatalf("detection trace sums to %g, below any detection threshold", tr.TotalPoints)
+	}
+	if last := tr.Events[len(tr.Events)-1]; math.Abs(last.ScoreAfter-sum) > 1e-9 {
+		t.Fatalf("final ScoreAfter %g disagrees with cumulative points %g", last.ScoreAfter, sum)
+	}
+}
+
+func TestReplayRequiresTrace(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing -trace accepted")
+	}
+}

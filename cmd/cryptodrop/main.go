@@ -22,6 +22,7 @@ import (
 	"cryptodrop/internal/corpus"
 	"cryptodrop/internal/experiments"
 	"cryptodrop/internal/ransomware"
+	"cryptodrop/internal/telemetry"
 	"cryptodrop/internal/trace"
 )
 
@@ -46,6 +47,7 @@ func run(args []string) error {
 		noStop  = fs.Bool("no-enforce", false, "record detections without suspending")
 		verbose = fs.Bool("v", false, "print the full scoreboard")
 		traceTo = fs.String("trace", "", "record the operation stream to this JSONL file")
+		telAddr = fs.String("telemetry", "", "serve /metrics, /debug/vars and pprof on this address (e.g. :9090)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,13 +56,48 @@ func run(args []string) error {
 		return printList()
 	}
 	spec := corpus.Spec{Seed: *seed, Files: *files, Dirs: *dirs, SizeScale: *scale}
+	tel, err := setupTelemetry(*telAddr)
+	if err != nil {
+		return err
+	}
 	switch {
 	case *app != "":
-		return runApp(spec, *app, *verbose)
+		return runApp(spec, *app, *verbose, tel)
 	case *family != "":
-		return runFamily(spec, *family, *class, *noStop, *verbose, *traceTo)
+		return runFamily(spec, *family, *class, *noStop, *verbose, *traceTo, tel)
 	default:
 		return errors.New("pass -family <name>, -app <name> or -list")
+	}
+}
+
+// telemetrySetup carries the optional live-telemetry instruments.
+type telemetrySetup struct {
+	reg *telemetry.Registry
+	fr  *telemetry.FlightRecorder
+}
+
+// setupTelemetry starts the metrics/pprof endpoint when addr is set and
+// returns the registry and flight recorder every monitor should share.
+func setupTelemetry(addr string) (telemetrySetup, error) {
+	if addr == "" {
+		return telemetrySetup{}, nil
+	}
+	t := telemetrySetup{
+		reg: telemetry.NewRegistry(),
+		fr:  telemetry.NewFlightRecorder(telemetry.DefaultFlightCapacity),
+	}
+	_, bound, err := telemetry.Serve(addr, t.reg, t.fr)
+	if err != nil {
+		return telemetrySetup{}, fmt.Errorf("telemetry: %w", err)
+	}
+	fmt.Printf("telemetry: serving /metrics, /debug/vars, /debug/flight and /debug/pprof on http://%s\n", bound)
+	return t, nil
+}
+
+// attach wires the instruments into a runner (no-op when telemetry is off).
+func (t telemetrySetup) attach(r *experiments.Runner) {
+	if t.reg != nil {
+		r.SetTelemetry(t.reg, t.fr)
 	}
 }
 
@@ -110,7 +147,7 @@ func pickSample(family, class string, seed int64) (ransomware.Sample, error) {
 	return ransomware.Sample{}, fmt.Errorf("no sample of family %q class %q (see -list)", family, class)
 }
 
-func runFamily(spec corpus.Spec, family, class string, noEnforce, verbose bool, traceTo string) error {
+func runFamily(spec corpus.Spec, family, class string, noEnforce, verbose bool, traceTo string, tel telemetrySetup) error {
 	sample, err := pickSample(family, class, spec.Seed)
 	if err != nil {
 		return err
@@ -123,6 +160,7 @@ func runFamily(spec corpus.Spec, family, class string, noEnforce, verbose bool, 
 	if err != nil {
 		return err
 	}
+	tel.attach(runner)
 	if traceTo != "" {
 		f, err := os.Create(traceTo)
 		if err != nil {
@@ -157,13 +195,18 @@ func runFamily(spec corpus.Spec, family, class string, noEnforce, verbose bool, 
 		100*float64(out.FilesLost)/float64(len(runner.Manifest().Entries)))
 	fmt.Printf("Sample accounting: %d files attacked, %d ransom notes, %d op errors\n",
 		out.Run.FilesAttacked, out.Run.NotesDropped, out.Run.OpErrors)
+	if tel.fr != nil && out.Detected {
+		t := tel.fr.Trace(out.Report.PID)
+		fmt.Printf("flight recorder: %d indicator firings for pid %d (sum %.1f points) — /debug/flight has the trace\n",
+			len(t.Events), t.Group, t.TotalPoints)
+	}
 	if verbose {
 		printReport(out.Report)
 	}
 	return nil
 }
 
-func runApp(spec corpus.Spec, name string, verbose bool) error {
+func runApp(spec corpus.Spec, name string, verbose bool, tel telemetrySetup) error {
 	w, ok := benign.ByName(name)
 	if !ok {
 		return fmt.Errorf("unknown application %q (see -list)", name)
@@ -172,6 +215,7 @@ func runApp(spec corpus.Spec, name string, verbose bool) error {
 	if err != nil {
 		return err
 	}
+	tel.attach(runner)
 	fmt.Printf("Running %s: %s\n\n", w.Name, w.Description)
 	out, err := runner.RunBenign(w)
 	if err != nil {

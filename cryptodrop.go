@@ -29,6 +29,7 @@ import (
 	"cryptodrop/internal/corpus"
 	"cryptodrop/internal/filter"
 	"cryptodrop/internal/proc"
+	"cryptodrop/internal/telemetry"
 	"cryptodrop/internal/vfs"
 )
 
@@ -160,6 +161,21 @@ func WithoutEnforcement() Option {
 	return func(o *options) { o.enforce = false }
 }
 
+// WithTelemetry attaches a metrics registry to the monitor: the engine,
+// filter chain and filesystem all record into it. A nil registry (the
+// default) disables collection; the instrumented paths then cost one nil
+// check each.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(o *options) { o.cfg.Telemetry = reg }
+}
+
+// WithFlightRecorder attaches a detection flight recorder capturing the
+// ordered indicator firings behind every scoreboard change, so each
+// detection can be explained after the fact (see telemetry.FlightRecorder).
+func WithFlightRecorder(fr *telemetry.FlightRecorder) Option {
+	return func(o *options) { o.cfg.FlightRecorder = fr }
+}
+
 // Monitor binds the CryptoDrop analysis engine, a filter chain and a
 // process table to one filesystem.
 type Monitor struct {
@@ -219,6 +235,10 @@ func NewMonitor(fsys *vfs.FS, procs *proc.Table, opts ...Option) (*Monitor, erro
 		o.cfg.FamilyOf = procs.RootOf
 	}
 	m.engine = core.New(o.cfg, fsys)
+	if o.cfg.Telemetry != nil {
+		m.chain.SetTelemetry(o.cfg.Telemetry)
+		fsys.SetTelemetry(o.cfg.Telemetry)
+	}
 	if err := m.chain.Attach(altitudeEnforce, enforcement{m}); err != nil {
 		return nil, fmt.Errorf("attach enforcement: %w", err)
 	}

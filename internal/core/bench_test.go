@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"cryptodrop/internal/corpus"
+	"cryptodrop/internal/telemetry"
 	"cryptodrop/internal/vfs"
 )
 
@@ -41,6 +42,17 @@ func BenchmarkMeasureFile(b *testing.B) {
 // path — reads and writes folding payload entropy into the scoreboard,
 // with a full close-time transformation evaluation every tenth op.
 func BenchmarkEngineParallelPostOp(b *testing.B) {
+	benchEngineParallelPostOp(b, false)
+}
+
+// BenchmarkEngineParallelPostOpTelemetry is the same workload with a live
+// metrics registry and flight recorder attached, measuring the enabled-
+// telemetry overhead on the hot path (budget: <3% vs the bench above).
+func BenchmarkEngineParallelPostOpTelemetry(b *testing.B) {
+	benchEngineParallelPostOp(b, true)
+}
+
+func benchEngineParallelPostOp(b *testing.B, withTelemetry bool) {
 	const root = "/Users/victim/Documents"
 	const nfiles = 64
 	fs := vfs.New()
@@ -66,7 +78,12 @@ func BenchmarkEngineParallelPostOp(b *testing.B) {
 		h.Close()
 	}
 
-	e := New(DefaultConfig(root), fs)
+	cfg := DefaultConfig(root)
+	if withTelemetry {
+		cfg.Telemetry = telemetry.NewRegistry()
+		cfg.FlightRecorder = telemetry.NewFlightRecorder(telemetry.DefaultFlightCapacity)
+	}
+	e := New(cfg, fs)
 	var pidCtr atomic.Int64
 	b.SetBytes(int64(len(doc)))
 	b.ResetTimer()

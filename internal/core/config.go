@@ -20,7 +20,11 @@
 // so suspension follows almost immediately.
 package core
 
-import "runtime"
+import (
+	"runtime"
+
+	"cryptodrop/internal/telemetry"
+)
 
 // Default thresholds from the paper (§IV-C1, §V-A).
 const (
@@ -148,6 +152,15 @@ type Config struct {
 	// OnDetection, if set, is invoked exactly once per flagged process at
 	// the moment its score crosses the effective threshold.
 	OnDetection func(Detection)
+	// Telemetry, if set, receives the engine's metrics: per-indicator fire
+	// counters, detection counters and score distributions, measurement
+	// latency histograms, pool gauges and sampled shard lock-wait times.
+	// Nil (the default) disables all metric collection; the event path then
+	// pays a single nil-check branch.
+	Telemetry *telemetry.Registry
+	// FlightRecorder, if set, captures the ordered per-group sequence of
+	// indicator firings so every Detection can be explained after the fact.
+	FlightRecorder *telemetry.FlightRecorder
 }
 
 // DefaultWorkers returns the measurement pool size matched to the machine:

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cryptodrop/internal/magic"
 	"cryptodrop/internal/sdhash"
@@ -45,6 +46,10 @@ type Engine struct {
 	disabled map[Indicator]bool
 	opIndex  atomic.Int64
 
+	// tel is the telemetry facade; nil when telemetry is fully disabled,
+	// in which case every instrumented path costs one branch.
+	tel *engineTelemetry
+
 	detMu      sync.Mutex
 	detections []Detection
 }
@@ -62,8 +67,10 @@ func New(cfg Config, fsys *vfs.FS) *Engine {
 	}
 	e.procs.init()
 	e.files.init()
+	e.tel = newEngineTelemetry(cfg.Telemetry, cfg.FlightRecorder)
 	if cfg.Workers > 0 {
-		e.pool = newMeasurePool(cfg.Workers)
+		e.pool = newMeasurePool(cfg.Workers, e.tel)
+		registerPoolGauges(cfg.Telemetry, e.pool)
 	}
 	return e
 }
@@ -88,7 +95,13 @@ func (e *Engine) lockProc(pid int) (ps *procState, sh *procShard) {
 		pid = e.cfg.FamilyOf(pid)
 	}
 	sh = e.procs.shard(pid)
-	sh.mu.Lock()
+	if t := e.tel; t != nil && sh.lockSamples.Add(1)&lockWaitSampleMask == 0 {
+		t0 := time.Now()
+		sh.mu.Lock()
+		t.lockWait.ObserveDuration(time.Since(t0))
+	} else {
+		sh.mu.Lock()
+	}
 	ps, ok := sh.m[pid]
 	if !ok {
 		ps = newProcState(pid)
@@ -141,7 +154,7 @@ func (e *Engine) snapshot(id uint64) {
 		e.files.storeIfMissing(id, e.pool.submit(content))
 		return
 	}
-	e.files.storeIfMissing(id, resolvedTask(measureFile(content)))
+	e.files.storeIfMissing(id, resolvedTask(e.tel.measure(content)))
 }
 
 func (e *Engine) snapshotIfMissing(id uint64) { e.snapshot(id) }
@@ -219,7 +232,7 @@ func (e *Engine) prepareMeasure(id uint64) *measureTask {
 	if e.pool != nil {
 		return e.pool.submit(content)
 	}
-	return resolvedTask(measureFile(content))
+	return resolvedTask(e.tel.measure(content))
 }
 
 // dispatch invokes the detection callback for each fired detection, in
@@ -250,7 +263,7 @@ func (e *Engine) handleRead(ps *procState, op *vfs.Op, opIdx int64) {
 			ps.sniff.put(key, t)
 		}
 		ps.typesRead[t.ID] = true
-		e.checkFunneling(ps, opIdx)
+		e.checkFunneling(ps, opIdx, op.Path)
 	}
 }
 
@@ -261,7 +274,7 @@ func (e *Engine) handleWrite(ps *procState, op *vfs.Op, opIdx int64) {
 	ps.dirsTouched[path.Dir(op.Path)] = true
 	ps.touchExt(extOf(op.Path))
 	if e.deltaSuspicious(ps) {
-		e.award(ps, IndicatorEntropyDelta, e.cfg.Points.EntropyDeltaOp, opIdx)
+		e.award(ps, IndicatorEntropyDelta, e.cfg.Points.EntropyDeltaOp, opIdx, op.Path)
 	}
 }
 
@@ -278,7 +291,7 @@ func (e *Engine) handleClose(ps *procState, op *vfs.Op, job *measureTask, opIdx 
 	if !op.Wrote || job == nil {
 		return
 	}
-	e.evaluate(ps, job, op.FileID, e.files.entry(op.FileID), opIdx)
+	e.evaluate(ps, job, op.FileID, e.files.entry(op.FileID), opIdx, op.Path)
 }
 
 // handleDelete scores a protected file removal; proc-shard lock held.
@@ -294,7 +307,7 @@ func (e *Engine) handleDelete(ps *procState, op *vfs.Op, opIdx int64) {
 	if e.files.creator(op.FileID) == op.PID {
 		pts = e.cfg.Points.DeletionOwn
 	}
-	e.award(ps, IndicatorDeletion, pts, opIdx)
+	e.award(ps, IndicatorDeletion, pts, opIdx, op.Path)
 	e.files.drop(op.FileID)
 	e.files.dropCreator(op.FileID)
 }
@@ -318,7 +331,7 @@ func (e *Engine) handleRename(ps *procState, op *vfs.Op, job *measureTask, opIdx
 		// The incoming file replaced a protected file: compare the new
 		// content against the replaced file's snapshot.
 		if job != nil {
-			e.evaluate(ps, job, op.FileID, e.files.entry(op.ReplacedID), opIdx)
+			e.evaluate(ps, job, op.FileID, e.files.entry(op.ReplacedID), opIdx, op.NewPath)
 		}
 		e.files.drop(op.ReplacedID)
 		return
@@ -326,7 +339,7 @@ func (e *Engine) handleRename(ps *procState, op *vfs.Op, job *measureTask, opIdx
 	if prev := e.files.entry(op.FileID); prev != nil && job != nil {
 		// The file itself returned to the protected tree (Class B):
 		// compare against its own pre-move state.
-		e.evaluate(ps, job, op.FileID, prev, opIdx)
+		e.evaluate(ps, job, op.FileID, prev, opIdx, op.NewPath)
 	}
 }
 
@@ -339,6 +352,9 @@ type pendingApply struct {
 	prev      *measureTask
 	contentID uint64
 	opIdx     int64
+	// path is the file path at enqueue time, carried for telemetry
+	// attribution of the eventual awards.
+	path string
 }
 
 // evaluate scores the transformation of file contentID (measured by job)
@@ -348,8 +364,8 @@ type pendingApply struct {
 // the process's next operation (or at a Flush/report), so per-process
 // scoring order is exactly the order the sequential engine would use;
 // proc-shard lock held.
-func (e *Engine) evaluate(ps *procState, job *measureTask, contentID uint64, prev *measureTask, opIdx int64) {
-	p := pendingApply{job: job, prev: prev, contentID: contentID, opIdx: opIdx}
+func (e *Engine) evaluate(ps *procState, job *measureTask, contentID uint64, prev *measureTask, opIdx int64, path string) {
+	p := pendingApply{job: job, prev: prev, contentID: contentID, opIdx: opIdx, path: path}
 	if e.pool == nil {
 		e.applyPending(ps, p)
 		return
@@ -361,33 +377,33 @@ func (e *Engine) evaluate(ps *procState, job *measureTask, contentID uint64, pre
 func (e *Engine) applyPending(ps *procState, p pendingApply) {
 	newState := p.job.state()
 	ps.typesWritten[newState.typ.ID] = true
-	e.checkFunneling(ps, p.opIdx)
+	e.checkFunneling(ps, p.opIdx, p.path)
 	prev := p.prev.state()
 	if prev == nil {
 		// A brand-new file of untyped high-entropy content, written while
 		// the process reads lower-entropy data: the shape of a Class C
 		// encrypted copy (§V-C).
 		if newState.typ.IsData() && newState.entropy > 7.0 && e.deltaSuspicious(ps) {
-			e.award(ps, IndicatorEntropyDelta, e.cfg.Points.NewCipherFile, p.opIdx)
+			e.award(ps, IndicatorEntropyDelta, e.cfg.Points.NewCipherFile, p.opIdx, p.path)
 		}
 	}
 	if prev != nil {
 		ps.filesTransformed++
 		if newState.typ.ID != prev.typ.ID {
-			e.award(ps, IndicatorTypeChange, e.cfg.Points.TypeChange, p.opIdx)
+			e.award(ps, IndicatorTypeChange, e.cfg.Points.TypeChange, p.opIdx, p.path)
 		}
 		// A dissimilarity verdict requires a reliable previous digest:
 		// digests with very few features (chance features in random-like
 		// data, e.g. JPEG scan streams) carry no confidence — the same
 		// reliability caveat sdhash applies to sparse digests.
 		if reliableDigest(prev) && e.dissimilar(prev.digest, newState.digest) {
-			e.award(ps, IndicatorSimilarity, e.cfg.Points.Similarity, p.opIdx)
+			e.award(ps, IndicatorSimilarity, e.cfg.Points.Similarity, p.opIdx, p.path)
 		}
 		// File-level entropy increase: the rewrite pushed this file's own
 		// entropy up by at least the Δe threshold — the resolution that
 		// catches even compressed formats gaining entropy (§IV-C1).
 		if newState.entropy-prev.entropy >= e.cfg.EntropyDeltaThreshold {
-			e.award(ps, IndicatorEntropyDelta, e.cfg.Points.EntropyDeltaFile, p.opIdx)
+			e.award(ps, IndicatorEntropyDelta, e.cfg.Points.EntropyDeltaFile, p.opIdx, p.path)
 		}
 	}
 	e.files.store(p.contentID, newState)
@@ -443,20 +459,20 @@ func (e *Engine) dissimilar(prev *sdhash.Digest, next *sdhash.Digest) bool {
 
 // checkFunneling awards the one-time funneling score when the process has
 // read many more distinct types than it has written; proc-shard lock held.
-func (e *Engine) checkFunneling(ps *procState, opIdx int64) {
+func (e *Engine) checkFunneling(ps *procState, opIdx int64, path string) {
 	if ps.funnelFired || len(ps.typesWritten) == 0 {
 		return
 	}
 	if len(ps.typesRead)-len(ps.typesWritten) >= e.cfg.FunnelingThreshold {
 		ps.funnelFired = true
-		e.award(ps, IndicatorFunneling, e.cfg.Points.Funneling, opIdx)
+		e.award(ps, IndicatorFunneling, e.cfg.Points.Funneling, opIdx, path)
 	}
 }
 
 // award adds points for an indicator occurrence and re-evaluates union
 // indication; proc-shard lock held. Disabled indicators are ignored
-// entirely.
-func (e *Engine) award(ps *procState, ind Indicator, pts float64, opIdx int64) {
+// entirely. path attributes the award in telemetry.
+func (e *Engine) award(ps *procState, ind Indicator, pts float64, opIdx int64, path string) {
 	if e.disabled[ind] {
 		return
 	}
@@ -466,6 +482,7 @@ func (e *Engine) award(ps *procState, ind Indicator, pts float64, opIdx int64) {
 	if len(ps.history) < maxHistory {
 		ps.history = append(ps.history, ScorePoint{OpIndex: opIdx, Score: ps.score})
 	}
+	e.tel.fired(ps, ind, pts, opIdx, path)
 	e.checkUnion(ps, opIdx)
 }
 
@@ -485,6 +502,7 @@ func (e *Engine) checkUnion(ps *procState, opIdx int64) {
 	if len(ps.history) < maxHistory {
 		ps.history = append(ps.history, ScorePoint{OpIndex: opIdx, Score: ps.score})
 	}
+	e.tel.unionFired(ps, e.cfg.Points.UnionBonus, opIdx)
 }
 
 // checkDetection evaluates the process against its effective threshold;
@@ -502,6 +520,7 @@ func (e *Engine) checkDetection(ps *procState, opIdx int64) (Detection, bool) {
 		return Detection{}, false
 	}
 	ps.detected = true
+	e.tel.detected(ps)
 	det := Detection{
 		PID:        ps.pid,
 		Score:      ps.score,

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"cryptodrop/internal/magic"
 )
@@ -23,6 +24,9 @@ const procShardCount = 32
 type procShard struct {
 	mu sync.Mutex
 	m  map[int]*procState
+	// lockSamples paces telemetry's lock-wait sampling; touched atomically
+	// (never under mu) and only when telemetry is enabled.
+	lockSamples atomic.Uint64
 }
 
 // procTable is the sharded per-process scoreboard.
@@ -195,18 +199,24 @@ func (t *measureTask) state() *fileState {
 // the sliding-window digest and entropy kernels run elsewhere.
 type measurePool struct {
 	sem chan struct{}
+	// tel times each measurement and counts saturated submissions; nil
+	// when telemetry is off (the facade's methods are nil-safe).
+	tel *engineTelemetry
 }
 
-func newMeasurePool(workers int) *measurePool {
-	return &measurePool{sem: make(chan struct{}, workers)}
+func newMeasurePool(workers int, tel *engineTelemetry) *measurePool {
+	return &measurePool{sem: make(chan struct{}, workers), tel: tel}
 }
 
 // submit schedules measureFile(content) and returns its task handle.
 func (p *measurePool) submit(content []byte) *measureTask {
 	t := &measureTask{done: make(chan struct{})}
+	if tl := p.tel; tl != nil && len(p.sem) == cap(p.sem) {
+		tl.poolSaturated.Inc()
+	}
 	p.sem <- struct{}{}
 	go func() {
-		t.st = measureFile(content)
+		t.st = p.tel.measure(content)
 		close(t.done)
 		<-p.sem
 	}()

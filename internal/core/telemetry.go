@@ -1,0 +1,129 @@
+package core
+
+import (
+	"time"
+
+	"cryptodrop/internal/telemetry"
+)
+
+// engineTelemetry groups every metric handle the engine touches on its hot
+// path. A nil *engineTelemetry disables all instrumentation at the cost of
+// one branch per call site; individual handles are themselves nil-safe, so
+// a flight recorder can be attached without a registry and vice versa.
+type engineTelemetry struct {
+	// fires counts indicator firings, indexed by Indicator.
+	fires [IndicatorFunneling + 1]*telemetry.Counter
+	// unions counts union-indication firings.
+	unions *telemetry.Counter
+	// detections counts threshold crossings.
+	detections *telemetry.Counter
+	// detScore and detTransformed are the score / files-transformed
+	// distributions at detection time.
+	detScore       *telemetry.Histogram
+	detTransformed *telemetry.Histogram
+	// measureLat is the file-measurement kernel latency.
+	measureLat *telemetry.Histogram
+	// lockWait is the sampled proc-shard lock acquisition wait.
+	lockWait *telemetry.Histogram
+	// poolSaturated counts submissions that found every pool slot busy.
+	poolSaturated *telemetry.Counter
+	// recorder captures per-group indicator firings for post-hoc
+	// explanation of detections.
+	recorder *telemetry.FlightRecorder
+}
+
+// lockWaitSampleMask samples one in 64 proc-shard lock acquisitions when
+// telemetry is enabled, keeping two clock reads off most operations.
+const lockWaitSampleMask = 63
+
+// newEngineTelemetry wires the engine's metrics into reg and attaches the
+// flight recorder. It returns nil — telemetry fully off — when both are
+// nil. With a nil reg every metric handle is nil (no-op) and only the
+// recorder is live.
+func newEngineTelemetry(reg *telemetry.Registry, fr *telemetry.FlightRecorder) *engineTelemetry {
+	if reg == nil && fr == nil {
+		return nil
+	}
+	t := &engineTelemetry{recorder: fr}
+	for _, ind := range []Indicator{IndicatorTypeChange, IndicatorSimilarity,
+		IndicatorEntropyDelta, IndicatorDeletion, IndicatorFunneling} {
+		t.fires[ind] = reg.Counter(`engine_indicator_fires_total{indicator="` + ind.String() + `"}`)
+	}
+	t.unions = reg.Counter("engine_union_fires_total")
+	t.detections = reg.Counter("engine_detections_total")
+	t.detScore = reg.Histogram("engine_detection_score", telemetry.ScoreBuckets())
+	t.detTransformed = reg.Histogram("engine_detection_files_transformed", telemetry.CountBuckets())
+	t.measureLat = reg.Histogram("engine_measure_seconds", telemetry.DefaultLatencyBuckets())
+	t.lockWait = reg.Histogram("engine_proc_shard_lock_wait_seconds", telemetry.DefaultLatencyBuckets())
+	t.poolSaturated = reg.Counter("engine_measure_pool_saturated_total")
+	return t
+}
+
+// registerPool exposes the measurement pool's live occupancy; called once
+// at engine construction when both a pool and a registry exist.
+func registerPoolGauges(reg *telemetry.Registry, pool *measurePool) {
+	if reg == nil || pool == nil {
+		return
+	}
+	reg.GaugeFunc("engine_measure_pool_inflight", func() float64 {
+		return float64(len(pool.sem))
+	})
+	reg.Gauge("engine_measure_pool_capacity").Set(int64(cap(pool.sem)))
+}
+
+// fired records one indicator award; proc-shard lock held (so events for a
+// scoring group are captured in award order).
+func (t *engineTelemetry) fired(ps *procState, ind Indicator, pts float64, opIdx int64, path string) {
+	if t == nil {
+		return
+	}
+	t.fires[ind].Inc()
+	t.recorder.Record(telemetry.FireEvent{
+		Group:      ps.pid,
+		OpIndex:    opIdx,
+		Path:       path,
+		Indicator:  ind.String(),
+		Points:     pts,
+		ScoreAfter: ps.score,
+		Union:      ps.unionFired,
+	})
+}
+
+// unionFired records the one-time union bonus; proc-shard lock held.
+func (t *engineTelemetry) unionFired(ps *procState, pts float64, opIdx int64) {
+	if t == nil {
+		return
+	}
+	t.unions.Inc()
+	t.recorder.Record(telemetry.FireEvent{
+		Group:      ps.pid,
+		OpIndex:    opIdx,
+		Indicator:  "union-bonus",
+		Points:     pts,
+		ScoreAfter: ps.score,
+		Union:      true,
+	})
+}
+
+// detected records a threshold crossing; proc-shard lock held.
+func (t *engineTelemetry) detected(ps *procState) {
+	if t == nil {
+		return
+	}
+	t.detections.Inc()
+	t.detScore.Observe(ps.score)
+	t.detTransformed.Observe(float64(ps.filesTransformed))
+}
+
+// measure runs the measurement kernel, timing it when telemetry is on. It
+// is the single entry point for both the synchronous path and the pool
+// workers.
+func (t *engineTelemetry) measure(content []byte) *fileState {
+	if t == nil || t.measureLat == nil {
+		return measureFile(content)
+	}
+	t0 := time.Now()
+	st := measureFile(content)
+	t.measureLat.ObserveDuration(time.Since(t0))
+	return st
+}

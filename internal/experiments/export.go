@@ -29,6 +29,9 @@ type OutcomeJSON struct {
 	// accounting.
 	FilesAttacked int `json:"filesAttacked"`
 	NotesDropped  int `json:"notesDropped"`
+	// Telemetry is the run's metrics summary (present only when the runner
+	// collected per-run telemetry).
+	Telemetry *TelemetrySummary `json:"telemetry,omitempty"`
 }
 
 // toJSON converts one outcome.
@@ -49,6 +52,7 @@ func toJSON(o SampleOutcome) OutcomeJSON {
 	for ind, pts := range o.Report.IndicatorPoints {
 		out.Indicators[ind.String()] = pts
 	}
+	out.Telemetry = o.Telemetry
 	return out
 }
 

@@ -18,6 +18,7 @@ import (
 	"cryptodrop/internal/filter"
 	"cryptodrop/internal/proc"
 	"cryptodrop/internal/ransomware"
+	"cryptodrop/internal/telemetry"
 	"cryptodrop/internal/vfs"
 )
 
@@ -31,11 +32,37 @@ type Runner struct {
 	// recorder, when set, is attached to the filter chain of every run
 	// (forensic trace capture). Not safe to combine with parallel runs.
 	recorder filter.Filter
+	// tel/flight, when set, are shared across every run: all monitors
+	// record into the one registry, so a live /metrics endpoint sees the
+	// whole roster accumulate. Flight-recorder groups are per-run PIDs, so
+	// traces from a shared recorder interleave across runs — use
+	// EnableTelemetrySummaries for per-run attribution.
+	tel    *telemetry.Registry
+	flight *telemetry.FlightRecorder
+	// perRunTelemetry gives every run a private registry and flight
+	// recorder and folds a TelemetrySummary into its outcome.
+	perRunTelemetry bool
 }
 
 // SetTraceRecorder attaches a filter (typically a trace.Recorder) to every
 // subsequent run's chain at a high altitude.
 func (r *Runner) SetTraceRecorder(f filter.Filter) { r.recorder = f }
+
+// SetTelemetry shares one registry (and optional flight recorder) across
+// every subsequent run, so a live endpoint (telemetry.Serve) can watch the
+// roster's aggregate counters and histograms as it executes. Either argument
+// may be nil.
+func (r *Runner) SetTelemetry(reg *telemetry.Registry, fr *telemetry.FlightRecorder) {
+	r.tel = reg
+	r.flight = fr
+}
+
+// EnableTelemetrySummaries attaches a fresh registry and flight recorder to
+// every subsequent run and records a per-run TelemetrySummary (indicator
+// mix, measurement latency quantiles, detection trace) on its outcome.
+// Takes precedence over SetTelemetry: per-run instruments are private by
+// design, so PID-keyed flight-recorder traces cannot collide across runs.
+func (r *Runner) EnableTelemetrySummaries() { r.perRunTelemetry = true }
 
 // NewRunner builds the corpus once per spec. opts are applied to every
 // monitor the runner creates.
@@ -72,6 +99,9 @@ type SampleOutcome struct {
 	Report cryptodrop.ProcessReport
 	// Run is the sample's own accounting.
 	Run ransomware.RunResult
+	// Telemetry is the run's metrics summary; set only when the runner has
+	// EnableTelemetrySummaries on.
+	Telemetry *TelemetrySummary
 }
 
 // RunSample executes one sample on a fresh clone of the corpus under a
@@ -79,9 +109,19 @@ type SampleOutcome struct {
 func (r *Runner) RunSample(s ransomware.Sample) (SampleOutcome, error) {
 	fs := r.base.Clone()
 	procs := proc.NewTable()
-	mon, err := cryptodrop.NewMonitor(fs, procs, append([]cryptodrop.Option{
-		cryptodrop.WithRoot(r.manifest.Root),
-	}, r.opts...)...)
+	runOpts := []cryptodrop.Option{cryptodrop.WithRoot(r.manifest.Root)}
+	reg, fr := r.tel, r.flight
+	if r.perRunTelemetry {
+		reg = telemetry.NewRegistry()
+		fr = telemetry.NewFlightRecorder(telemetry.DefaultFlightCapacity)
+	}
+	if reg != nil {
+		runOpts = append(runOpts, cryptodrop.WithTelemetry(reg))
+	}
+	if fr != nil {
+		runOpts = append(runOpts, cryptodrop.WithFlightRecorder(fr))
+	}
+	mon, err := cryptodrop.NewMonitor(fs, procs, append(runOpts, r.opts...)...)
 	if err != nil {
 		return SampleOutcome{}, fmt.Errorf("experiments: monitor: %w", err)
 	}
@@ -105,6 +145,9 @@ func (r *Runner) RunSample(s ransomware.Sample) (SampleOutcome, error) {
 		out.Detected = rep.Detected
 		out.Union = rep.Union
 		out.Score = rep.Score
+	}
+	if r.perRunTelemetry {
+		out.Telemetry = summarizeTelemetry(reg.Snapshot(), fr, pid)
 	}
 	return out, nil
 }

@@ -1,0 +1,165 @@
+package filter
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cryptodrop/internal/telemetry"
+	"cryptodrop/internal/vfs"
+)
+
+// TestConcurrentDispatchAndMutation hammers PreOp/PostOp dispatch while
+// other goroutines attach and detach filters: dispatch must never block on a
+// chain-wide lock, never observe a half-built entry list, and always run a
+// consistent snapshot of the chain (the regression this guards against is
+// holding Chain.mu across filter callbacks).
+func TestConcurrentDispatchAndMutation(t *testing.T) {
+	var c Chain
+	var calls atomic.Int64
+	mk := func(name string) *Func {
+		return &Func{
+			FilterName: name,
+			Pre:        func(op *vfs.Op) error { calls.Add(1); return nil },
+			Post:       func(op *vfs.Op) { calls.Add(1) },
+		}
+	}
+	if err := c.Attach(100, mk("base")); err != nil {
+		t.Fatal(err)
+	}
+
+	const dispatchers = 4
+	const mutators = 3
+	const rounds = 2000
+	var dispatchWG, mutateWG sync.WaitGroup
+	stop := make(chan struct{})
+	for d := 0; d < dispatchers; d++ {
+		dispatchWG.Add(1)
+		go func() {
+			defer dispatchWG.Done()
+			op := &vfs.Op{Kind: vfs.OpWrite, Path: "/x"}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := c.PreOp(op); err != nil {
+					t.Errorf("unexpected veto: %v", err)
+					return
+				}
+				c.PostOp(op)
+			}
+		}()
+	}
+	for m := 0; m < mutators; m++ {
+		mutateWG.Add(1)
+		go func(m int) {
+			defer mutateWG.Done()
+			alt := 200 + m
+			name := fmt.Sprintf("mut-%d", m)
+			for i := 0; i < rounds; i++ {
+				if err := c.Attach(alt, mk(name)); err != nil {
+					t.Errorf("attach: %v", err)
+					return
+				}
+				if !c.Detach(name) {
+					t.Errorf("detach %s failed", name)
+					return
+				}
+			}
+		}(m)
+	}
+	mutateWG.Wait() // mutators done; dispatchers still running
+	close(stop)
+	dispatchWG.Wait()
+	if got := c.Filters(); len(got) != 1 || got[0] != "base" {
+		t.Fatalf("final chain = %v, want [base]", got)
+	}
+	if calls.Load() == 0 {
+		t.Fatal("no dispatches ran")
+	}
+}
+
+// TestReentrantMutationFromCallback verifies a filter callback may attach
+// and detach filters on its own chain — impossible if dispatch held the
+// chain lock across the call.
+func TestReentrantMutationFromCallback(t *testing.T) {
+	var c Chain
+	inner := &Func{FilterName: "inner"}
+	outer := &Func{
+		FilterName: "outer",
+		Pre: func(op *vfs.Op) error {
+			if err := c.Attach(50, inner); err != nil {
+				return fmt.Errorf("reentrant attach: %w", err)
+			}
+			return nil
+		},
+		Post: func(op *vfs.Op) { c.Detach("inner") },
+	}
+	if err := c.Attach(100, outer); err != nil {
+		t.Fatal(err)
+	}
+	op := &vfs.Op{Kind: vfs.OpWrite, Path: "/x"}
+	if err := c.PreOp(op); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Filters(); len(got) != 2 {
+		t.Fatalf("after reentrant attach: %v", got)
+	}
+	c.PostOp(op)
+	if got := c.Filters(); len(got) != 1 || got[0] != "outer" {
+		t.Fatalf("after reentrant detach: %v", got)
+	}
+}
+
+// TestDispatchSnapshotSemantics: an operation dispatching concurrently with
+// a detach either sees the filter or doesn't — but a PreOp that saw it gets
+// the matching PostOp set (its own snapshot), never a torn view.
+func TestDispatchSnapshotSemantics(t *testing.T) {
+	var c Chain
+	if err := c.Attach(10, &Func{FilterName: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Attach(20, &Func{FilterName: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	// Capture the snapshot; mutate; the captured slice is unchanged.
+	before := c.load()
+	c.Detach("a")
+	if len(before) != 2 {
+		t.Fatalf("snapshot mutated: %d entries", len(before))
+	}
+	if got := c.Filters(); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("chain after detach = %v", got)
+	}
+}
+
+// TestVetoTelemetry checks per-filter veto counters and latency histograms
+// accumulate under dispatch.
+func TestVetoTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	var c Chain
+	c.SetTelemetry(reg)
+	boom := errors.New("denied")
+	if err := c.Attach(100, &Func{FilterName: "av", Pre: func(op *vfs.Op) error { return boom }}); err != nil {
+		t.Fatal(err)
+	}
+	op := &vfs.Op{Kind: vfs.OpWrite, Path: "/x"}
+	err := c.PreOp(op)
+	if !errors.Is(err, boom) {
+		t.Fatalf("veto not propagated: %v", err)
+	}
+	if !strings.Contains(err.Error(), `"av"`) {
+		t.Fatalf("veto error does not name the filter: %v", err)
+	}
+	if got := reg.Counter(`filter_vetoes_total{filter="av"}`).Value(); got != 1 {
+		t.Fatalf("veto counter = %d, want 1", got)
+	}
+	if got := reg.Histogram(`filter_pre_seconds{filter="av"}`, nil).Count(); got != 1 {
+		t.Fatalf("pre latency count = %d, want 1", got)
+	}
+}

@@ -9,7 +9,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"cryptodrop/internal/telemetry"
 	"cryptodrop/internal/vfs"
 )
 
@@ -27,17 +30,68 @@ type Filter interface {
 
 // Chain is an ordered stack of filters that implements vfs.Interceptor.
 // The zero value is an empty, usable chain.
+//
+// The entry list is copy-on-write: Attach and Detach build a fresh slice
+// under a mutex and publish it with one atomic store, while PreOp/PostOp
+// dispatch reads the current slice with one atomic load. Concurrent
+// operations therefore never serialise on a chain-wide lock, and a filter
+// callback may attach or detach filters reentrantly.
 type Chain struct {
+	// mu serialises mutations (Attach/Detach/SetTelemetry) only; dispatch
+	// never takes it.
 	mu      sync.Mutex
-	entries []entry
+	entries atomic.Pointer[[]entry]
+	tel     *telemetry.Registry
 }
 
 type entry struct {
 	altitude int
 	filter   Filter
+	// preLat/postLat/vetoes are per-filter telemetry handles; nil when
+	// telemetry is off, in which case dispatch skips all timing.
+	preLat  *telemetry.Histogram
+	postLat *telemetry.Histogram
+	vetoes  *telemetry.Counter
 }
 
 var _ vfs.Interceptor = (*Chain)(nil)
+
+// load returns the published entry slice (nil for an empty chain).
+func (c *Chain) load() []entry {
+	if p := c.entries.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// instrument fills an entry's telemetry handles; c.mu held.
+func (c *Chain) instrument(e *entry) {
+	if c.tel == nil {
+		return
+	}
+	label := `{filter="` + e.filter.Name() + `"}`
+	e.preLat = c.tel.Histogram("filter_pre_seconds"+label, telemetry.DefaultLatencyBuckets())
+	e.postLat = c.tel.Histogram("filter_post_seconds"+label, telemetry.DefaultLatencyBuckets())
+	e.vetoes = c.tel.Counter("filter_vetoes_total" + label)
+}
+
+// SetTelemetry attaches a registry recording per-filter PreOp/PostOp
+// latency histograms and veto counts for every current and future filter.
+// Passing nil detaches it. Dispatch with telemetry off costs one nil-check
+// per filter.
+func (c *Chain) SetTelemetry(reg *telemetry.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tel = reg
+	old := c.load()
+	next := make([]entry, len(old))
+	copy(next, old)
+	for i := range next {
+		next[i].preLat, next[i].postLat, next[i].vetoes = nil, nil, nil
+		c.instrument(&next[i])
+	}
+	c.entries.Store(&next)
+}
 
 // Attach inserts a filter at the given altitude. Higher altitudes see
 // operations first on the way down (PreOp) and last on the way up (PostOp).
@@ -45,13 +99,19 @@ var _ vfs.Interceptor = (*Chain)(nil)
 func (c *Chain) Attach(altitude int, f Filter) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, e := range c.entries {
+	old := c.load()
+	for _, e := range old {
 		if e.altitude == altitude {
 			return fmt.Errorf("filter: altitude %d already occupied by %q", altitude, e.filter.Name())
 		}
 	}
-	c.entries = append(c.entries, entry{altitude: altitude, filter: f})
-	sort.Slice(c.entries, func(i, j int) bool { return c.entries[i].altitude > c.entries[j].altitude })
+	next := make([]entry, len(old), len(old)+1)
+	copy(next, old)
+	en := entry{altitude: altitude, filter: f}
+	c.instrument(&en)
+	next = append(next, en)
+	sort.Slice(next, func(i, j int) bool { return next[i].altitude > next[j].altitude })
+	c.entries.Store(&next)
 	return nil
 }
 
@@ -60,9 +120,13 @@ func (c *Chain) Attach(altitude int, f Filter) error {
 func (c *Chain) Detach(name string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for i, e := range c.entries {
+	old := c.load()
+	for i, e := range old {
 		if e.filter.Name() == name {
-			c.entries = append(c.entries[:i], c.entries[i+1:]...)
+			next := make([]entry, 0, len(old)-1)
+			next = append(next, old[:i]...)
+			next = append(next, old[i+1:]...)
+			c.entries.Store(&next)
 			return true
 		}
 	}
@@ -71,30 +135,32 @@ func (c *Chain) Detach(name string) bool {
 
 // Filters returns the attached filter names in descending altitude order.
 func (c *Chain) Filters() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	names := make([]string, len(c.entries))
-	for i, e := range c.entries {
+	entries := c.load()
+	names := make([]string, len(entries))
+	for i, e := range entries {
 		names[i] = e.filter.Name()
 	}
 	return names
 }
 
-// snapshot returns the current entries; callbacks run without the lock so
-// filters may attach/detach reentrantly.
-func (c *Chain) snapshot() []entry {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]entry, len(c.entries))
-	copy(out, c.entries)
-	return out
-}
-
 // PreOp runs every filter's PreOp in descending altitude order, stopping at
-// the first veto.
+// the first veto. Dispatch is lock-free: it reads the entry list published
+// by the most recent Attach/Detach, so a concurrent mutation affects only
+// operations that start after it.
 func (c *Chain) PreOp(op *vfs.Op) error {
-	for _, e := range c.snapshot() {
-		if err := e.filter.PreOp(op); err != nil {
+	entries := c.load()
+	for i := range entries {
+		e := &entries[i]
+		var err error
+		if e.preLat != nil {
+			t0 := time.Now()
+			err = e.filter.PreOp(op)
+			e.preLat.ObserveDuration(time.Since(t0))
+		} else {
+			err = e.filter.PreOp(op)
+		}
+		if err != nil {
+			e.vetoes.Inc()
 			return fmt.Errorf("filter %q: %w", e.filter.Name(), err)
 		}
 	}
@@ -103,9 +169,16 @@ func (c *Chain) PreOp(op *vfs.Op) error {
 
 // PostOp runs every filter's PostOp in ascending altitude order.
 func (c *Chain) PostOp(op *vfs.Op) {
-	entries := c.snapshot()
+	entries := c.load()
 	for i := len(entries) - 1; i >= 0; i-- {
-		entries[i].filter.PostOp(op)
+		e := &entries[i]
+		if e.postLat != nil {
+			t0 := time.Now()
+			e.filter.PostOp(op)
+			e.postLat.ObserveDuration(time.Since(t0))
+		} else {
+			e.filter.PostOp(op)
+		}
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"cryptodrop/internal/entropy"
 	"cryptodrop/internal/magic"
 	"cryptodrop/internal/sdhash"
+	"cryptodrop/internal/telemetry"
 )
 
 // AnalyzerConfig tunes the live analyzer. Zero fields take defaults.
@@ -32,6 +33,9 @@ type AnalyzerConfig struct {
 	UnionBonus       float64
 	// OnAlert, if set, fires once when the score crosses the threshold.
 	OnAlert func(Alert)
+	// Telemetry, if set, receives live-watch metrics: scan latency,
+	// per-kind event counts and alert counts. Nil disables collection.
+	Telemetry *telemetry.Registry
 }
 
 func (c *AnalyzerConfig) fillDefaults() {
@@ -117,12 +121,20 @@ type Analyzer struct {
 
 	transformed int
 	deletions   int
+
+	// telEvents counts events folded in; telAlerts counts alerts fired.
+	// Both are nil (no-op) without a telemetry registry.
+	telEvents *telemetry.Counter
+	telAlerts *telemetry.Counter
 }
 
 // NewAnalyzer returns an analyzer with the given configuration.
 func NewAnalyzer(cfg AnalyzerConfig) *Analyzer {
 	cfg.fillDefaults()
-	return &Analyzer{cfg: cfg, states: make(map[string]*fileState)}
+	a := &Analyzer{cfg: cfg, states: make(map[string]*fileState)}
+	a.telEvents = cfg.Telemetry.Counter("livewatch_events_total")
+	a.telAlerts = cfg.Telemetry.Counter("livewatch_alerts_total")
+	return a
 }
 
 // Prime measures a file without scoring it (used to baseline the tree
@@ -153,6 +165,7 @@ func measure(content []byte) *fileState {
 // Apply folds a batch of events into the scoreboard. Files are read from
 // the real filesystem; unreadable files are skipped.
 func (a *Analyzer) Apply(events []Event) {
+	a.telEvents.Add(int64(len(events)))
 	for _, ev := range events {
 		switch ev.Kind {
 		case EventDeleted:
@@ -246,6 +259,7 @@ func (a *Analyzer) checkAlert() {
 		return
 	}
 	a.alerted = true
+	a.telAlerts.Inc()
 	if a.cfg.OnAlert != nil {
 		alert := Alert{Score: a.score, Union: a.union, FilesTransformed: a.transformed, Deletions: a.deletions}
 		a.mu.Unlock()

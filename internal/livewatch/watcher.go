@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"cryptodrop/internal/telemetry"
 )
 
 // Source produces change events for a directory tree. The portable polling
@@ -27,6 +29,9 @@ type Watcher struct {
 	mu      sync.Mutex
 	lastErr error
 	scans   int
+
+	// scanLat times each scan/analyze cycle; nil (no-op) without telemetry.
+	scanLat *telemetry.Histogram
 
 	stop chan struct{}
 	done chan struct{}
@@ -50,6 +55,7 @@ func NewWatcherWithSource(src Source, interval time.Duration, cfg AnalyzerConfig
 		scanner:  src,
 		analyzer: NewAnalyzer(cfg),
 		interval: interval,
+		scanLat:  cfg.Telemetry.Histogram("livewatch_scan_seconds", telemetry.DefaultLatencyBuckets()),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -96,6 +102,10 @@ func (w *Watcher) loop() {
 // Poll performs one scan/analyze cycle immediately (also used by tests and
 // by Stop for a final sweep).
 func (w *Watcher) Poll() {
+	var t0 time.Time
+	if w.scanLat != nil {
+		t0 = time.Now()
+	}
 	events, err := w.scanner.Scan()
 	w.mu.Lock()
 	w.scans++
@@ -105,6 +115,9 @@ func (w *Watcher) Poll() {
 		return
 	}
 	w.analyzer.Apply(events)
+	if w.scanLat != nil {
+		w.scanLat.ObserveDuration(time.Since(t0))
+	}
 }
 
 // Scans returns the number of completed polls.

@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// FireEvent is one indicator firing captured by the flight recorder: the
+// full context needed to explain how a scoring group's reputation score
+// reached its detection threshold.
+type FireEvent struct {
+	// Seq is the global 1-based capture sequence number.
+	Seq uint64 `json:"seq"`
+	// Group is the scoring-group PID the points were awarded to.
+	Group int `json:"group"`
+	// OpIndex is the engine's protected-operation counter at the firing.
+	OpIndex int64 `json:"opIndex"`
+	// Path is the file that triggered the firing ("" when the firing is not
+	// tied to a single path, e.g. the union bonus).
+	Path string `json:"path,omitempty"`
+	// Indicator names the indicator that fired.
+	Indicator string `json:"indicator"`
+	// Points is the score contribution of this firing.
+	Points float64 `json:"points"`
+	// ScoreAfter is the group's reputation score after the award.
+	ScoreAfter float64 `json:"scoreAfter"`
+	// Union reports the group's union-indication state after the award.
+	Union bool `json:"union"`
+}
+
+// FlightRecorder is a lock-free ring buffer of FireEvents. Writers claim a
+// slot with one atomic increment and publish the event with one atomic
+// pointer store, so recording costs no locks on the engine's event path;
+// when the buffer wraps, the oldest events are overwritten. A nil
+// FlightRecorder drops everything.
+type FlightRecorder struct {
+	slots []atomic.Pointer[FireEvent]
+	pos   atomic.Uint64
+}
+
+// DefaultFlightCapacity is the default ring size — comfortably larger than
+// the firing count of any single Table I detection (a detection at the
+// 200-point threshold takes at most a few hundred awards).
+const DefaultFlightCapacity = 8192
+
+// NewFlightRecorder returns a recorder holding the last capacity events
+// (DefaultFlightCapacity if capacity <= 0).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	return &FlightRecorder{slots: make([]atomic.Pointer[FireEvent], capacity)}
+}
+
+// Record captures one event. The event's Seq is assigned by the recorder.
+func (r *FlightRecorder) Record(ev FireEvent) {
+	if r == nil {
+		return
+	}
+	seq := r.pos.Add(1)
+	ev.Seq = seq
+	r.slots[(seq-1)%uint64(len(r.slots))].Store(&ev)
+}
+
+// Recorded returns how many events have ever been recorded (including any
+// already overwritten).
+func (r *FlightRecorder) Recorded() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.pos.Load()
+}
+
+// Truncated reports whether the ring has wrapped, i.e. whether any event
+// has been overwritten.
+func (r *FlightRecorder) Truncated() bool {
+	if r == nil {
+		return false
+	}
+	return r.pos.Load() > uint64(len(r.slots))
+}
+
+// Events returns every buffered event in capture order. Safe to call while
+// recording continues; events captured concurrently may or may not appear.
+func (r *FlightRecorder) Events() []FireEvent {
+	if r == nil {
+		return nil
+	}
+	out := make([]FireEvent, 0, len(r.slots))
+	for i := range r.slots {
+		if ev := r.slots[i].Load(); ev != nil {
+			out = append(out, *ev)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Trace is the ordered indicator-firing history of one scoring group — the
+// explanation of a detection. Summing Points over Events reproduces the
+// group's score trajectory; the final ScoreAfter is the score the detection
+// reported (provided the ring has not wrapped past the group's history).
+type Trace struct {
+	// Group is the scoring-group PID.
+	Group int `json:"group"`
+	// TotalPoints is the sum of Points over Events.
+	TotalPoints float64 `json:"totalPoints"`
+	// Truncated reports that the ring wrapped at some point, so the oldest
+	// firings (of any group) may be missing.
+	Truncated bool `json:"truncated,omitempty"`
+	// Events are the group's firings in capture order.
+	Events []FireEvent `json:"events"`
+}
+
+// Trace extracts the ordered event history of one scoring group.
+func (r *FlightRecorder) Trace(group int) Trace {
+	t := Trace{Group: group, Truncated: r.Truncated()}
+	for _, ev := range r.Events() {
+		if ev.Group != group {
+			continue
+		}
+		t.Events = append(t.Events, ev)
+		t.TotalPoints += ev.Points
+	}
+	return t
+}
+
+// Traces extracts one Trace per scoring group present in the buffer,
+// ordered by group.
+func (r *FlightRecorder) Traces() []Trace {
+	byGroup := make(map[int]*Trace)
+	var groups []int
+	truncated := r.Truncated()
+	for _, ev := range r.Events() {
+		t, ok := byGroup[ev.Group]
+		if !ok {
+			t = &Trace{Group: ev.Group, Truncated: truncated}
+			byGroup[ev.Group] = t
+			groups = append(groups, ev.Group)
+		}
+		t.Events = append(t.Events, ev)
+		t.TotalPoints += ev.Points
+	}
+	sort.Ints(groups)
+	out := make([]Trace, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, *byGroup[g])
+	}
+	return out
+}
+
+// WriteTraces writes traces as a pretty-printed JSON array.
+func WriteTraces(w io.Writer, traces []Trace) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(traces)
+}
+
+// ReadTraces parses a JSON array written by WriteTraces.
+func ReadTraces(rd io.Reader) ([]Trace, error) {
+	var out []Trace
+	if err := json.NewDecoder(rd).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

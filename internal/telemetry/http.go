@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the live observability endpoints for a registry:
+//
+//	/metrics       Prometheus text exposition
+//	/debug/vars    expvar-style JSON (metrics + memstats)
+//	/debug/flight  flight-recorder traces as JSON (when fr is non-nil)
+//	/debug/pprof/  the standard Go profiling endpoints
+//
+// fr may be nil (no flight endpoint). The pprof handlers are mounted on the
+// returned mux explicitly, so importing this package does not pollute
+// http.DefaultServeMux.
+func Handler(reg *Registry, fr *FlightRecorder) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = reg.WriteVars(w)
+	})
+	if fr != nil {
+		mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_ = WriteTraces(w, fr.Traces())
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve listens on addr and serves Handler(reg, fr) in a background
+// goroutine. It returns the server (Close to stop) and the bound address —
+// useful with ":0" — or an error if the listener cannot be opened.
+func Serve(addr string, reg *Registry, fr *FlightRecorder) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: Handler(reg, fr)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

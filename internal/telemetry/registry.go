@@ -1,0 +1,273 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry collects named metrics. Metric names follow the Prometheus
+// convention and may carry a label set inline:
+//
+//	engine_detections_total
+//	engine_indicator_fires_total{indicator="similarity"}
+//
+// Registration is get-or-create: asking twice for the same name returns the
+// same handle, so independent components can share one registry without
+// coordinating. All methods are safe for concurrent use, and every method is
+// nil-safe — a nil *Registry hands out nil (no-op) handles.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() float64
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		gaugeFuncs: make(map[string]func() float64),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at exposition
+// time (e.g. a queue depth read from a channel). Re-registering a name
+// replaces the function.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[name] = fn
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given upper bounds if needed. Bounds of an existing histogram are
+// kept; passing nil bounds on first registration uses
+// DefaultLatencyBuckets.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		if bounds == nil {
+			bounds = DefaultLatencyBuckets()
+		}
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry.
+type Snapshot struct {
+	// Counters maps full metric name to count.
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Gauges maps full metric name to value (function gauges included).
+	Gauges map[string]float64 `json:"gauges,omitempty"`
+	// Histograms maps full metric name to histogram state.
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every registered metric. A nil registry yields a zero
+// snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.Counters = make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	s.Gauges = make(map[string]float64, len(r.gauges)+len(r.gaugeFuncs))
+	for name, g := range r.gauges {
+		s.Gauges[name] = float64(g.Value())
+	}
+	for name, fn := range r.gaugeFuncs {
+		s.Gauges[name] = fn()
+	}
+	s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// splitName separates an inline label set from the metric base name:
+// `a_total{x="y"}` → ("a_total", `x="y"`).
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+// joinLabels combines an existing label set with an extra label.
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format, sorted by name for deterministic output. Histograms expose
+// cumulative _bucket series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	type line struct {
+		base, text string
+		kind       string
+	}
+	var lines []line
+	for name, v := range snap.Counters {
+		base, _ := splitName(name)
+		lines = append(lines, line{base: base, kind: "counter",
+			text: fmt.Sprintf("%s %d\n", name, v)})
+	}
+	for name, v := range snap.Gauges {
+		base, _ := splitName(name)
+		lines = append(lines, line{base: base, kind: "gauge",
+			text: fmt.Sprintf("%s %s\n", name, formatFloat(v))})
+	}
+	for name, h := range snap.Histograms {
+		base, labels := splitName(name)
+		var b strings.Builder
+		cum := uint64(0)
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = formatFloat(h.Bounds[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket{%s} %d\n", base, joinLabels(labels, `le="`+le+`"`), cum)
+		}
+		suffix := ""
+		if labels != "" {
+			suffix = "{" + labels + "}"
+		}
+		fmt.Fprintf(&b, "%s_sum%s %s\n", base, suffix, formatFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count%s %d\n", base, suffix, h.Count)
+		lines = append(lines, line{base: base, kind: "histogram", text: b.String()})
+	}
+	sort.Slice(lines, func(i, j int) bool {
+		if lines[i].base != lines[j].base {
+			return lines[i].base < lines[j].base
+		}
+		return lines[i].text < lines[j].text
+	})
+	lastBase := ""
+	for _, l := range lines {
+		if l.base != lastBase {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", l.base, l.kind); err != nil {
+				return err
+			}
+			lastBase = l.base
+		}
+		if _, err := io.WriteString(w, l.text); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// varsPayload is the /debug/vars document: the expvar-style JSON map of
+// every metric plus runtime memory statistics.
+type varsPayload struct {
+	Counters   map[string]int64         `json:"counters"`
+	Gauges     map[string]float64       `json:"gauges"`
+	Histograms map[string]varsHistogram `json:"histograms"`
+	MemStats   map[string]uint64        `json:"memstats"`
+}
+
+type varsHistogram struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// WriteVars writes the expvar-style JSON document for /debug/vars:
+// counters and gauges as numbers, histograms summarised with quantiles,
+// plus a subset of runtime.MemStats.
+func (r *Registry) WriteVars(w io.Writer) error {
+	snap := r.Snapshot()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p := varsPayload{
+		Counters:   snap.Counters,
+		Gauges:     snap.Gauges,
+		Histograms: make(map[string]varsHistogram, len(snap.Histograms)),
+		MemStats: map[string]uint64{
+			"Alloc":      ms.Alloc,
+			"TotalAlloc": ms.TotalAlloc,
+			"HeapAlloc":  ms.HeapAlloc,
+			"HeapInuse":  ms.HeapInuse,
+			"NumGC":      uint64(ms.NumGC),
+		},
+	}
+	for name, h := range snap.Histograms {
+		p.Histograms[name] = varsHistogram{
+			Count: h.Count,
+			Sum:   h.Sum,
+			P50:   h.Quantile(0.50),
+			P90:   h.Quantile(0.90),
+			P99:   h.Quantile(0.99),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}

@@ -1,0 +1,350 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("c_total")
+	g := reg.Gauge("g")
+	h := reg.Histogram("h_seconds", nil)
+	reg.GaugeFunc("gf", func() float64 { return 1 })
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry handed out non-nil handles")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(0.5)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil handles accumulated state")
+	}
+	snap := reg.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	var fr *FlightRecorder
+	fr.Record(FireEvent{Group: 1})
+	if fr.Recorded() != 0 || len(fr.Events()) != 0 || fr.Truncated() {
+		t.Fatal("nil flight recorder accumulated state")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total")
+	b := reg.Counter("x_total")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	h1 := reg.Histogram("lat_seconds", nil)
+	h2 := reg.Histogram("lat_seconds", []float64{1, 2, 3})
+	if h1 != h2 {
+		t.Fatal("same name returned distinct histograms")
+	}
+}
+
+func TestConcurrentCountersAndHistograms(t *testing.T) {
+	reg := NewRegistry()
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Half the goroutines race get-or-create with use.
+			c := reg.Counter("races_total")
+			h := reg.Histogram("race_seconds", nil)
+			g := reg.Gauge("race_gauge")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(float64(i%10) * 1e-4)
+				g.Set(int64(i))
+				if i%128 == 0 {
+					reg.Snapshot() // concurrent snapshots must be safe
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := reg.Counter("races_total").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	h := reg.Histogram("race_seconds", nil)
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	snap := h.Snapshot()
+	var cum uint64
+	for _, c := range snap.Counts {
+		cum += c
+	}
+	if cum != snap.Count {
+		t.Fatalf("bucket counts sum to %d, total says %d", cum, snap.Count)
+	}
+	wantSum := float64(workers) * float64(perWorker/10) * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7 + 8 + 9) * 1e-4
+	if math.Abs(snap.Sum-wantSum) > 1e-9 {
+		t.Fatalf("histogram sum = %g, want %g", snap.Sum, wantSum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5) // all in first bucket
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q <= 0 || q > 1 {
+		t.Fatalf("p50 = %g, want within (0, 1]", q)
+	}
+	h2 := newHistogram([]float64{1, 2, 4})
+	h2.Observe(100) // +Inf bucket clamps to highest finite bound
+	if q := h2.Snapshot().Quantile(0.99); q != 4 {
+		t.Fatalf("+Inf quantile = %g, want clamp to 4", q)
+	}
+	var empty HistogramSnapshot
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %g, want 0", q)
+	}
+}
+
+func TestFlightRecorderOrderAndTraces(t *testing.T) {
+	fr := NewFlightRecorder(64)
+	for i := 0; i < 10; i++ {
+		fr.Record(FireEvent{Group: 1 + i%2, OpIndex: int64(i), Indicator: "similarity", Points: 8})
+	}
+	evs := fr.Events()
+	if len(evs) != 10 {
+		t.Fatalf("events = %d, want 10", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("events out of order: seq %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	tr := fr.Trace(1)
+	if len(tr.Events) != 5 || tr.TotalPoints != 40 {
+		t.Fatalf("trace(1): %d events, %g points; want 5, 40", len(tr.Events), tr.TotalPoints)
+	}
+	all := fr.Traces()
+	if len(all) != 2 || all[0].Group != 1 || all[1].Group != 2 {
+		t.Fatalf("traces = %+v, want groups [1 2]", all)
+	}
+	if fr.Truncated() {
+		t.Fatal("recorder reports truncation below capacity")
+	}
+}
+
+func TestFlightRecorderWraparound(t *testing.T) {
+	const capacity = 32
+	fr := NewFlightRecorder(capacity)
+	const total = 100
+	for i := 0; i < total; i++ {
+		fr.Record(FireEvent{Group: 7, OpIndex: int64(i), Points: 1})
+	}
+	if !fr.Truncated() {
+		t.Fatal("ring wrapped but Truncated() = false")
+	}
+	if got := fr.Recorded(); got != total {
+		t.Fatalf("Recorded() = %d, want %d", got, total)
+	}
+	evs := fr.Events()
+	if len(evs) != capacity {
+		t.Fatalf("events = %d, want ring capacity %d", len(evs), capacity)
+	}
+	// Survivors must be exactly the newest `capacity` events, in order.
+	for i, ev := range evs {
+		want := uint64(total - capacity + i + 1)
+		if ev.Seq != want {
+			t.Fatalf("event %d: seq %d, want %d", i, ev.Seq, want)
+		}
+	}
+	if tr := fr.Trace(7); !tr.Truncated {
+		t.Fatal("trace of wrapped recorder not marked truncated")
+	}
+}
+
+func TestFlightRecorderConcurrentRecord(t *testing.T) {
+	fr := NewFlightRecorder(1024)
+	var wg sync.WaitGroup
+	const workers = 8
+	const perWorker = 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				fr.Record(FireEvent{Group: w, OpIndex: int64(i), Points: 1})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := fr.Recorded(); got != workers*perWorker {
+		t.Fatalf("Recorded() = %d, want %d", got, workers*perWorker)
+	}
+	evs := fr.Events()
+	if len(evs) != 1024 {
+		t.Fatalf("events = %d, want 1024 (full ring)", len(evs))
+	}
+	seen := make(map[uint64]bool, len(evs))
+	for _, ev := range evs {
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate seq %d", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(`engine_indicator_fires_total{indicator="similarity"}`).Add(3)
+	reg.Counter(`engine_indicator_fires_total{indicator="type-change"}`).Add(2)
+	reg.Gauge("engine_measure_pool_capacity").Set(4)
+	h := reg.Histogram("demo_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE demo_seconds histogram
+demo_seconds_bucket{le="0.1"} 1
+demo_seconds_bucket{le="1"} 2
+demo_seconds_bucket{le="+Inf"} 3
+demo_seconds_sum 5.55
+demo_seconds_count 3
+# TYPE engine_indicator_fires_total counter
+engine_indicator_fires_total{indicator="similarity"} 3
+engine_indicator_fires_total{indicator="type-change"} 2
+# TYPE engine_measure_pool_capacity gauge
+engine_measure_pool_capacity 4
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("Prometheus text mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// Output must be deterministic across calls.
+	var buf2 bytes.Buffer
+	if err := reg.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("WritePrometheus output not deterministic")
+	}
+}
+
+func TestWriteVars(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ops_total").Add(9)
+	reg.Histogram("lat_seconds", []float64{1}).Observe(0.5)
+	var buf bytes.Buffer
+	if err := reg.WriteVars(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters   map[string]int64 `json:"counters"`
+		Histograms map[string]struct {
+			Count uint64  `json:"count"`
+			P50   float64 `json:"p50"`
+		} `json:"histograms"`
+		MemStats map[string]uint64 `json:"memstats"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("vars output not JSON: %v", err)
+	}
+	if doc.Counters["ops_total"] != 9 {
+		t.Fatalf("ops_total = %d, want 9", doc.Counters["ops_total"])
+	}
+	if doc.Histograms["lat_seconds"].Count != 1 {
+		t.Fatal("histogram missing from vars")
+	}
+	if _, ok := doc.MemStats["HeapAlloc"]; !ok {
+		t.Fatal("memstats missing from vars")
+	}
+}
+
+func TestTracesRoundTrip(t *testing.T) {
+	fr := NewFlightRecorder(16)
+	fr.Record(FireEvent{Group: 3, OpIndex: 10, Path: "/docs/a.txt", Indicator: "type-change", Points: 8, ScoreAfter: 8})
+	fr.Record(FireEvent{Group: 3, OpIndex: 11, Indicator: "union-bonus", Points: 30, ScoreAfter: 38, Union: true})
+	var buf bytes.Buffer
+	if err := WriteTraces(&buf, fr.Traces()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTraces(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Group != 3 || len(back[0].Events) != 2 {
+		t.Fatalf("round-trip = %+v", back)
+	}
+	if back[0].TotalPoints != 38 || back[0].Events[1].Union != true {
+		t.Fatalf("round-trip lost fields: %+v", back[0])
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits_total").Inc()
+	fr := NewFlightRecorder(8)
+	fr.Record(FireEvent{Group: 1, Indicator: "deletion", Points: 6})
+	srv, addr, err := Serve("127.0.0.1:0", reg, fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/metrics")
+	if !strings.Contains(body, "hits_total 1") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if !strings.Contains(ct, "text/plain") {
+		t.Fatalf("/metrics content-type = %q", ct)
+	}
+	body, _ = get("/debug/vars")
+	if !strings.Contains(body, `"hits_total": 1`) {
+		t.Fatalf("/debug/vars missing counter:\n%s", body)
+	}
+	body, _ = get("/debug/flight")
+	var traces []Trace
+	if err := json.Unmarshal([]byte(body), &traces); err != nil {
+		t.Fatalf("/debug/flight not JSON: %v", err)
+	}
+	if len(traces) != 1 || traces[0].TotalPoints != 6 {
+		t.Fatalf("/debug/flight = %+v", traces)
+	}
+	body, _ = get("/debug/pprof/cmdline")
+	if body == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}

@@ -24,6 +24,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"cryptodrop/internal/telemetry"
 )
 
 // Filesystem errors.
@@ -157,6 +159,11 @@ type FS struct {
 	opCounts    map[OpKind]int64
 	// shadowCopies holds volume snapshots (see shadow.go); lazily created.
 	shadowCopies *shadowStore
+	// telOps / telBytes expose per-kind operation throughput when a
+	// telemetry registry is attached (see SetTelemetry); nil otherwise.
+	telOps   [OpRename + 1]*telemetry.Counter
+	telBytes [OpRename + 1]*telemetry.Counter
+	telOn    bool
 }
 
 // New returns an empty filesystem.
@@ -174,6 +181,23 @@ func (fs *FS) SetInterceptor(ic Interceptor) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	fs.interceptor = ic
+}
+
+// SetTelemetry attaches a registry counting completed operations and moved
+// payload bytes by kind (vfs_ops_total / vfs_op_bytes_total). Passing nil
+// detaches it.
+func (fs *FS) SetTelemetry(reg *telemetry.Registry) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.telOn = reg != nil
+	for k := OpCreate; k <= OpRename; k++ {
+		if reg == nil {
+			fs.telOps[k], fs.telBytes[k] = nil, nil
+			continue
+		}
+		fs.telOps[k] = reg.Counter(`vfs_ops_total{kind="` + k.String() + `"}`)
+		fs.telBytes[k] = reg.Counter(`vfs_op_bytes_total{kind="` + k.String() + `"}`)
+	}
 }
 
 // OpCount returns how many operations of the given kind have completed.
@@ -250,6 +274,12 @@ func (fs *FS) pre(op *Op) error {
 // post runs the interceptor's PostOp and bumps counters; fs.mu must be held.
 func (fs *FS) post(op *Op) {
 	fs.opCounts[op.Kind]++
+	if fs.telOn {
+		fs.telOps[op.Kind].Inc()
+		if n := int64(len(op.Data)); n > 0 {
+			fs.telBytes[op.Kind].Add(n)
+		}
+	}
 	ic := fs.interceptor
 	if ic == nil {
 		return
