@@ -108,6 +108,12 @@ func watch(dir string, interval time.Duration, useInotify bool, reg *telemetry.R
 			fmt.Printf("\n!! ALERT: suspicious bulk transformation (score %.1f, union=%v,\n"+
 				"          %d files transformed, %d deleted)\n",
 				a.Score, a.Union, a.FilesTransformed, a.Deletions)
+			// The analyzer shares the engine's scoreboard: show which
+			// indicators drove the alert, as cdreplay does for traces.
+			rep := w.Analyzer().Report()
+			for _, ind := range rep.IndicatorsSeen {
+				fmt.Printf("   %-18v %.2f\n", ind, rep.IndicatorPoints[ind])
+			}
 			return nil
 		case err := <-attackDone:
 			if err != nil {

@@ -4,10 +4,11 @@
 //	cdreplay -trace /tmp/t.jsonl                        # re-score
 //	cdreplay -trace /tmp/t.jsonl -threshold 100         # what-if tuning
 //
-// The replay rebuilds the recorded filesystem activity against a fresh
-// corpus (same seed ⇒ same machine) under a fresh engine, so detections are
-// reproducible and engine parameters can be tuned without re-running
-// malware.
+// The replay feeds the recorded event stream straight into a fresh detection
+// engine — no filesystem is reconstructed. The engine's content lookups are
+// served from a corpus content store rebuilt from the recorded machine's
+// spec (same seed ⇒ same file IDs), so detections are reproducible and
+// engine parameters can be tuned without re-running malware.
 package main
 
 import (
@@ -15,9 +16,8 @@ import (
 	"fmt"
 	"os"
 
-	"cryptodrop"
+	"cryptodrop/internal/core"
 	"cryptodrop/internal/corpus"
-	"cryptodrop/internal/proc"
 	"cryptodrop/internal/telemetry"
 	"cryptodrop/internal/trace"
 	"cryptodrop/internal/vfs"
@@ -39,7 +39,7 @@ func run(args []string) error {
 		dirs      = fs.Int("dirs", 150, "corpus directory count")
 		scale     = fs.Float64("scale", 0.5, "corpus size scale")
 		threshold = fs.Float64("threshold", 0, "override the non-union threshold (0 = default)")
-		noCorpus  = fs.Bool("no-corpus", false, "replay against an empty filesystem (trace-created files only)")
+		noCorpus  = fs.Bool("no-corpus", false, "replay against an empty content store (trace-created files only)")
 		traceOut  = fs.String("trace-out", "", "dump flight-recorder detection traces to this JSON file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -61,36 +61,40 @@ func run(args []string) error {
 		return fmt.Errorf("trace %s is empty", *tracePath)
 	}
 
-	fsys := vfs.New()
-	root := cryptodrop.DefaultProtectedRoot
+	// Seed the replayer's content store from the recorded machine's corpus.
+	// The corpus is built deterministically from the spec, so paths and file
+	// IDs align with the recorded ones.
+	replayer := trace.NewEventReplayer()
+	root := corpus.DefaultRoot
 	if !*noCorpus {
+		fsys := vfs.New()
 		m, err := corpus.Build(fsys, corpus.Spec{Seed: *seed, Files: *files, Dirs: *dirs, SizeScale: *scale})
 		if err != nil {
 			return err
 		}
 		root = m.Root
+		if err := replayer.SeedFromFS(fsys); err != nil {
+			return err
+		}
 	}
-	procs := proc.NewTable()
-	opts := []cryptodrop.Option{cryptodrop.WithRoot(root), cryptodrop.WithoutEnforcement()}
+
+	cfg := core.DefaultConfig(root)
 	if *threshold > 0 {
-		opts = append(opts, cryptodrop.WithNonUnionThreshold(*threshold))
+		cfg.NonUnionThreshold = *threshold
 	}
 	var flight *telemetry.FlightRecorder
 	if *traceOut != "" {
 		flight = telemetry.NewFlightRecorder(telemetry.DefaultFlightCapacity)
-		opts = append(opts, cryptodrop.WithFlightRecorder(flight))
+		cfg.FlightRecorder = flight
 	}
-	mon, err := cryptodrop.NewMonitor(fsys, procs, opts...)
-	if err != nil {
-		return err
-	}
+	eng := core.New(cfg, replayer)
 
-	res, err := trace.Replay(fsys, records)
+	res, err := replayer.Replay(eng, records)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("replayed %d records: %d applied, %d skipped\n", len(records), res.Applied, res.Skipped)
-	for _, rep := range mon.Reports() {
+	for _, rep := range eng.Reports() {
 		verdict := "clean"
 		if rep.Detected {
 			verdict = "DETECTED"
@@ -101,7 +105,7 @@ func run(args []string) error {
 		}
 	}
 	if flight != nil {
-		if err := dumpTraces(*traceOut, flight, mon.Detections()); err != nil {
+		if err := dumpTraces(*traceOut, flight, eng.Detections()); err != nil {
 			return err
 		}
 	}
@@ -111,7 +115,7 @@ func run(args []string) error {
 // dumpTraces writes one flight-recorder trace per detected scoring group;
 // with no detections, every group's trace is dumped (the score trajectory is
 // still useful for what-if tuning below the threshold).
-func dumpTraces(path string, flight *telemetry.FlightRecorder, detections []cryptodrop.Detection) error {
+func dumpTraces(path string, flight *telemetry.FlightRecorder, detections []core.Detection) error {
 	var traces []telemetry.Trace
 	if len(detections) > 0 {
 		for _, d := range detections {

@@ -31,6 +31,7 @@ import (
 	"cryptodrop/internal/proc"
 	"cryptodrop/internal/telemetry"
 	"cryptodrop/internal/vfs"
+	"cryptodrop/internal/vfsadapter"
 )
 
 // ErrSuspended is returned to a process whose disk access CryptoDrop has
@@ -211,7 +212,7 @@ func (f enforcement) PreOp(op *vfs.Op) error {
 // PostOp is a no-op for the enforcement filter.
 func (enforcement) PostOp(op *vfs.Op) {}
 
-var _ filter.Filter = (*core.Engine)(nil)
+var _ filter.Filter = (*vfsadapter.Filter)(nil)
 
 // NewMonitor attaches CryptoDrop to fsys, scoring processes registered in
 // procs. The filesystem's interceptor is replaced with the monitor's filter
@@ -234,7 +235,7 @@ func NewMonitor(fsys *vfs.FS, procs *proc.Table, opts ...Option) (*Monitor, erro
 	if o.familyScoring {
 		o.cfg.FamilyOf = procs.RootOf
 	}
-	m.engine = core.New(o.cfg, fsys)
+	m.engine = core.New(o.cfg, vfsadapter.Source(fsys))
 	if o.cfg.Telemetry != nil {
 		m.chain.SetTelemetry(o.cfg.Telemetry)
 		fsys.SetTelemetry(o.cfg.Telemetry)
@@ -242,7 +243,7 @@ func NewMonitor(fsys *vfs.FS, procs *proc.Table, opts ...Option) (*Monitor, erro
 	if err := m.chain.Attach(altitudeEnforce, enforcement{m}); err != nil {
 		return nil, fmt.Errorf("attach enforcement: %w", err)
 	}
-	if err := m.chain.Attach(altitudeEngine, m.engine); err != nil {
+	if err := m.chain.Attach(altitudeEngine, vfsadapter.New(m.engine)); err != nil {
 		return nil, fmt.Errorf("attach engine: %w", err)
 	}
 	fsys.SetInterceptor(m.chain)

@@ -83,7 +83,7 @@ func benchEngineParallelPostOp(b *testing.B, withTelemetry bool) {
 		cfg.Telemetry = telemetry.NewRegistry()
 		cfg.FlightRecorder = telemetry.NewFlightRecorder(telemetry.DefaultFlightCapacity)
 	}
-	e := New(cfg, fs)
+	e := New(cfg, testSource{fs})
 	var pidCtr atomic.Int64
 	b.SetBytes(int64(len(doc)))
 	b.ResetTimer()
@@ -95,13 +95,13 @@ func benchEngineParallelPostOp(b *testing.B, withTelemetry bool) {
 		for pb.Next() {
 			switch {
 			case i%10 == 9:
-				e.PreOp(&vfs.Op{Kind: vfs.OpOpen, PID: pid, Path: p, FileID: id,
-					Flags: vfs.WriteOnly, Size: int64(len(doc))})
-				e.PostOp(&vfs.Op{Kind: vfs.OpClose, PID: pid, Path: p, FileID: id, Wrote: true})
+				e.PreEvent(Event{Kind: EvOpen, PID: pid, Path: p, FileID: id,
+					Flags: EvWriteIntent, Size: int64(len(doc))})
+				e.Handle(Event{Kind: EvClose, PID: pid, Path: p, FileID: id, Wrote: true})
 			case i%2 == 0:
-				e.PostOp(&vfs.Op{Kind: vfs.OpRead, PID: pid, Path: p, FileID: id, Data: doc})
+				e.Handle(Event{Kind: EvRead, PID: pid, Path: p, FileID: id, Data: doc})
 			default:
-				e.PostOp(&vfs.Op{Kind: vfs.OpWrite, PID: pid, Path: p, FileID: id,
+				e.Handle(Event{Kind: EvWrite, PID: pid, Path: p, FileID: id,
 					Data: cipher, Size: int64(len(cipher))})
 			}
 			i++

@@ -136,6 +136,14 @@ type Config struct {
 	// DisabledIndicators suppresses scoring (and union participation) of
 	// the listed indicators (ablation studies).
 	DisabledIndicators []Indicator
+	// NewCipherWithoutDelta awards NewCipherFile for a new untyped
+	// high-entropy file even when the process's read/write entropy delta is
+	// not (yet) suspicious. Payload-blind backends — watchers that only see
+	// completed files, never the read/write stream — set this: for them the
+	// delta gate can never open, so without it the Class C encrypted-copy
+	// shape would be invisible. Minifilter-style backends leave it false
+	// (the default), preserving the paper's delta-gated behaviour.
+	NewCipherWithoutDelta bool
 	// Workers sizes the measurement worker pool. Zero (the default) keeps
 	// every measurement synchronous on the event path — bit-identical to
 	// the original sequential engine, which the deterministic experiments

@@ -10,24 +10,26 @@ import (
 
 	"cryptodrop/internal/magic"
 	"cryptodrop/internal/sdhash"
-	"cryptodrop/internal/vfs"
 )
 
-// Engine is the CryptoDrop analysis engine. It consumes the filesystem
-// operation stream (as a minifilter in the chain of Fig. 2), measures the
-// indicators, maintains the per-process reputation scoreboard and reports
-// detections. The engine observes but never vetoes: enforcement (suspending
-// the flagged process family) belongs to the monitor that owns it.
+// Engine is the CryptoDrop analysis engine. It consumes the backend-neutral
+// file operation stream (the minifilter vantage point of Fig. 2, abstracted
+// as Events), measures the indicators, maintains the per-process reputation
+// scoreboard and reports detections. The engine observes but never vetoes:
+// enforcement (suspending the flagged process family) belongs to the monitor
+// that owns it.
 //
-// Create an Engine with New and attach it to the filesystem's filter chain.
-// All methods are safe for concurrent use. The scoreboard is sharded by
-// scoring-group PID and the file-state cache by file ID, so operations from
-// distinct processes on distinct files never contend on a shared lock; see
-// DESIGN.md ("Concurrency model") for the shard layout and ordering
-// guarantees.
+// Create an Engine with New and feed it Events through PreEvent/Handle —
+// directly, or via one of the backend adapters (internal/vfsadapter for the
+// filter chain, livewatch.Analyzer for a real directory, trace.EventReplayer
+// for recorded streams). All methods are safe for concurrent use. The
+// scoreboard is sharded by scoring-group PID and the file-state cache by
+// file ID, so operations from distinct processes on distinct files never
+// contend on a shared lock; see DESIGN.md ("Concurrency model") for the
+// shard layout and ordering guarantees.
 type Engine struct {
 	cfg Config
-	fs  *vfs.FS
+	src ContentSource
 
 	// procs is the sharded per-process scoreboard.
 	procs procTable
@@ -54,15 +56,21 @@ type Engine struct {
 	detections []Detection
 }
 
-// New returns an engine analysing operations on fsys under cfg.ProtectedRoot.
-func New(cfg Config, fsys *vfs.FS) *Engine {
+// New returns an engine analysing the event stream under cfg.ProtectedRoot,
+// reading file content through src. A nil src disables content-dependent
+// indicators (type change, similarity, file-level entropy) while the
+// payload-level ones keep working.
+func New(cfg Config, src ContentSource) *Engine {
+	if src == nil {
+		src = noContent{}
+	}
 	disabled := make(map[Indicator]bool, len(cfg.DisabledIndicators))
 	for _, ind := range cfg.DisabledIndicators {
 		disabled[ind] = true
 	}
 	e := &Engine{
 		cfg:      cfg,
-		fs:       fsys,
+		src:      src,
 		disabled: disabled,
 	}
 	e.procs.init()
@@ -74,9 +82,6 @@ func New(cfg Config, fsys *vfs.FS) *Engine {
 	}
 	return e
 }
-
-// Name identifies the engine in a filter chain.
-func (e *Engine) Name() string { return "cryptodrop" }
 
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
@@ -111,31 +116,31 @@ func (e *Engine) lockProc(pid int) (ps *procState, sh *procShard) {
 	return ps, sh
 }
 
-// PreOp snapshots file state that would otherwise be destroyed by the
+// PreEvent snapshots file state that would otherwise be destroyed by the
 // operation: the previous version of a file opened for writing, and the
-// target a rename is about to replace. It never vetoes.
-func (e *Engine) PreOp(op *vfs.Op) error {
-	switch op.Kind {
-	case vfs.OpOpen:
-		if op.Flags&vfs.WriteOnly != 0 && op.Size > 0 && e.inRoot(op.Path) {
-			e.snapshot(op.FileID)
+// target a rename is about to replace. Backends must deliver it before the
+// operation mutates the underlying content (and before the matching Handle).
+func (e *Engine) PreEvent(ev Event) {
+	switch ev.Kind {
+	case EvOpen:
+		if ev.Flags&EvWriteIntent != 0 && ev.Size > 0 && e.inRoot(ev.Path) {
+			e.snapshot(ev.FileID)
 		}
-	case vfs.OpWrite:
+	case EvWrite:
 		// Fallback for handles opened before the engine attached.
-		if op.Size > 0 && e.inRoot(op.Path) {
-			e.snapshotIfMissing(op.FileID)
+		if ev.Size > 0 && e.inRoot(ev.Path) {
+			e.snapshotIfMissing(ev.FileID)
 		}
-	case vfs.OpRename:
-		if op.ReplacedID != 0 && e.inRoot(op.NewPath) {
-			e.snapshot(op.ReplacedID)
+	case EvRename:
+		if ev.ReplacedID != 0 && e.inRoot(ev.NewPath) {
+			e.snapshot(ev.ReplacedID)
 		}
-		if e.inRoot(op.Path) && !e.inRoot(op.NewPath) {
+		if e.inRoot(ev.Path) && !e.inRoot(ev.NewPath) {
 			// The file is leaving the protected tree (Class B move-out):
 			// capture its state so the return trip can be compared.
-			e.snapshot(op.FileID)
+			e.snapshot(ev.FileID)
 		}
 	}
-	return nil
 }
 
 // snapshot caches the current content state of the file with the given ID
@@ -146,7 +151,7 @@ func (e *Engine) snapshot(id uint64) {
 	if e.files.has(id) {
 		return
 	}
-	content, err := e.fs.ReadFileRawByID(id)
+	content, err := e.src.Content(id)
 	if err != nil || len(content) == 0 {
 		return
 	}
@@ -159,13 +164,15 @@ func (e *Engine) snapshot(id uint64) {
 
 func (e *Engine) snapshotIfMissing(id uint64) { e.snapshot(id) }
 
-// PostOp measures the completed operation and updates the scoreboard.
-func (e *Engine) PostOp(op *vfs.Op) {
-	relevant := e.inRoot(op.Path) || (op.Kind == vfs.OpRename && e.inRoot(op.NewPath))
+// Handle measures the completed operation and updates the scoreboard. It is
+// the engine's single entry point for scoring: every backend funnels its
+// native notifications here as Events.
+func (e *Engine) Handle(ev Event) {
+	relevant := e.inRoot(ev.Path) || (ev.Kind == EvRename && e.inRoot(ev.NewPath))
 	if !relevant {
 		return
 	}
-	ps, sh := e.lockProc(op.PID)
+	ps, sh := e.lockProc(ev.PID)
 	// Fold in any measurement results completed since the process's last
 	// operation, in submission order, before scoring the new operation.
 	dets := e.drainPending(ps)
@@ -176,29 +183,29 @@ func (e *Engine) PostOp(op *vfs.Op) {
 	// released, so a concurrent delete or rename can no longer mutate the
 	// file cache under a lock the reader believes it still holds.
 	var job *measureTask
-	if e.needsContent(op) {
+	if e.needsContent(&ev) {
 		sh.mu.Unlock()
-		job = e.prepareMeasure(op.FileID)
+		job = e.prepareMeasure(ev.FileID)
 		sh.mu.Lock()
 	}
 
 	opIdx := e.opIndex.Add(1)
-	switch op.Kind {
-	case vfs.OpRead:
-		e.handleRead(ps, op, opIdx)
-	case vfs.OpWrite:
-		e.handleWrite(ps, op, opIdx)
-	case vfs.OpClose:
-		e.handleClose(ps, op, job, opIdx)
-	case vfs.OpDelete:
-		e.handleDelete(ps, op, opIdx)
-	case vfs.OpRename:
-		e.handleRename(ps, op, job, opIdx)
-	case vfs.OpCreate:
-		e.files.setCreator(op.FileID, op.PID)
-		ps.dirsTouched[path.Dir(op.Path)] = true
-	case vfs.OpOpen:
-		ps.dirsTouched[path.Dir(op.Path)] = true
+	switch ev.Kind {
+	case EvRead:
+		e.handleRead(ps, &ev, opIdx)
+	case EvWrite:
+		e.handleWrite(ps, &ev, opIdx)
+	case EvClose:
+		e.handleClose(ps, &ev, job, opIdx)
+	case EvDelete:
+		e.handleDelete(ps, &ev, opIdx)
+	case EvRename:
+		e.handleRename(ps, &ev, job, opIdx)
+	case EvCreate:
+		e.files.setCreator(ev.FileID, ev.PID)
+		ps.dirsTouched[path.Dir(ev.Path)] = true
+	case EvOpen:
+		ps.dirsTouched[path.Dir(ev.Path)] = true
 	}
 	if det, fire := e.checkDetection(ps, opIdx); fire {
 		dets = append(dets, det)
@@ -210,12 +217,12 @@ func (e *Engine) PostOp(op *vfs.Op) {
 // needsContent reports whether the operation evaluates a file
 // transformation and therefore needs the file's current content measured;
 // the caller holds the proc-shard lock.
-func (e *Engine) needsContent(op *vfs.Op) bool {
-	switch op.Kind {
-	case vfs.OpClose:
-		return op.Wrote
-	case vfs.OpRename:
-		return e.inRoot(op.NewPath) && (op.ReplacedID != 0 || e.files.has(op.FileID))
+func (e *Engine) needsContent(ev *Event) bool {
+	switch ev.Kind {
+	case EvClose:
+		return ev.Wrote
+	case EvRename:
+		return e.inRoot(ev.NewPath) && (ev.ReplacedID != 0 || e.files.has(ev.FileID))
 	}
 	return false
 }
@@ -225,7 +232,7 @@ func (e *Engine) needsContent(op *vfs.Op) bool {
 // returns nil when the content cannot be read (e.g. the file was deleted in
 // the window since the operation completed).
 func (e *Engine) prepareMeasure(id uint64) *measureTask {
-	content, err := e.fs.ReadFileRawByID(id)
+	content, err := e.src.Content(id)
 	if err != nil {
 		return nil
 	}
@@ -248,33 +255,33 @@ func (e *Engine) dispatch(dets []Detection) {
 
 // handleRead folds a read payload into the entropy tracker and funneling
 // sets; proc-shard lock held.
-func (e *Engine) handleRead(ps *procState, op *vfs.Op, opIdx int64) {
-	ps.delta.AddRead(op.Data)
-	ps.dirsTouched[path.Dir(op.Path)] = true
-	ps.touchExt(extOf(op.Path))
-	if op.Offset == 0 && len(op.Data) > 0 {
+func (e *Engine) handleRead(ps *procState, ev *Event, opIdx int64) {
+	ps.delta.AddRead(ev.Data)
+	ps.dirsTouched[path.Dir(ev.Path)] = true
+	ps.touchExt(extOf(ev.Path))
+	if ev.Offset == 0 && len(ev.Data) > 0 {
 		// Identify the type being read, consulting the per-process sniff
 		// cache first: re-reading the same unchanged prefix must not pay
 		// for a full magic scan every time.
-		key := ps.sniff.key(op.FileID, op.Data)
+		key := ps.sniff.key(ev.FileID, ev.Data)
 		t, ok := ps.sniff.get(key)
 		if !ok {
-			t = magic.Identify(op.Data)
+			t = magic.Identify(ev.Data)
 			ps.sniff.put(key, t)
 		}
 		ps.typesRead[t.ID] = true
-		e.checkFunneling(ps, opIdx, op.Path)
+		e.checkFunneling(ps, opIdx, ev.Path)
 	}
 }
 
 // handleWrite folds a write payload into the entropy tracker and applies
 // per-operation entropy-delta scoring; proc-shard lock held.
-func (e *Engine) handleWrite(ps *procState, op *vfs.Op, opIdx int64) {
-	ps.delta.AddWrite(op.Data)
-	ps.dirsTouched[path.Dir(op.Path)] = true
-	ps.touchExt(extOf(op.Path))
+func (e *Engine) handleWrite(ps *procState, ev *Event, opIdx int64) {
+	ps.delta.AddWrite(ev.Data)
+	ps.dirsTouched[path.Dir(ev.Path)] = true
+	ps.touchExt(extOf(ev.Path))
 	if e.deltaSuspicious(ps) {
-		e.award(ps, IndicatorEntropyDelta, e.cfg.Points.EntropyDeltaOp, opIdx, op.Path)
+		e.award(ps, IndicatorEntropyDelta, e.cfg.Points.EntropyDeltaOp, opIdx, ev.Path)
 	}
 }
 
@@ -287,11 +294,11 @@ func (e *Engine) deltaSuspicious(ps *procState) bool {
 
 // handleClose evaluates a completed file rewrite against the cached
 // previous-version state; proc-shard lock held.
-func (e *Engine) handleClose(ps *procState, op *vfs.Op, job *measureTask, opIdx int64) {
-	if !op.Wrote || job == nil {
+func (e *Engine) handleClose(ps *procState, ev *Event, job *measureTask, opIdx int64) {
+	if !ev.Wrote || job == nil {
 		return
 	}
-	e.evaluate(ps, job, op.FileID, e.files.entry(op.FileID), opIdx, op.Path)
+	e.evaluate(ps, job, ev.FileID, e.files.entry(ev.FileID), opIdx, ev.Path)
 }
 
 // handleDelete scores a protected file removal; proc-shard lock held.
@@ -299,47 +306,47 @@ func (e *Engine) handleClose(ps *procState, op *vfs.Op, job *measureTask, opIdx 
 // ordinary behaviour and scores far lower than destroying the user's
 // pre-existing data — the bulk deletion the secondary indicator targets
 // (§III-D).
-func (e *Engine) handleDelete(ps *procState, op *vfs.Op, opIdx int64) {
+func (e *Engine) handleDelete(ps *procState, ev *Event, opIdx int64) {
 	ps.deletes++
-	ps.dirsTouched[path.Dir(op.Path)] = true
-	ps.touchExt(extOf(op.Path))
+	ps.dirsTouched[path.Dir(ev.Path)] = true
+	ps.touchExt(extOf(ev.Path))
 	pts := e.cfg.Points.Deletion
-	if e.files.creator(op.FileID) == op.PID {
+	if e.files.creator(ev.FileID) == ev.PID {
 		pts = e.cfg.Points.DeletionOwn
 	}
-	e.award(ps, IndicatorDeletion, pts, opIdx, op.Path)
-	e.files.drop(op.FileID)
-	e.files.dropCreator(op.FileID)
+	e.award(ps, IndicatorDeletion, pts, opIdx, ev.Path)
+	e.files.drop(ev.FileID)
+	e.files.dropCreator(ev.FileID)
 }
 
 // handleRename links file state across moves. A rename that replaces an
 // existing protected file is a Class B/C transformation of the replaced
 // file; a move back into the protected root is checked against the moved
 // file's own cached state; proc-shard lock held.
-func (e *Engine) handleRename(ps *procState, op *vfs.Op, job *measureTask, opIdx int64) {
-	if e.inRoot(op.Path) {
-		ps.dirsTouched[path.Dir(op.Path)] = true
+func (e *Engine) handleRename(ps *procState, ev *Event, job *measureTask, opIdx int64) {
+	if e.inRoot(ev.Path) {
+		ps.dirsTouched[path.Dir(ev.Path)] = true
 	}
-	if !e.inRoot(op.NewPath) {
+	if !e.inRoot(ev.NewPath) {
 		// Moved out of the protected tree: keep the cached state; the
 		// file ID preserves identity until it comes back.
 		return
 	}
-	ps.dirsTouched[path.Dir(op.NewPath)] = true
-	ps.touchExt(extOf(op.NewPath))
-	if op.ReplacedID != 0 {
+	ps.dirsTouched[path.Dir(ev.NewPath)] = true
+	ps.touchExt(extOf(ev.NewPath))
+	if ev.ReplacedID != 0 {
 		// The incoming file replaced a protected file: compare the new
 		// content against the replaced file's snapshot.
 		if job != nil {
-			e.evaluate(ps, job, op.FileID, e.files.entry(op.ReplacedID), opIdx, op.NewPath)
+			e.evaluate(ps, job, ev.FileID, e.files.entry(ev.ReplacedID), opIdx, ev.NewPath)
 		}
-		e.files.drop(op.ReplacedID)
+		e.files.drop(ev.ReplacedID)
 		return
 	}
-	if prev := e.files.entry(op.FileID); prev != nil && job != nil {
+	if prev := e.files.entry(ev.FileID); prev != nil && job != nil {
 		// The file itself returned to the protected tree (Class B):
 		// compare against its own pre-move state.
-		e.evaluate(ps, job, op.FileID, prev, opIdx, op.NewPath)
+		e.evaluate(ps, job, ev.FileID, prev, opIdx, ev.NewPath)
 	}
 }
 
@@ -383,7 +390,8 @@ func (e *Engine) applyPending(ps *procState, p pendingApply) {
 		// A brand-new file of untyped high-entropy content, written while
 		// the process reads lower-entropy data: the shape of a Class C
 		// encrypted copy (§V-C).
-		if newState.typ.IsData() && newState.entropy > 7.0 && e.deltaSuspicious(ps) {
+		if newState.typ.IsData() && newState.entropy > 7.0 &&
+			(e.deltaSuspicious(ps) || e.cfg.NewCipherWithoutDelta) {
 			e.award(ps, IndicatorEntropyDelta, e.cfg.Points.NewCipherFile, p.opIdx, p.path)
 		}
 	}

@@ -24,7 +24,7 @@ func TestSnapshotFallbackForPreAttachedHandle(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Engine attaches after the open.
-	eng := New(DefaultConfig(testRoot), fs)
+	eng := New(DefaultConfig(testRoot), testSource{fs})
 	fs.SetInterceptor(interceptorFunc{eng})
 
 	content, err := h.ReadAll()

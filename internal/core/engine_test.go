@@ -30,16 +30,54 @@ func setup(t testing.TB, cfg Config) (*vfs.FS, *Engine) {
 			t.Fatal(err)
 		}
 	}
-	eng := New(cfg, fs)
+	eng := New(cfg, testSource{fs})
 	fs.SetInterceptor(interceptorFunc{eng})
 	return fs, eng
 }
 
-// interceptorFunc adapts the engine to vfs.Interceptor directly for tests.
+// testSource exposes a vfs as the engine's ContentSource. It mirrors
+// internal/vfsadapter, which cannot be imported here (it imports core); the
+// cross-backend conformance suite in internal/experiments pins that the real
+// adapter behaves identically.
+type testSource struct{ fs *vfs.FS }
+
+func (s testSource) Content(id uint64) ([]byte, error) { return s.fs.ReadFileRawByID(id) }
+
+// interceptorFunc adapts the engine to vfs.Interceptor directly for tests,
+// translating ops the same way internal/vfsadapter does.
 type interceptorFunc struct{ e *Engine }
 
-func (i interceptorFunc) PreOp(op *vfs.Op) error { return i.e.PreOp(op) }
-func (i interceptorFunc) PostOp(op *vfs.Op)      { i.e.PostOp(op) }
+func (i interceptorFunc) PreOp(op *vfs.Op) error { i.e.PreEvent(testEventFromOp(op)); return nil }
+func (i interceptorFunc) PostOp(op *vfs.Op)      { i.e.Handle(testEventFromOp(op)) }
+
+func testEventFromOp(op *vfs.Op) Event {
+	kinds := map[vfs.OpKind]EventKind{
+		vfs.OpCreate: EvCreate, vfs.OpOpen: EvOpen, vfs.OpRead: EvRead,
+		vfs.OpWrite: EvWrite, vfs.OpClose: EvClose, vfs.OpDelete: EvDelete,
+		vfs.OpRename: EvRename,
+	}
+	var flags EventFlag
+	if op.Flags&vfs.ReadOnly != 0 {
+		flags |= EvReadIntent
+	}
+	if op.Flags&vfs.WriteOnly != 0 {
+		flags |= EvWriteIntent
+	}
+	if op.Flags&vfs.Create != 0 {
+		flags |= EvCreateIntent
+	}
+	if op.Flags&vfs.Truncate != 0 {
+		flags |= EvTruncate
+	}
+	if op.Flags&vfs.Append != 0 {
+		flags |= EvAppend
+	}
+	return Event{
+		Kind: kinds[op.Kind], PID: op.PID, Path: op.Path, NewPath: op.NewPath,
+		FileID: op.FileID, ReplacedID: op.ReplacedID, Data: op.Data,
+		Offset: op.Offset, Size: op.Size, Flags: flags, Wrote: op.Wrote,
+	}
+}
 
 // keystream produces deterministic ciphertext-like bytes.
 func keystream(seed int64, n int) []byte {
@@ -487,7 +525,7 @@ func TestSmallFilesYieldNoSimilarity(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	eng := New(cfg, fs)
+	eng := New(cfg, testSource{fs})
 	fs.SetInterceptor(interceptorFunc{eng})
 	pid := 1900
 	infos, _ := fs.List(testRoot)

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"cryptodrop/internal/core"
+	"cryptodrop/internal/corpus"
+	"cryptodrop/internal/ransomware"
+	"cryptodrop/internal/telemetry"
+	"cryptodrop/internal/trace"
+	"cryptodrop/internal/vfs"
+)
+
+// TestCrossBackendConformance pins the backend-neutrality of the detection
+// core: the same attack scored (a) live through the VFS adapter in the
+// filter chain and (b) offline by feeding the recorded Event stream straight
+// into a fresh engine must produce identical scoreboards and identical
+// flight-recorder traces — every indicator firing at the same operation
+// index with the same points, down to the union bonus and detection moment.
+// One sample per behavioural class runs, so in-place rewrites (A), move-out
+// transformations (B) and encrypted copies with deletion (C) all cross the
+// adapter boundary.
+func TestCrossBackendConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full capture+replay per class")
+	}
+	spec := corpus.Spec{Seed: 2016, Files: 200, Dirs: 20, SizeScale: 0.25}
+	classes := map[ransomware.Class]ransomware.Sample{}
+	for _, s := range ransomware.Roster(spec.Seed) {
+		if _, ok := classes[s.Profile.Class]; !ok {
+			classes[s.Profile.Class] = s
+		}
+	}
+	for class, sample := range classes {
+		sample := sample
+		t.Run(class.String(), func(t *testing.T) {
+			// (a) Live: VFS adapter in the filter chain, with a trace
+			// recorder above it and a flight recorder inside the engine.
+			runner, err := NewRunner(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			rec := trace.NewRecorder(&buf)
+			runner.SetTraceRecorder(rec)
+			frLive := telemetry.NewFlightRecorder(telemetry.DefaultFlightCapacity)
+			runner.SetTelemetry(nil, frLive)
+			out, err := runner.RunSample(sample)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !out.Detected {
+				t.Fatalf("sample %s not detected live", sample.ID)
+			}
+			if err := rec.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			records, err := trace.Read(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(records) == 0 {
+				t.Fatal("empty trace")
+			}
+
+			// (b) Replay: the recorded Event stream into a fresh engine,
+			// content served from an identically rebuilt corpus store.
+			seedFS := vfs.New()
+			m, err := corpus.Build(seedFS, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			replayer := trace.NewEventReplayer()
+			if err := replayer.SeedFromFS(seedFS); err != nil {
+				t.Fatal(err)
+			}
+			frReplay := telemetry.NewFlightRecorder(telemetry.DefaultFlightCapacity)
+			cfg := core.DefaultConfig(m.Root)
+			cfg.FlightRecorder = frReplay
+			eng := core.New(cfg, replayer)
+			res, err := replayer.Replay(eng, records)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Skipped != 0 {
+				t.Fatalf("complete trace over a seeded corpus skipped %d records", res.Skipped)
+			}
+
+			// Scoreboards must match field for field: score, union,
+			// indicator totals, entropy means, deletes, transform counts,
+			// the full score trajectory, extensions and directories.
+			pid := out.Report.PID
+			replayRep, ok := eng.Report(pid)
+			if !ok {
+				t.Fatalf("replay has no report for pid %d", pid)
+			}
+			if !reflect.DeepEqual(out.Report, replayRep) {
+				t.Fatalf("scoreboards diverge:\n live:   %+v\n replay: %+v", out.Report, replayRep)
+			}
+			if reps := eng.Reports(); len(reps) != 1 {
+				t.Fatalf("replay scored %d processes, live scored 1", len(reps))
+			}
+
+			// The replay must detect, exactly once, the same process.
+			dets := eng.Detections()
+			if len(dets) != 1 || dets[0].PID != pid {
+				t.Fatalf("replay detections = %+v, want one for pid %d", dets, pid)
+			}
+
+			// Flight-recorder traces are the strictest check: the ordered
+			// sequence of indicator firings with running scores and
+			// operation indices must be identical event for event.
+			liveTrace, replayTrace := frLive.Trace(pid), frReplay.Trace(pid)
+			if len(liveTrace.Events) == 0 {
+				t.Fatal("live flight trace is empty")
+			}
+			if !reflect.DeepEqual(liveTrace, replayTrace) {
+				t.Fatalf("flight traces diverge:\n live:   %+v\n replay: %+v", liveTrace, replayTrace)
+			}
+		})
+	}
+}

@@ -4,27 +4,46 @@ import (
 	"os"
 	"sync"
 
-	"cryptodrop/internal/entropy"
-	"cryptodrop/internal/magic"
-	"cryptodrop/internal/sdhash"
+	"cryptodrop/internal/core"
 	"cryptodrop/internal/telemetry"
 )
 
-// AnalyzerConfig tunes the live analyzer. Zero fields take defaults.
+// actorPID is the single scoring group every change is attributed to: a
+// userspace watcher has no process attribution, so the whole tree is scored
+// as one unknown actor.
+const actorPID = 1
+
+// AnalyzerConfig tunes the live analyzer.
+//
+// The preferred route is Engine: a full core.Config used verbatim, where
+// zero values mean zero — an indicator set to 0 points really is disabled.
+// The legacy flat fields below remain for compatibility; they only override
+// the defaults when non-zero (their historical ambiguity: a flat field
+// explicitly set to 0 is indistinguishable from "unset" and yields the
+// default — use Engine to disable things).
 type AnalyzerConfig struct {
-	// AlertThreshold is the score at which an alert fires (default 200,
-	// the paper's non-union threshold).
+	// Engine, if non-nil, is the engine configuration used as-is (points,
+	// thresholds, disabled indicators — the single source of truth). The
+	// analyzer still forces the backend-dictated fields: Workers is pinned
+	// to 0 (content is staged synchronously around each event),
+	// NewCipherWithoutDelta is set (a watcher never sees the read/write
+	// payload stream, so the paper's Δe gate could never open), and
+	// OnDetection is owned by the analyzer (use OnAlert).
+	Engine *core.Config
+
+	// AlertThreshold is the score at which an alert fires (default: the
+	// engine's non-union threshold, 200).
 	AlertThreshold float64
 	// UnionThreshold applies once all three primary indicators have been
-	// observed (default 140).
+	// observed (default: the engine's union threshold, 140).
 	UnionThreshold float64
 	// SimilarityMatchMax is the highest similarity score treated as
-	// complete dissimilarity (default 4).
+	// complete dissimilarity (default: the engine's, 4).
 	SimilarityMatchMax int
 	// EntropyDeltaThreshold is the per-file entropy increase considered
-	// suspicious (default 0.1).
+	// suspicious (default: the engine's, 0.1).
 	EntropyDeltaThreshold float64
-	// Points per indicator occurrence (defaults mirror the engine's).
+	// Points per indicator occurrence (defaults are core.DefaultPoints()).
 	TypeChangePoints float64
 	SimilarityPoints float64
 	EntropyPoints    float64
@@ -33,42 +52,57 @@ type AnalyzerConfig struct {
 	UnionBonus       float64
 	// OnAlert, if set, fires once when the score crosses the threshold.
 	OnAlert func(Alert)
-	// Telemetry, if set, receives live-watch metrics: scan latency,
-	// per-kind event counts and alert counts. Nil disables collection.
+	// Telemetry, if set, receives live-watch metrics (scan latency,
+	// per-kind event counts, alert counts) and the underlying engine's
+	// indicator metrics. Nil disables collection.
 	Telemetry *telemetry.Registry
 }
 
-func (c *AnalyzerConfig) fillDefaults() {
-	if c.AlertThreshold == 0 {
-		c.AlertThreshold = 200
+// engineConfig resolves the analyzer configuration to the core engine
+// configuration. Every default comes from the engine package — there is no
+// second points table to drift.
+func (c AnalyzerConfig) engineConfig() core.Config {
+	var cfg core.Config
+	if c.Engine != nil {
+		cfg = *c.Engine
+	} else {
+		cfg = core.DefaultConfig("")
+		if c.AlertThreshold != 0 {
+			cfg.NonUnionThreshold = c.AlertThreshold
+		}
+		if c.UnionThreshold != 0 {
+			cfg.UnionThreshold = c.UnionThreshold
+		}
+		if c.SimilarityMatchMax != 0 {
+			cfg.SimilarityMatchMax = c.SimilarityMatchMax
+		}
+		if c.EntropyDeltaThreshold != 0 {
+			cfg.EntropyDeltaThreshold = c.EntropyDeltaThreshold
+		}
+		if c.TypeChangePoints != 0 {
+			cfg.Points.TypeChange = c.TypeChangePoints
+		}
+		if c.SimilarityPoints != 0 {
+			cfg.Points.Similarity = c.SimilarityPoints
+		}
+		if c.EntropyPoints != 0 {
+			cfg.Points.EntropyDeltaFile = c.EntropyPoints
+		}
+		if c.DeletionPoints != 0 {
+			cfg.Points.Deletion = c.DeletionPoints
+		}
+		if c.NewCipherPoints != 0 {
+			cfg.Points.NewCipherFile = c.NewCipherPoints
+		}
+		if c.UnionBonus != 0 {
+			cfg.Points.UnionBonus = c.UnionBonus
+		}
+		cfg.Telemetry = c.Telemetry
 	}
-	if c.UnionThreshold == 0 {
-		c.UnionThreshold = 140
-	}
-	if c.SimilarityMatchMax == 0 {
-		c.SimilarityMatchMax = 4
-	}
-	if c.EntropyDeltaThreshold == 0 {
-		c.EntropyDeltaThreshold = 0.1
-	}
-	if c.TypeChangePoints == 0 {
-		c.TypeChangePoints = 8
-	}
-	if c.SimilarityPoints == 0 {
-		c.SimilarityPoints = 8
-	}
-	if c.EntropyPoints == 0 {
-		c.EntropyPoints = 4
-	}
-	if c.DeletionPoints == 0 {
-		c.DeletionPoints = 6
-	}
-	if c.NewCipherPoints == 0 {
-		c.NewCipherPoints = 3
-	}
-	if c.UnionBonus == 0 {
-		c.UnionBonus = 30
-	}
+	// Backend-dictated settings (see the Engine field doc).
+	cfg.Workers = 0
+	cfg.NewCipherWithoutDelta = true
+	return cfg
 }
 
 // Alert reports suspicious bulk transformation of the watched tree.
@@ -83,44 +117,31 @@ type Alert struct {
 	Deletions int
 }
 
-// fileState caches a file's previous measurement.
-type fileState struct {
-	typ     magic.Type
-	digest  *sdhash.Digest
-	entropy float64
-	size    int64
-}
-
-// reliableDigest mirrors the engine's sparse-digest guard: trust a
-// dissimilarity verdict only when the previous digest has enough features
-// absolutely or per byte of input.
-func (st *fileState) reliableDigest() bool {
-	if st.digest == nil {
-		return false
-	}
-	fc := st.digest.FeatureCount()
-	return fc >= 8 || int64(fc)*256 >= st.size
-}
-
-// Analyzer scores filesystem change events against the CryptoDrop
-// indicators. Because a userspace watcher has no process attribution, all
-// changes are scored against one scoreboard entry: the tree's single
-// unknown actor. All methods are safe for concurrent use.
+// Analyzer adapts directory change events to the CryptoDrop engine: it is
+// the live-watch backend of the backend-neutral event model. It owns no
+// scoring of its own — every indicator, the union rule and the thresholds
+// live in core.Engine; the analyzer only assigns stable file IDs to paths,
+// stages file content for the engine's ContentSource, and translates each
+// scanner Event into core Events attributed to the tree's single unknown
+// actor. All methods are safe for concurrent use.
 type Analyzer struct {
 	mu  sync.Mutex
-	cfg AnalyzerConfig
+	eng *core.Engine
 
-	states map[string]*fileState
-	score  float64
+	// paths/idPaths map watched paths to the synthetic stable file IDs the
+	// engine keys its state by, and back.
+	paths   map[string]uint64
+	idPaths map[uint64]string
+	nextID  uint64
+	// staged holds the content for the event currently being handled, so
+	// the engine's synchronous Content lookups never touch the changing
+	// real filesystem mid-evaluation.
+	staged map[uint64][]byte
 
-	sawType    bool
-	sawSim     bool
-	sawEntropy bool
-	union      bool
-	alerted    bool
-
-	transformed int
-	deletions   int
+	alertMu sync.Mutex
+	alerted bool
+	queued  []Alert
+	onAlert func(Alert)
 
 	// telEvents counts events folded in; telAlerts counts alerts fired.
 	// Both are nil (no-op) without a telemetry registry.
@@ -130,36 +151,95 @@ type Analyzer struct {
 
 // NewAnalyzer returns an analyzer with the given configuration.
 func NewAnalyzer(cfg AnalyzerConfig) *Analyzer {
-	cfg.fillDefaults()
-	a := &Analyzer{cfg: cfg, states: make(map[string]*fileState)}
+	a := &Analyzer{
+		paths:   make(map[string]uint64),
+		idPaths: make(map[uint64]string),
+		staged:  make(map[uint64][]byte),
+		onAlert: cfg.OnAlert,
+	}
+	ecfg := cfg.engineConfig()
+	ecfg.OnDetection = a.onDetection
+	a.eng = core.New(ecfg, a)
 	a.telEvents = cfg.Telemetry.Counter("livewatch_events_total")
 	a.telAlerts = cfg.Telemetry.Counter("livewatch_alerts_total")
 	return a
 }
 
+// Content implements core.ContentSource: the engine reads the staged bytes
+// of the event in flight, falling back to the real file for IDs staged
+// earlier (e.g. a pool-free snapshot re-read).
+func (a *Analyzer) Content(id uint64) ([]byte, error) {
+	if b, ok := a.staged[id]; ok {
+		return b, nil
+	}
+	if p, ok := a.idPaths[id]; ok {
+		return os.ReadFile(p)
+	}
+	return nil, os.ErrNotExist
+}
+
+// onDetection adapts the engine's detection to a livewatch Alert. It runs
+// inside an engine call while a.mu is held, so the alert is queued and
+// delivered after the lock is released — a re-entrant OnAlert callback must
+// not deadlock.
+func (a *Analyzer) onDetection(d core.Detection) {
+	rep, _ := a.eng.Report(d.PID)
+	a.alertMu.Lock()
+	a.alerted = true
+	a.queued = append(a.queued, Alert{
+		Score:            d.Score,
+		Union:            d.Union,
+		FilesTransformed: rep.FilesTransformed,
+		Deletions:        rep.Deletes,
+	})
+	a.alertMu.Unlock()
+	a.telAlerts.Inc()
+}
+
+// deliver fires queued alerts outside all locks.
+func (a *Analyzer) deliver() {
+	a.alertMu.Lock()
+	q := a.queued
+	a.queued = nil
+	a.alertMu.Unlock()
+	if a.onAlert == nil {
+		return
+	}
+	for _, al := range q {
+		a.onAlert(al)
+	}
+}
+
+// id returns (assigning if needed) the stable file ID for path; a.mu held.
+func (a *Analyzer) id(path string) uint64 {
+	if id, ok := a.paths[path]; ok {
+		return id
+	}
+	a.nextID++
+	id := a.nextID
+	a.paths[path] = id
+	a.idPaths[id] = path
+	return id
+}
+
 // Prime measures a file without scoring it (used to baseline the tree
-// before watching starts). Unreadable files are skipped.
+// before watching starts): the content is snapshotted as the file's
+// previous version, exactly as the engine snapshots a file about to be
+// opened for writing. Unreadable files are skipped.
 func (a *Analyzer) Prime(path string) {
 	content, err := os.ReadFile(path)
 	if err != nil {
 		return
 	}
-	st := measure(content)
 	a.mu.Lock()
-	a.states[path] = st
+	id := a.id(path)
+	a.staged[id] = content
+	a.eng.PreEvent(core.Event{
+		Kind: core.EvOpen, PID: actorPID, Path: path, FileID: id,
+		Flags: core.EvWriteIntent, Size: int64(len(content)),
+	})
+	delete(a.staged, id)
 	a.mu.Unlock()
-}
-
-func measure(content []byte) *fileState {
-	st := &fileState{
-		typ:     magic.Identify(content),
-		entropy: entropy.Shannon(content),
-		size:    int64(len(content)),
-	}
-	if d, err := sdhash.Compute(content); err == nil {
-		st.digest = d
-	}
-	return st
 }
 
 // Apply folds a batch of events into the scoreboard. Files are read from
@@ -182,109 +262,78 @@ func (a *Analyzer) Apply(events []Event) {
 
 // ApplyChange scores one created/modified file given its new content
 // (exposed separately so tests and alternative event sources can feed
-// content directly).
+// content directly). The change reaches the engine as the completed write
+// it is: an optional create, then a written-handle close evaluated against
+// the file's cached previous version.
 func (a *Analyzer) ApplyChange(path string, content []byte, kind EventKind) {
-	newState := measure(content)
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	prev := a.states[path]
-	a.states[path] = newState
-	if prev == nil {
-		// A brand-new file: untyped high-entropy content is the shape of
-		// a Class C encrypted copy.
-		if kind == EventCreated && newState.typ.IsData() && newState.entropy > 7.0 {
-			a.addPoints(a.cfg.NewCipherPoints)
-		}
-		return
+	_, known := a.paths[path]
+	id := a.id(path)
+	if !known && kind == EventCreated {
+		// A file born under the watch: the actor is its creator (its later
+		// deletion is temp-file churn, not destruction of user data).
+		a.eng.Handle(core.Event{Kind: core.EvCreate, PID: actorPID, Path: path, FileID: id,
+			Flags: core.EvWriteIntent | core.EvCreateIntent})
 	}
-	a.transformed++
-	if newState.typ.ID != prev.typ.ID {
-		a.sawType = true
-		a.addPoints(a.cfg.TypeChangePoints)
+	if !known && kind == EventModified {
+		// First sight of a pre-existing file mid-change: baseline it from
+		// the post-change content so state is tracked from here on. The
+		// evaluation below then compares identical content and scores
+		// nothing — mirroring the engine seeing only the tail of a write.
+		a.staged[id] = content
+		a.eng.PreEvent(core.Event{
+			Kind: core.EvOpen, PID: actorPID, Path: path, FileID: id,
+			Flags: core.EvWriteIntent, Size: int64(len(content)),
+		})
+		delete(a.staged, id)
 	}
-	// Sparse digests (chance features in random-like data) carry no
-	// confidence, so a dissimilarity verdict requires a reliable previous
-	// digest.
-	if prev.reliableDigest() {
-		score := 0
-		if newState.digest != nil {
-			score = prev.digest.Compare(newState.digest)
-		}
-		if score <= a.cfg.SimilarityMatchMax {
-			a.sawSim = true
-			a.addPoints(a.cfg.SimilarityPoints)
-		}
-	}
-	if newState.entropy-prev.entropy >= a.cfg.EntropyDeltaThreshold {
-		a.sawEntropy = true
-		a.addPoints(a.cfg.EntropyPoints)
-	}
-	a.checkUnion()
-	a.checkAlert()
+	a.staged[id] = content
+	a.eng.Handle(core.Event{
+		Kind: core.EvClose, PID: actorPID, Path: path, FileID: id,
+		Size: int64(len(content)), Wrote: true,
+	})
+	delete(a.staged, id)
+	a.mu.Unlock()
+	a.deliver()
 }
 
 func (a *Analyzer) applyDelete(path string) {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	if _, known := a.states[path]; known {
-		delete(a.states, path)
-	}
-	a.deletions++
-	a.addPoints(a.cfg.DeletionPoints)
-	a.checkAlert()
-}
-
-// addPoints adds to the score; a.mu held.
-func (a *Analyzer) addPoints(p float64) { a.score += p }
-
-// checkUnion fires the union bonus once; a.mu held.
-func (a *Analyzer) checkUnion() {
-	if a.union || !(a.sawType && a.sawSim && a.sawEntropy) {
-		return
-	}
-	a.union = true
-	a.score += a.cfg.UnionBonus
-}
-
-// checkAlert fires OnAlert once past the effective threshold; a.mu held.
-func (a *Analyzer) checkAlert() {
-	if a.alerted {
-		return
-	}
-	threshold := a.cfg.AlertThreshold
-	if a.union && a.cfg.UnionThreshold < threshold {
-		threshold = a.cfg.UnionThreshold
-	}
-	if a.score < threshold {
-		return
-	}
-	a.alerted = true
-	a.telAlerts.Inc()
-	if a.cfg.OnAlert != nil {
-		alert := Alert{Score: a.score, Union: a.union, FilesTransformed: a.transformed, Deletions: a.deletions}
-		a.mu.Unlock()
-		a.cfg.OnAlert(alert)
-		a.mu.Lock()
-	}
+	id := a.id(path)
+	a.eng.Handle(core.Event{Kind: core.EvDelete, PID: actorPID, Path: path, FileID: id})
+	delete(a.paths, path)
+	delete(a.idPaths, id)
+	a.mu.Unlock()
+	a.deliver()
 }
 
 // Score returns the current score.
 func (a *Analyzer) Score() float64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.score
+	rep, _ := a.eng.Report(actorPID)
+	return rep.Score
 }
 
 // Alerted reports whether the alert fired.
 func (a *Analyzer) Alerted() bool {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.alertMu.Lock()
+	defer a.alertMu.Unlock()
 	return a.alerted
 }
 
 // Union reports whether all three primary indicators were observed.
 func (a *Analyzer) Union() bool {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.union
+	rep, _ := a.eng.Report(actorPID)
+	return rep.Union
 }
+
+// Report returns the engine's scoreboard snapshot for the watched tree's
+// single actor: per-indicator point totals, score history, directories and
+// extensions touched.
+func (a *Analyzer) Report() core.ProcessReport {
+	rep, _ := a.eng.Report(actorPID)
+	return rep
+}
+
+// Engine exposes the underlying detection engine (shared with every other
+// backend adapter).
+func (a *Analyzer) Engine() *core.Engine { return a.eng }

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"cryptodrop/internal/core"
 	"cryptodrop/internal/corpus"
 )
 
@@ -178,8 +179,70 @@ func TestAnalyzerDeletionsScore(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		a.applyDelete("/x/" + string(rune('a'+i)))
 	}
-	if a.Score() != 60 { // 10 × default 6
-		t.Fatalf("deletion score = %.1f, want 60", a.Score())
+	// Deleting pre-existing user data scores the engine's Deletion points
+	// per file — the livewatch drift (a hard-coded 6) is gone.
+	want := 10 * core.DefaultPoints().Deletion
+	if a.Score() != want {
+		t.Fatalf("deletion score = %.1f, want %.1f", a.Score(), want)
+	}
+}
+
+// TestAnalyzerOwnFileDeletionScoresLow pins a behaviour unified with the
+// engine: deleting a file the watched actor itself created (temp churn) is
+// ordinary behaviour and scores far lower than destroying pre-existing data.
+func TestAnalyzerOwnFileDeletionScoresLow(t *testing.T) {
+	a := NewAnalyzer(AnalyzerConfig{})
+	a.ApplyChange("/x/tmp.swp", []byte("scratch scratch scratch"), EventCreated)
+	base := a.Score()
+	a.applyDelete("/x/tmp.swp")
+	got := a.Score() - base
+	if want := core.DefaultPoints().DeletionOwn; got != want {
+		t.Fatalf("own-file deletion scored %.1f, want %.1f", got, want)
+	}
+}
+
+// TestAnalyzerDefaultsMatchEngine asserts the livewatch defaults are the
+// engine's defaults — derived from core.DefaultConfig, not a second table
+// that can drift (the pre-unification analyzer had hard-coded 8/8/4/6/3).
+func TestAnalyzerDefaultsMatchEngine(t *testing.T) {
+	cfg := NewAnalyzer(AnalyzerConfig{}).Engine().Config()
+	want := core.DefaultConfig("")
+	if cfg.Points != want.Points {
+		t.Fatalf("analyzer points %+v diverge from core.DefaultPoints() %+v", cfg.Points, want.Points)
+	}
+	if cfg.NonUnionThreshold != want.NonUnionThreshold || cfg.UnionThreshold != want.UnionThreshold {
+		t.Fatalf("analyzer thresholds %g/%g diverge from engine defaults %g/%g",
+			cfg.NonUnionThreshold, cfg.UnionThreshold, want.NonUnionThreshold, want.UnionThreshold)
+	}
+	if cfg.SimilarityMatchMax != want.SimilarityMatchMax ||
+		cfg.EntropyDeltaThreshold != want.EntropyDeltaThreshold {
+		t.Fatal("analyzer similarity/entropy thresholds diverge from engine defaults")
+	}
+	if !cfg.NewCipherWithoutDelta {
+		t.Fatal("payload-blind backend must set NewCipherWithoutDelta")
+	}
+	if cfg.Workers != 0 {
+		t.Fatal("analyzer must pin Workers to 0: content is staged synchronously")
+	}
+}
+
+// TestAnalyzerEngineConfigZeroMeansZero pins the zero-value fix: routing
+// config through core.Config lets a caller genuinely disable an indicator,
+// which the legacy flat fields (where 0 silently meant "default") never
+// could.
+func TestAnalyzerEngineConfigZeroMeansZero(t *testing.T) {
+	ecfg := core.DefaultConfig("")
+	ecfg.Points.Deletion = 0
+	ecfg.Points.DeletionOwn = 0
+	a := NewAnalyzer(AnalyzerConfig{Engine: &ecfg})
+	for i := 0; i < 10; i++ {
+		a.applyDelete("/x/" + string(rune('a'+i)))
+	}
+	if a.Score() != 0 {
+		t.Fatalf("deletions scored %.1f with Deletion points explicitly 0", a.Score())
+	}
+	if got := a.Engine().Config().Points.Deletion; got != 0 {
+		t.Fatalf("explicit zero replaced by default %g", got)
 	}
 }
 

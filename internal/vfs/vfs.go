@@ -8,7 +8,9 @@
 // the payload bytes and file identity — the same "notifications, file data,
 // context" stream the CryptoDrop kernel driver forwards to its analysis
 // engine. The interceptor may veto an operation, which is how a detection
-// verdict suspends a process's disk access.
+// verdict suspends a process's disk access. The analysis engine itself
+// never consumes vfs.Op directly: internal/vfsadapter translates each op
+// into the backend-neutral core.Event the engine scores.
 //
 // Files carry stable IDs so state can be tracked across renames and moves —
 // the careful move tracking §III requires for Class B ransomware — and the
