@@ -1,0 +1,155 @@
+package cryptodrop_test
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestPublicAPISurface pins the exported API of the root package and
+// internal/host against golden snapshots, so any surface change — a new
+// export, a signature change, a removal — shows up as an explicit diff in
+// review instead of slipping through. Regenerate after an intentional
+// change with:
+//
+//	UPDATE_API_GOLDEN=1 go test . -run TestPublicAPISurface
+func TestPublicAPISurface(t *testing.T) {
+	for _, tc := range []struct{ name, dir, golden string }{
+		{"cryptodrop", ".", "testdata/api_cryptodrop.golden"},
+		{"host", "internal/host", "testdata/api_host.golden"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := apiSurface(t, tc.dir)
+			if os.Getenv("UPDATE_API_GOLDEN") != "" {
+				if err := os.WriteFile(tc.golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("regenerated %s", tc.golden)
+				return
+			}
+			want, err := os.ReadFile(tc.golden)
+			if err != nil {
+				t.Fatalf("missing golden snapshot (regenerate with UPDATE_API_GOLDEN=1): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("exported API of %s changed:\n%s\nIf intentional, regenerate with UPDATE_API_GOLDEN=1.",
+					tc.dir, surfaceDiff(string(want), got))
+			}
+		})
+	}
+}
+
+// apiSurface renders the exported declarations of the package in dir, one
+// normalised declaration per sorted line.
+func apiSurface(t *testing.T, dir string) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				lines = append(lines, declSurface(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// declSurface renders the exported parts of one top-level declaration.
+func declSurface(fset *token.FileSet, decl ast.Decl) []string {
+	var lines []string
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedRecv(d) {
+			return nil
+		}
+		cp := *d
+		cp.Body = nil
+		cp.Doc = nil
+		lines = append(lines, renderNode(fset, &cp))
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch sp := spec.(type) {
+			case *ast.TypeSpec:
+				if sp.Name.IsExported() {
+					lines = append(lines, "type "+renderNode(fset, sp))
+				}
+			case *ast.ValueSpec:
+				for _, n := range sp.Names {
+					if n.IsExported() {
+						lines = append(lines, fmt.Sprintf("%s %s", d.Tok, n.Name))
+					}
+				}
+			}
+		}
+	}
+	return lines
+}
+
+// exportedRecv reports whether a method's receiver type is itself exported
+// (methods on unexported types are not API surface).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	typ := d.Recv.List[0].Type
+	for {
+		switch x := typ.(type) {
+		case *ast.StarExpr:
+			typ = x.X
+		case *ast.IndexExpr:
+			typ = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// renderNode prints the node and collapses it onto one line.
+func renderNode(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("<unprintable: %v>", err)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
+
+// surfaceDiff reports added and removed lines between two surfaces.
+func surfaceDiff(want, got string) string {
+	wantSet := make(map[string]bool)
+	for _, l := range strings.Split(strings.TrimSpace(want), "\n") {
+		wantSet[l] = true
+	}
+	gotSet := make(map[string]bool)
+	for _, l := range strings.Split(strings.TrimSpace(got), "\n") {
+		gotSet[l] = true
+	}
+	var b strings.Builder
+	for l := range gotSet {
+		if !wantSet[l] {
+			fmt.Fprintf(&b, "  + %s\n", l)
+		}
+	}
+	for l := range wantSet {
+		if !gotSet[l] {
+			fmt.Fprintf(&b, "  - %s\n", l)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,298 @@
+// Command cdhost multiplexes several live directory roots through one
+// multi-session detector host: each -dir gets its own detector session
+// (independent engine, bounded ingest queue, overload policy) and the
+// telemetry endpoint exposes per-session gauges.
+//
+//	cdhost -dir ~/Documents -dir ~/Pictures          # watch two roots
+//	cdhost -selftest                                 # stage three corpora,
+//	                                                 # encrypt one, show that
+//	                                                 # only its session alerts
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"cryptodrop/internal/core"
+	"cryptodrop/internal/corpus"
+	"cryptodrop/internal/host"
+	"cryptodrop/internal/livewatch"
+	"cryptodrop/internal/telemetry"
+	"cryptodrop/internal/vfs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cdhost:", err)
+		os.Exit(1)
+	}
+}
+
+// dirList collects repeated -dir flags.
+type dirList []string
+
+func (d *dirList) String() string     { return strings.Join(*d, ",") }
+func (d *dirList) Set(v string) error { *d = append(*d, v); return nil }
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cdhost", flag.ContinueOnError)
+	var dirs dirList
+	fs.Var(&dirs, "dir", "directory to watch as one session (repeatable)")
+	var (
+		interval = fs.Duration("interval", time.Second, "poll interval per session")
+		queue    = fs.Int("queue", host.DefaultQueueDepth, "per-session ingest queue depth (batches)")
+		selftest = fs.Bool("selftest", false, "stage three corpora, encrypt one, show per-session verdicts")
+		telAddr  = fs.String("telemetry", "", "serve /metrics, /debug/vars and pprof on this address (e.g. :9090)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reg := telemetry.NewRegistry()
+	if *telAddr != "" {
+		_, bound, err := telemetry.Serve(*telAddr, reg, nil)
+		if err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+		fmt.Printf("telemetry: serving /metrics with per-session gauges on http://%s\n", bound)
+	}
+	if *selftest {
+		return runSelftest(*interval, *queue, reg)
+	}
+	if len(dirs) == 0 {
+		return fmt.Errorf("pass -dir <directory> (repeatable) or -selftest")
+	}
+	return watch(dirs, *interval, *queue, reg, nil, false)
+}
+
+// sessionID derives a unique, readable session ID for a root.
+func sessionID(root string, taken map[string]bool) string {
+	id := filepath.Base(filepath.Clean(root))
+	for n := 2; taken[id]; n++ {
+		id = fmt.Sprintf("%s-%d", filepath.Base(filepath.Clean(root)), n)
+	}
+	taken[id] = true
+	return id
+}
+
+// roster couples one watched root to its session and feeder.
+type roster struct {
+	id      string
+	root    string
+	scanner *livewatch.Scanner
+	feeder  *livewatch.Feeder
+	sess    *host.Session
+}
+
+// watch multiplexes the given roots through one host until interrupted (or,
+// when exitOnAlert, until the first alert). attack, if non-nil, runs in the
+// background once watching has started.
+func watch(dirs []string, interval time.Duration, queue int, reg *telemetry.Registry, attack func() error, exitOnAlert bool) error {
+	h := host.New(host.Config{QueueDepth: queue, Telemetry: reg})
+
+	type alert struct {
+		id  string
+		det core.Detection
+	}
+	alerts := make(chan alert, len(dirs))
+
+	taken := make(map[string]bool)
+	rosters := make([]*roster, 0, len(dirs))
+	for _, dir := range dirs {
+		id := sessionID(dir, taken)
+		ecfg := core.DefaultConfig("")
+		ecfg.OnDetection = func(d core.Detection) {
+			select {
+			case alerts <- alert{id: id, det: d}:
+			default:
+			}
+		}
+		sess, err := h.Open(id, livewatch.FeederSessionConfig(&ecfg))
+		if err != nil {
+			return fmt.Errorf("open session %q: %w", id, err)
+		}
+		rosters = append(rosters, &roster{
+			id: id, root: dir,
+			scanner: livewatch.NewScanner(dir),
+			feeder:  livewatch.NewFeeder(sess),
+			sess:    sess,
+		})
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	fmt.Printf("baselining %d roots...\n", len(rosters))
+	for _, r := range rosters {
+		if _, err := r.scanner.Scan(); err != nil {
+			return fmt.Errorf("session %q: baseline: %w", r.id, err)
+		}
+		if err := r.feeder.PrimeTree(ctx, r.root); err != nil {
+			return fmt.Errorf("session %q: prime: %w", r.id, err)
+		}
+	}
+
+	// One poller goroutine per session: scan, translate, submit. A slow or
+	// overloaded session blocks only its own poller (backpressure), never
+	// its siblings.
+	var wg sync.WaitGroup
+	for _, r := range rosters {
+		wg.Add(1)
+		go func(r *roster) {
+			defer wg.Done()
+			ticker := time.NewTicker(interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					events, err := r.scanner.Scan()
+					if err != nil {
+						continue
+					}
+					if err := r.feeder.Apply(ctx, events); err != nil {
+						return // session closed or context cancelled
+					}
+				}
+			}
+		}(r)
+	}
+	defer wg.Wait()
+	fmt.Printf("watching %d sessions (poll every %v). Ctrl-C to stop.\n", len(rosters), interval)
+
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt)
+	defer signal.Stop(interrupt)
+
+	attackDone := make(chan error, 1)
+	if attack != nil {
+		go func() { attackDone <- attack() }()
+	}
+
+	status := time.NewTicker(5 * time.Second)
+	defer status.Stop()
+	for {
+		select {
+		case a := <-alerts:
+			fmt.Printf("\n!! ALERT in session %q: score %.1f (union=%v)\n", a.id, a.det.Score, a.det.Union)
+			if exitOnAlert {
+				cancel()
+				return shutdown(h, a.id)
+			}
+		case err := <-attackDone:
+			if err != nil {
+				cancel()
+				return fmt.Errorf("selftest attack: %w", err)
+			}
+			attackDone = nil // keep waiting for the alert
+		case <-status.C:
+			fmt.Print("  scores:")
+			for _, r := range rosters {
+				score := 0.0
+				for _, rep := range r.sess.Reports() {
+					score += rep.Score
+				}
+				fmt.Printf(" %s=%.1f", r.id, score)
+			}
+			fmt.Println()
+		case <-interrupt:
+			cancel()
+			return shutdown(h, "")
+		}
+	}
+}
+
+// shutdown drains every session and prints the final per-session summary,
+// flagging alertedID's verdict if set.
+func shutdown(h *host.Host, alertedID string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	reports, err := h.Shutdown(ctx)
+	if err != nil {
+		return err
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].ID < reports[j].ID })
+	fmt.Println("\nfinal session reports:")
+	for _, r := range reports {
+		verdict := "clean"
+		if len(r.Detections) > 0 {
+			verdict = fmt.Sprintf("DETECTED (%d)", len(r.Detections))
+		}
+		fmt.Printf("  %-12s %-14s %6d events ingested, degraded=%v\n",
+			r.ID, verdict, r.Ingested, r.Degraded)
+	}
+	if alertedID != "" {
+		for _, r := range reports {
+			if r.ID != alertedID && len(r.Detections) > 0 {
+				return fmt.Errorf("session %q alerted unexpectedly", r.ID)
+			}
+		}
+	}
+	return nil
+}
+
+// runSelftest stages three corpora in temp directories, watches each as its
+// own session, encrypts exactly one and verifies only that session alerts.
+func runSelftest(interval time.Duration, queue int, reg *telemetry.Registry) error {
+	var dirs []string
+	for i := 0; i < 3; i++ {
+		stage, err := os.MkdirTemp("", fmt.Sprintf("cdhost-selftest-%d-", i))
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(stage)
+		mem := vfs.New()
+		m, err := corpus.Build(mem, corpus.Spec{
+			Seed: int64(101 + i), Files: 120, Dirs: 12, SizeScale: 0.2, ReadOnlyFraction: -1,
+		})
+		if err != nil {
+			return err
+		}
+		for _, e := range m.Entries {
+			rel := strings.TrimPrefix(e.Path, m.Root+"/")
+			dst := filepath.Join(stage, filepath.FromSlash(rel))
+			if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+				return err
+			}
+			content, err := mem.ReadFileRaw(e.Path)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(dst, content, 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("staged %d files under %s\n", len(m.Entries), stage)
+		dirs = append(dirs, stage)
+	}
+
+	victim := dirs[1]
+	attack := func() error {
+		time.Sleep(2 * interval) // let the pollers settle
+		fmt.Printf("  (selftest: encrypting %s...)\n", victim)
+		return filepath.WalkDir(victim, func(p string, d os.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return err
+			}
+			info, err := d.Info()
+			if err != nil {
+				return err
+			}
+			enc := make([]byte, info.Size())
+			if _, err := rand.Read(enc); err != nil {
+				return err
+			}
+			return os.WriteFile(p, enc, 0o644)
+		})
+	}
+	return watch(dirs, interval, queue, reg, attack, true)
+}

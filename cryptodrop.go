@@ -18,9 +18,27 @@
 //	procs := proc.NewTable()
 //	mon, err := cryptodrop.NewMonitor(fsys, procs)
 //	// ... run workloads; consult mon.Detections() / mon.Report(pid).
+//
+// A Monitor is a thin convenience over the multi-session Host: it opens one
+// direct (unqueued) session and wires it to the filesystem's filter chain.
+// Services that watch many volumes or tenants use NewHost directly — each
+// Host session is an independent engine behind a bounded ingest queue with
+// backpressure and graceful degradation; see the internal/host package doc,
+// mirrored here through the Host/Session/SessionConfig/Op aliases.
+//
+// # Errors
+//
+// Failures wrap typed sentinels, so callers dispatch with errors.Is:
+//
+//	ErrSuspended       operation vetoed: the acting process family is suspended pending review
+//	ErrSessionClosed   submit/flush on a host session that was closed or evicted
+//	ErrOverloaded      non-blocking submit found a session's ingest queue full
+//	ErrSessionExists   Host.Open with a session ID already in use
+//	ErrHostClosed      Host.Open after Shutdown
 package cryptodrop
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -28,6 +46,7 @@ import (
 	"cryptodrop/internal/core"
 	"cryptodrop/internal/corpus"
 	"cryptodrop/internal/filter"
+	"cryptodrop/internal/host"
 	"cryptodrop/internal/proc"
 	"cryptodrop/internal/telemetry"
 	"cryptodrop/internal/vfs"
@@ -37,6 +56,15 @@ import (
 // ErrSuspended is returned to a process whose disk access CryptoDrop has
 // suspended pending user review.
 var ErrSuspended = errors.New("cryptodrop: process suspended pending user review")
+
+// Sentinel errors of the hosting layer, re-exported so embedders need only
+// this package. See the package-doc errors table.
+var (
+	ErrSessionClosed = host.ErrSessionClosed
+	ErrOverloaded    = host.ErrOverloaded
+	ErrSessionExists = host.ErrSessionExists
+	ErrHostClosed    = host.ErrHostClosed
+)
 
 // Re-exported engine types forming the public API surface.
 type (
@@ -50,6 +78,61 @@ type (
 	ScorePoint = core.ScorePoint
 	// Points are the per-indicator score values.
 	Points = core.Points
+	// EngineConfig is the full detection-engine configuration, for host
+	// sessions built without the Monitor option helpers.
+	EngineConfig = core.Config
+	// Event is one backend-neutral file operation, the unit every engine
+	// backend produces.
+	Event = core.Event
+	// EventKind identifies the operation an Event describes.
+	EventKind = core.EventKind
+	// EventFlag carries open-intent bits on create/open events.
+	EventFlag = core.EventFlag
+	// ContentSource supplies file content by stable file ID.
+	ContentSource = core.ContentSource
+)
+
+// Re-exported multi-session hosting types: a Host owns N detector Sessions,
+// each an independent engine behind a bounded ingest queue with explicit
+// backpressure and overload degradation. See internal/host for semantics.
+type (
+	// Host multiplexes many detector sessions through one process.
+	Host = host.Host
+	// HostConfig configures a Host.
+	HostConfig = host.Config
+	// Session is one detector instance inside a Host.
+	Session = host.Session
+	// SessionConfig configures one detector session.
+	SessionConfig = host.SessionConfig
+	// SessionReport is the final snapshot returned when a session closes.
+	SessionReport = host.SessionReport
+	// Op is one unit of session ingest: an event plus staged content.
+	Op = host.Op
+)
+
+// NewHost returns an empty multi-session detector host.
+func NewHost(cfg HostConfig) *Host { return host.New(cfg) }
+
+// DefaultEngineConfig returns the paper's calibrated engine configuration
+// protecting root, the starting point for host SessionConfigs.
+func DefaultEngineConfig(root string) EngineConfig { return core.DefaultConfig(root) }
+
+// Re-exported event kinds and open-intent flags, for producers feeding host
+// sessions directly.
+const (
+	EvCreate = core.EvCreate
+	EvOpen   = core.EvOpen
+	EvRead   = core.EvRead
+	EvWrite  = core.EvWrite
+	EvClose  = core.EvClose
+	EvDelete = core.EvDelete
+	EvRename = core.EvRename
+
+	EvReadIntent   = core.EvReadIntent
+	EvWriteIntent  = core.EvWriteIntent
+	EvCreateIntent = core.EvCreateIntent
+	EvTruncate     = core.EvTruncate
+	EvAppend       = core.EvAppend
 )
 
 // Re-exported indicator constants.
@@ -178,12 +261,16 @@ func WithFlightRecorder(fr *telemetry.FlightRecorder) Option {
 }
 
 // Monitor binds the CryptoDrop analysis engine, a filter chain and a
-// process table to one filesystem.
+// process table to one filesystem. It is a single-session convenience over
+// Host: the engine lives in a direct (unqueued) session, so scoring stays
+// synchronous with the operation stream and enforcement can veto the very
+// next operation after a detection.
 type Monitor struct {
-	fs     *vfs.FS
-	procs  *proc.Table
-	chain  *filter.Chain
-	engine *core.Engine
+	fs    *vfs.FS
+	procs *proc.Table
+	chain *filter.Chain
+	hst   *host.Host
+	sess  *host.Session
 
 	mu         sync.Mutex
 	exempt     map[int]bool
@@ -192,6 +279,10 @@ type Monitor struct {
 	onDetection func(Detection)
 	enforce     bool
 }
+
+// MonitorSessionID is the session ID the Monitor's engine runs under in its
+// internal Host.
+const MonitorSessionID = "monitor"
 
 // enforcement vetoes operations from suspended, non-exempt processes.
 type enforcement struct{ m *Monitor }
@@ -235,7 +326,16 @@ func NewMonitor(fsys *vfs.FS, procs *proc.Table, opts ...Option) (*Monitor, erro
 	if o.familyScoring {
 		o.cfg.FamilyOf = procs.RootOf
 	}
-	m.engine = core.New(o.cfg, vfsadapter.Source(fsys))
+	m.hst = host.New(host.Config{Telemetry: o.cfg.Telemetry})
+	sess, err := m.hst.Open(MonitorSessionID, host.SessionConfig{
+		Engine: o.cfg,
+		Source: vfsadapter.Source(fsys),
+		Direct: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("open session: %w", err)
+	}
+	m.sess = sess
 	if o.cfg.Telemetry != nil {
 		m.chain.SetTelemetry(o.cfg.Telemetry)
 		fsys.SetTelemetry(o.cfg.Telemetry)
@@ -243,7 +343,7 @@ func NewMonitor(fsys *vfs.FS, procs *proc.Table, opts ...Option) (*Monitor, erro
 	if err := m.chain.Attach(altitudeEnforce, enforcement{m}); err != nil {
 		return nil, fmt.Errorf("attach enforcement: %w", err)
 	}
-	if err := m.chain.Attach(altitudeEngine, vfsadapter.New(m.engine)); err != nil {
+	if err := m.chain.Attach(altitudeEngine, vfsadapter.New(sess.Engine())); err != nil {
 		return nil, fmt.Errorf("attach engine: %w", err)
 	}
 	fsys.SetInterceptor(m.chain)
@@ -270,13 +370,21 @@ func (m *Monitor) isExempt(pid int) bool {
 	return m.exempt[pid]
 }
 
-// Allow records the user's decision to let a flagged process continue: the
-// process family is resumed and exempted from further enforcement.
+// Allow records the user's decision to let a flagged process continue.
+// Enforcement suspended the whole process family, so Allow resumes and
+// exempts the whole family — otherwise children spawned before the
+// detection would stay suspended forever.
 func (m *Monitor) Allow(pid int) error {
+	family, err := m.procs.ResumeFamily(pid)
+	if err != nil {
+		return err
+	}
 	m.mu.Lock()
-	m.exempt[pid] = true
+	for _, p := range family {
+		m.exempt[p] = true
+	}
 	m.mu.Unlock()
-	return m.procs.Resume(pid)
+	return nil
 }
 
 // Chain exposes the filter chain so additional filters (anti-virus and the
@@ -294,10 +402,29 @@ func (m *Monitor) Detections() []Detection {
 }
 
 // Report returns the scoreboard snapshot for pid.
-func (m *Monitor) Report(pid int) (ProcessReport, bool) { return m.engine.Report(pid) }
+func (m *Monitor) Report(pid int) (ProcessReport, bool) { return m.sess.Engine().Report(pid) }
 
 // Reports returns snapshots for every scored process, ordered by PID.
-func (m *Monitor) Reports() []ProcessReport { return m.engine.Reports() }
+func (m *Monitor) Reports() []ProcessReport { return m.sess.Engine().Reports() }
 
 // OpCount returns the number of protected-scope operations analysed.
-func (m *Monitor) OpCount() int64 { return m.engine.OpIndex() }
+func (m *Monitor) OpCount() int64 { return m.sess.Engine().OpIndex() }
+
+// Session exposes the host session the monitor's engine runs in.
+func (m *Monitor) Session() *Session { return m.sess }
+
+// Close detaches the monitor from the filesystem and shuts its host down,
+// returning the final session report.
+func (m *Monitor) Close() (SessionReport, error) {
+	m.fs.SetInterceptor(nil)
+	m.chain.Detach("cryptodrop-enforce")
+	m.chain.Detach("cryptodrop")
+	reports, err := m.hst.Shutdown(context.Background())
+	if err != nil {
+		return SessionReport{}, err
+	}
+	if len(reports) == 0 {
+		return SessionReport{}, fmt.Errorf("monitor: %w", ErrSessionClosed)
+	}
+	return reports[0], nil
+}

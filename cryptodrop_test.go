@@ -116,6 +116,55 @@ func TestAllowResumesProcess(t *testing.T) {
 	}
 }
 
+// Regression: detection suspends the whole process family (SuspendFamily),
+// so Allow must resume and exempt the whole family too. It used to resume
+// only the reviewed PID, leaving children spawned before the detection
+// suspended forever.
+func TestAllowResumesWholeFamily(t *testing.T) {
+	fs, m, procs, mon := newVictim(t)
+	parent := procs.Spawn("dropper.exe")
+	child := procs.SpawnChild("payload.exe", parent)
+	s := testSample(5)
+	if _, err := s.Run(fs, child, m.Root, func() bool { return procs.Suspended(child) }); err != nil {
+		t.Fatal(err)
+	}
+	if !procs.Suspended(parent) || !procs.Suspended(child) {
+		t.Fatal("family not suspended by detection")
+	}
+
+	// The user reviews the alert on the parent and allows it.
+	if err := mon.Allow(parent); err != nil {
+		t.Fatal(err)
+	}
+	var surviving string
+	for _, e := range m.Entries {
+		if _, err := fs.Stat(e.Path); err == nil {
+			surviving = e.Path
+			break
+		}
+	}
+	if surviving == "" {
+		t.Fatal("no surviving corpus file")
+	}
+	for _, pid := range []int{parent, child} {
+		if procs.Suspended(pid) {
+			t.Fatalf("pid %d still suspended after Allow(parent)", pid)
+		}
+		if _, err := fs.ReadFile(pid, surviving); err != nil {
+			t.Fatalf("pid %d still blocked after Allow(parent): %v", pid, err)
+		}
+	}
+
+	// The exemption covers the family: even if a later detection suspends
+	// it again, enforcement must not veto the allowed processes.
+	procs.SuspendFamily(child)
+	for _, pid := range []int{parent, child} {
+		if _, err := fs.ReadFile(pid, surviving); err != nil {
+			t.Fatalf("exempt pid %d vetoed after re-suspension: %v", pid, err)
+		}
+	}
+}
+
 func TestWithoutEnforcementRecordsOnly(t *testing.T) {
 	fs, m, procs, mon := newVictim(t, cryptodrop.WithoutEnforcement())
 	s := testSample(4)

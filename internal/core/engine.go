@@ -48,6 +48,13 @@ type Engine struct {
 	disabled map[Indicator]bool
 	opIndex  atomic.Int64
 
+	// payloadBlind is the runtime equivalent of Config.NewCipherWithoutDelta:
+	// when set, new untyped high-entropy files score without the read/write
+	// entropy-delta gate. A host degrading an overloaded session to
+	// payload-blind scoring flips it mid-stream (the session sheds payload
+	// bytes, so the delta gate could never open again).
+	payloadBlind atomic.Bool
+
 	// tel is the telemetry facade; nil when telemetry is fully disabled,
 	// in which case every instrumented path costs one branch.
 	tel *engineTelemetry
@@ -85,6 +92,17 @@ func New(cfg Config, src ContentSource) *Engine {
 
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// SetPayloadBlind switches the engine into (or out of) payload-blind
+// scoring at runtime: the Class C new-cipher-file award no longer requires a
+// suspicious read/write entropy delta, exactly as if the engine had been
+// built with Config.NewCipherWithoutDelta. Backends that stop delivering
+// payload bytes mid-stream (an overloaded host session shedding payloads)
+// set it so encrypted-copy attacks stay visible. Safe for concurrent use.
+func (e *Engine) SetPayloadBlind(on bool) { e.payloadBlind.Store(on) }
+
+// PayloadBlind reports whether runtime payload-blind scoring is on.
+func (e *Engine) PayloadBlind() bool { return e.payloadBlind.Load() }
 
 // inRoot reports whether p lies under the protected root.
 func (e *Engine) inRoot(p string) bool {
@@ -391,7 +409,7 @@ func (e *Engine) applyPending(ps *procState, p pendingApply) {
 		// the process reads lower-entropy data: the shape of a Class C
 		// encrypted copy (§V-C).
 		if newState.typ.IsData() && newState.entropy > 7.0 &&
-			(e.deltaSuspicious(ps) || e.cfg.NewCipherWithoutDelta) {
+			(e.deltaSuspicious(ps) || e.cfg.NewCipherWithoutDelta || e.payloadBlind.Load()) {
 			e.award(ps, IndicatorEntropyDelta, e.cfg.Points.NewCipherFile, p.opIdx, p.path)
 		}
 	}

@@ -1,0 +1,96 @@
+package host
+
+// BenchmarkSessionIngest measures per-op ingest cost through a hosted
+// session in both modes: "direct" is the synchronous path the single-session
+// cryptodrop.Monitor runs (Submit applies inline), "queued" is the
+// multi-session path (a bounded queue drained by the session worker). The
+// op mix mirrors the core engine bench: payload reads/writes with a full
+// close-time transformation evaluation every tenth op. The queued producer
+// outruns the worker, so the steady state measures worker throughput under
+// backpressure — the number the ≤3%-overhead budget in BENCH_PR4.json is
+// about. Degradation is disabled so sustained saturation cannot switch
+// scoring mode mid-benchmark.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cryptodrop/internal/core"
+	"cryptodrop/internal/corpus"
+)
+
+// benchSource serves every file ID the same content, like a corpus of
+// identical documents.
+type benchSource struct{ content []byte }
+
+func (s benchSource) Content(uint64) ([]byte, error) { return s.content, nil }
+
+func BenchmarkSessionIngest(b *testing.B) {
+	b.Run("direct", func(b *testing.B) { benchSessionIngest(b, true) })
+	b.Run("queued", func(b *testing.B) { benchSessionIngest(b, false) })
+}
+
+func benchSessionIngest(b *testing.B, direct bool) {
+	const root = "/Users/victim/Documents"
+	const nfiles = 64
+	const batchSize = 16
+	doc := corpus.Generate("docx", 7, 16<<10)
+	cipher := make([]byte, 16<<10)
+	rand.New(rand.NewSource(42)).Read(cipher)
+
+	// A ring of pre-built op batches cycling the bench op mix over the
+	// file set; the loop submits slices of it so op construction stays out
+	// of the measurement.
+	var ring []Op
+	for i := 0; len(ring) < 10*batchSize; i++ {
+		id := uint64(i%nfiles + 1)
+		p := fmt.Sprintf("%s/bench%03d.docx", root, id)
+		switch {
+		case i%10 == 9:
+			pre := core.Event{Kind: core.EvOpen, PID: 1, Path: p, FileID: id,
+				Flags: core.EvWriteIntent, Size: int64(len(doc))}
+			ring = append(ring,
+				Op{PreEvent: &pre},
+				Op{Event: core.Event{Kind: core.EvClose, PID: 1, Path: p, FileID: id, Wrote: true}})
+		case i%2 == 0:
+			ring = append(ring, Op{Event: core.Event{Kind: core.EvRead, PID: 1, Path: p,
+				FileID: id, Data: doc}})
+		default:
+			ring = append(ring, Op{Event: core.Event{Kind: core.EvWrite, PID: 1, Path: p,
+				FileID: id, Data: cipher, Size: int64(len(cipher))}})
+		}
+	}
+	ring = ring[:10*batchSize]
+
+	h := New(Config{})
+	sess, err := h.Open("bench", SessionConfig{
+		Engine:       core.DefaultConfig(root),
+		Source:       benchSource{content: doc},
+		Direct:       direct,
+		DegradeAfter: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n, k := 0, 0; n < b.N; n += batchSize {
+		if err := sess.Submit(ctx, ring[k:k+batchSize]...); err != nil {
+			b.Fatal(err)
+		}
+		if k += batchSize; k == len(ring) {
+			k = 0
+		}
+	}
+	if err := sess.Flush(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if _, err := h.Close("bench"); err != nil {
+		b.Fatal(err)
+	}
+}

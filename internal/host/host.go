@@ -1,0 +1,276 @@
+// Package host multiplexes many independent detector instances through one
+// process. A Host owns N Sessions — one per protected volume or tenant,
+// keyed by string ID — each wrapping its own core.Engine behind a bounded
+// ingest queue. Producers hand the session batches of Ops (events plus the
+// content snapshots the engine will need); a per-session worker applies them
+// as PreEvent/Handle pairs, so producers never block on measurement work and
+// one overloaded session cannot stall its siblings.
+//
+// # Overload policy
+//
+// Events are never dropped. When a session's queue is full, Submit blocks —
+// backpressure reaches the producer — and the saturation is counted. A
+// sustained run of saturated submissions (SessionConfig.DegradeAfter in a
+// row) degrades the session, exactly once, to payload-blind scoring: the
+// worker strips read/write payload bytes (counted in shed-bytes telemetry)
+// and the engine switches to the NewCipherWithoutDelta rule, the same
+// scoring mode livewatch uses when payloads are unobservable. Detection
+// keeps working on file-content measurement alone; only the payload-level
+// entropy-delta and funneling signals go quiet. TrySubmit is the
+// non-blocking variant for producers that would rather see ErrOverloaded
+// than wait.
+//
+// # Lifecycle
+//
+// Open creates and starts a session; Close seals its queue, drains it, and
+// returns a final SessionReport (scoreboard snapshots, detections, ingest
+// and degrade accounting). EvictIdle closes every session that has been
+// quiet longer than a deadline, and Shutdown seals all sessions at once and
+// drains them under a context. A sealed session rejects further submissions
+// with ErrSessionClosed but never loses what was already queued.
+//
+// # Errors
+//
+// All failures wrap one of the package sentinels, so callers dispatch with
+// errors.Is:
+//
+//	ErrSessionClosed   submit/flush on a session that Close/EvictIdle/Shutdown sealed
+//	ErrOverloaded      TrySubmit found the session's ingest queue full
+//	ErrSessionExists   Open with a session ID already in use
+//	ErrHostClosed      Open on a host after Shutdown
+//
+// (The root cryptodrop package adds ErrSuspended for operations vetoed by
+// enforcement.)
+package host
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cryptodrop/internal/telemetry"
+)
+
+// The package sentinels. See the package doc for the errors table.
+var (
+	// ErrSessionClosed reports an operation on a sealed session.
+	ErrSessionClosed = errors.New("session closed")
+	// ErrOverloaded reports a non-blocking submission against a full queue.
+	ErrOverloaded = errors.New("session overloaded")
+	// ErrSessionExists reports an Open with an ID already in use.
+	ErrSessionExists = errors.New("session already exists")
+	// ErrHostClosed reports an Open after Shutdown.
+	ErrHostClosed = errors.New("host closed")
+)
+
+// Default overload-policy knobs, used when the corresponding
+// Config/SessionConfig fields are zero.
+const (
+	// DefaultQueueDepth is the per-session ingest queue capacity, in
+	// batches.
+	DefaultQueueDepth = 64
+	// DefaultDegradeAfter is how many consecutive saturated submissions
+	// degrade a session to payload-blind scoring.
+	DefaultDegradeAfter = 8
+)
+
+// Config configures a Host. The zero value is usable: default queue depth,
+// default degrade threshold, no telemetry.
+type Config struct {
+	// QueueDepth is the default per-session ingest queue capacity in
+	// batches; sessions may override it. Zero means DefaultQueueDepth.
+	QueueDepth int
+	// DegradeAfter is the default number of consecutive saturated
+	// submissions after which a session degrades to payload-blind scoring;
+	// sessions may override it. Zero means DefaultDegradeAfter; negative
+	// disables degradation host-wide.
+	DegradeAfter int
+	// Telemetry, when set, receives the host gauges and counters:
+	//
+	//	host_sessions_open                               gauge
+	//	host_opens_total / host_closes_total             counters
+	//	host_backpressure_waits_total                    counter
+	//	host_degrades_total                              counter
+	//	host_session_queue_depth{session="id"}           gauge (queued sessions)
+	//	host_session_degraded{session="id"}              gauge (0/1)
+	//	host_session_events_total{session="id"}          counter
+	//	host_session_shed_bytes_total{session="id"}      counter
+	//
+	// Per-session series are unregistered when their session closes.
+	Telemetry *telemetry.Registry
+}
+
+// Host owns a set of detector sessions. All methods are safe for concurrent
+// use. Create one with New.
+type Host struct {
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	closed   bool
+
+	// Host-wide telemetry handles (nil-safe when Config.Telemetry is nil).
+	open          *telemetry.Gauge
+	opens         *telemetry.Counter
+	closes        *telemetry.Counter
+	backpressures *telemetry.Counter
+	degrades      *telemetry.Counter
+}
+
+// New returns an empty host.
+func New(cfg Config) *Host {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.DegradeAfter == 0 {
+		cfg.DegradeAfter = DefaultDegradeAfter
+	}
+	return &Host{
+		cfg:           cfg,
+		sessions:      make(map[string]*Session),
+		open:          cfg.Telemetry.Gauge("host_sessions_open"),
+		opens:         cfg.Telemetry.Counter("host_opens_total"),
+		closes:        cfg.Telemetry.Counter("host_closes_total"),
+		backpressures: cfg.Telemetry.Counter("host_backpressure_waits_total"),
+		degrades:      cfg.Telemetry.Counter("host_degrades_total"),
+	}
+}
+
+// Open creates, registers and starts the session with the given ID. It
+// fails with ErrSessionExists if the ID is in use and ErrHostClosed after
+// Shutdown.
+func (h *Host) Open(id string, sc SessionConfig) (*Session, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, fmt.Errorf("host: open %q: %w", id, ErrHostClosed)
+	}
+	if _, ok := h.sessions[id]; ok {
+		return nil, fmt.Errorf("host: open %q: %w", id, ErrSessionExists)
+	}
+	s := newSession(h, id, sc)
+	h.sessions[id] = s
+	h.open.Set(int64(len(h.sessions)))
+	h.opens.Inc()
+	return s, nil
+}
+
+// Get returns the open session with the given ID.
+func (h *Host) Get(id string) (*Session, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.sessions[id]
+	return s, ok
+}
+
+// Sessions returns the IDs of all open sessions, sorted.
+func (h *Host) Sessions() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ids := make([]string, 0, len(h.sessions))
+	for id := range h.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Close seals the session's queue, drains every queued batch, removes the
+// session from the host and returns its final report. It fails with
+// ErrSessionClosed if no session has that ID.
+func (h *Host) Close(id string) (SessionReport, error) {
+	s, err := h.detach(id)
+	if err != nil {
+		return SessionReport{}, err
+	}
+	s.seal()
+	<-s.drained()
+	return s.finalReport(), nil
+}
+
+// detach removes the session from the registry (so its ID is immediately
+// reusable) and drops its per-session telemetry series.
+func (h *Host) detach(id string) (*Session, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("host: close %q: %w", id, ErrSessionClosed)
+	}
+	delete(h.sessions, id)
+	h.open.Set(int64(len(h.sessions)))
+	h.closes.Inc()
+	s.unregisterTelemetry()
+	return s, nil
+}
+
+// EvictIdle closes every session that has not ingested an event for at
+// least idle, returning their final reports (sorted by session ID). Pass
+// zero to evict everything.
+func (h *Host) EvictIdle(idle time.Duration) []SessionReport {
+	cutoff := time.Now().Add(-idle).UnixNano()
+	h.mu.Lock()
+	var victims []*Session
+	for id, s := range h.sessions {
+		if s.lastActive.Load() <= cutoff {
+			victims = append(victims, s)
+			delete(h.sessions, id)
+			s.unregisterTelemetry()
+		}
+	}
+	h.open.Set(int64(len(h.sessions)))
+	h.mu.Unlock()
+
+	reports := make([]SessionReport, 0, len(victims))
+	for _, s := range victims {
+		h.closes.Inc()
+		s.seal()
+		<-s.drained()
+		reports = append(reports, s.finalReport())
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].ID < reports[j].ID })
+	return reports
+}
+
+// Shutdown seals every session at once (so their workers drain in
+// parallel), waits for the queues to empty, and returns the final reports
+// sorted by session ID. If ctx expires first it returns the reports of the
+// sessions that finished draining alongside ctx.Err(); undrained workers
+// keep running in the background, but the host accepts no new work either
+// way. Shutdown is idempotent; later calls return (nil, nil).
+func (h *Host) Shutdown(ctx context.Context) ([]SessionReport, error) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, nil
+	}
+	h.closed = true
+	victims := make([]*Session, 0, len(h.sessions))
+	for id, s := range h.sessions {
+		victims = append(victims, s)
+		delete(h.sessions, id)
+		s.unregisterTelemetry()
+	}
+	h.open.Set(0)
+	h.mu.Unlock()
+
+	for _, s := range victims {
+		s.seal()
+	}
+	var reports []SessionReport
+	for _, s := range victims {
+		select {
+		case <-s.drained():
+			h.closes.Inc()
+			reports = append(reports, s.finalReport())
+		case <-ctx.Done():
+			sort.Slice(reports, func(i, j int) bool { return reports[i].ID < reports[j].ID })
+			return reports, fmt.Errorf("host: shutdown: %w", ctx.Err())
+		}
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].ID < reports[j].ID })
+	return reports, nil
+}

@@ -1,0 +1,461 @@
+package host
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cryptodrop/internal/core"
+	"cryptodrop/internal/telemetry"
+)
+
+// SessionConfig configures one detector session.
+type SessionConfig struct {
+	// Engine is the detection-engine configuration; the session builds its
+	// own core.Engine from it. Workers, telemetry, flight recorder and the
+	// detection callback all pass through untouched.
+	Engine core.Config
+	// Source resolves file content the producer did not stage in Op.Pre /
+	// Op.Post. Producers that carry every needed snapshot in their Ops
+	// (e.g. trace replay) leave it nil.
+	Source core.ContentSource
+	// QueueDepth overrides the host's per-session queue capacity, in
+	// batches. Zero inherits the host default.
+	QueueDepth int
+	// DegradeAfter overrides how many consecutive saturated submissions
+	// degrade the session to payload-blind scoring. Zero inherits the host
+	// default; negative disables degradation for this session.
+	DegradeAfter int
+	// Direct disables the ingest queue: Submit applies ops synchronously on
+	// the caller's goroutine and backpressure/degradation never engage.
+	// This is the mode the single-session cryptodrop.Monitor runs in, where
+	// the producer is the filesystem interposition layer itself and scoring
+	// must be ordered exactly with the operation stream.
+	Direct bool
+}
+
+// Op is one unit of ingest work: a backend-neutral engine event plus the
+// content snapshots the engine needs to score it. Because application is
+// deferred, the producer's world may have moved on by the time the worker
+// runs — so every byte the engine should see travels inside the Op, and the
+// worker installs it into the session's content overlay at the right moment:
+//
+//	install Pre → Engine.PreEvent → install Post → Engine.Handle → drop Evict
+//
+// Pre therefore carries pre-operation content (what PreEvent snapshots:
+// the version about to be destroyed) and Post carries post-operation
+// content (what Handle measures: the completed transformation). IDs absent
+// from the overlay fall through to SessionConfig.Source.
+type Op struct {
+	// Event is the operation handed to Engine.Handle. An Op with a zero
+	// Event.Kind runs only its PreEvent side — a baseline-only op, used to
+	// snapshot a file's previous version without scoring anything (the
+	// queued equivalent of livewatch's Prime).
+	Event core.Event
+	// PreEvent, when non-nil, is handed to Engine.PreEvent instead of
+	// Event. Producers use it when the two sides of the pair differ — e.g.
+	// a truncating open whose PreEvent must carry the pre-truncation size.
+	PreEvent *core.Event
+	// Pre maps file ID → content installed before PreEvent runs.
+	Pre map[uint64][]byte
+	// Post maps file ID → content installed after PreEvent and before
+	// Handle runs.
+	Post map[uint64][]byte
+	// Evict lists file IDs dropped from the overlay after Handle returns
+	// (e.g. deleted files, so the overlay does not grow without bound).
+	Evict []uint64
+}
+
+// SessionReport is the final snapshot returned when a session closes.
+type SessionReport struct {
+	// ID is the session's host-assigned identifier.
+	ID string
+	// Reports are the per-process scoreboard snapshots, ordered by PID.
+	Reports []core.ProcessReport
+	// Detections are all detections the session fired, in occurrence order.
+	Detections []core.Detection
+	// Degraded reports whether the session ended in payload-blind mode.
+	Degraded bool
+	// Ingested counts ops applied to the engine.
+	Ingested int64
+	// ShedBytes counts payload bytes stripped after degradation.
+	ShedBytes int64
+}
+
+// batch is one queue element: a slice of ops, or a flush marker.
+type batch struct {
+	ops []Op
+	// flushed, when non-nil, marks a barrier: the worker closes it once
+	// every earlier batch has been applied.
+	flushed chan struct{}
+}
+
+// Session is one detector instance inside a Host: a core.Engine, its
+// content overlay, and (unless Direct) a bounded ingest queue drained by a
+// single worker goroutine. All methods are safe for concurrent use, but the
+// engine's ordering contract still binds producers: events for one scoring
+// group must be submitted in operation order from one goroutine (distinct
+// groups may use distinct goroutines against the same session).
+type Session struct {
+	id      string
+	host    *Host
+	eng     *core.Engine
+	overlay *overlaySource
+
+	direct       bool
+	directMu     sync.Mutex
+	degradeAfter int
+
+	// qmu guards closed against the queue closing: Submit holds the read
+	// side across its (possibly blocking) send, so seal's write lock cannot
+	// proceed while any sender is in flight — close(queue) never races a
+	// send. Workers drain the queue independently, so blocked senders
+	// always finish.
+	qmu    sync.RWMutex
+	closed bool
+	queue  chan batch
+	done   chan struct{}
+
+	satStreak  atomic.Int32
+	degraded   atomic.Bool
+	ingested   atomic.Int64
+	shedBytes  atomic.Int64
+	lastActive atomic.Int64
+
+	// Per-session telemetry handles (nil-safe).
+	events   *telemetry.Counter
+	shed     *telemetry.Counter
+	degGauge *telemetry.Gauge
+	// telNames lists the registered per-session series for cleanup.
+	telNames []string
+}
+
+func newSession(h *Host, id string, sc SessionConfig) *Session {
+	depth := sc.QueueDepth
+	if depth <= 0 {
+		depth = h.cfg.QueueDepth
+	}
+	degradeAfter := sc.DegradeAfter
+	if degradeAfter == 0 {
+		degradeAfter = h.cfg.DegradeAfter
+	}
+	s := &Session{
+		id:           id,
+		host:         h,
+		direct:       sc.Direct,
+		degradeAfter: degradeAfter,
+		done:         make(chan struct{}),
+	}
+	s.overlay = newOverlaySource(sc.Source)
+	s.eng = core.New(sc.Engine, s.overlay)
+	s.lastActive.Store(time.Now().UnixNano())
+
+	if reg := h.cfg.Telemetry; reg != nil {
+		label := `{session="` + id + `"}`
+		s.telNames = []string{
+			"host_session_events_total" + label,
+			"host_session_shed_bytes_total" + label,
+			"host_session_degraded" + label,
+		}
+		s.events = reg.Counter(s.telNames[0])
+		s.shed = reg.Counter(s.telNames[1])
+		s.degGauge = reg.Gauge(s.telNames[2])
+		if !s.direct {
+			qname := "host_session_queue_depth" + label
+			s.telNames = append(s.telNames, qname)
+			q := make(chan batch, depth)
+			s.queue = q
+			reg.GaugeFunc(qname, func() float64 { return float64(len(q)) })
+		}
+	}
+	if !s.direct && s.queue == nil {
+		s.queue = make(chan batch, depth)
+	}
+	if s.direct {
+		close(s.done)
+	} else {
+		go s.worker()
+	}
+	return s
+}
+
+// ID returns the session's identifier.
+func (s *Session) ID() string { return s.id }
+
+// Engine exposes the session's detection engine for reports and direct
+// (unqueued) feeding — the cryptodrop.Monitor fast path.
+func (s *Session) Engine() *core.Engine { return s.eng }
+
+// Degraded reports whether the session has degraded to payload-blind
+// scoring. Degradation is one-way.
+func (s *Session) Degraded() bool { return s.degraded.Load() }
+
+// Submit queues ops for application, blocking when the session's queue is
+// full — that block is the backpressure the overload policy promises, and
+// ctx bounds it. A sustained streak of saturated submissions degrades the
+// session to payload-blind scoring (see the package doc). In Direct mode
+// the ops are applied synchronously before Submit returns.
+func (s *Session) Submit(ctx context.Context, ops ...Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	if s.direct {
+		return s.submitDirect(ops)
+	}
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	if s.closed {
+		return fmt.Errorf("host: session %q: %w", s.id, ErrSessionClosed)
+	}
+	b := batch{ops: ops}
+	select {
+	case s.queue <- b:
+		s.satStreak.Store(0)
+		return nil
+	default:
+	}
+	// Saturated: count the wait, grow the streak, maybe degrade, then
+	// block until the worker makes room.
+	s.host.backpressures.Inc()
+	s.noteSaturation()
+	select {
+	case s.queue <- b:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("host: session %q: submit: %w", s.id, ctx.Err())
+	}
+}
+
+// TrySubmit queues ops without blocking, failing with ErrOverloaded when
+// the queue is full. Overloads count toward the degradation streak just
+// like blocking waits. In Direct mode it behaves exactly like Submit.
+func (s *Session) TrySubmit(ops ...Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	if s.direct {
+		return s.submitDirect(ops)
+	}
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	if s.closed {
+		return fmt.Errorf("host: session %q: %w", s.id, ErrSessionClosed)
+	}
+	select {
+	case s.queue <- batch{ops: ops}:
+		s.satStreak.Store(0)
+		return nil
+	default:
+		s.noteSaturation()
+		return fmt.Errorf("host: session %q: %w", s.id, ErrOverloaded)
+	}
+}
+
+// submitDirect applies ops inline. The mutex serialises concurrent direct
+// submitters so the overlay install/evict windows of two ops cannot
+// interleave.
+func (s *Session) submitDirect(ops []Op) error {
+	s.directMu.Lock()
+	defer s.directMu.Unlock()
+	if s.isClosed() {
+		return fmt.Errorf("host: session %q: %w", s.id, ErrSessionClosed)
+	}
+	s.apply(ops)
+	return nil
+}
+
+// noteSaturation records one saturated submission and fires the one-shot
+// degrade transition when the streak crosses the threshold.
+func (s *Session) noteSaturation() {
+	if s.degradeAfter < 0 {
+		return
+	}
+	if int(s.satStreak.Add(1)) < s.degradeAfter {
+		return
+	}
+	if !s.degraded.CompareAndSwap(false, true) {
+		return
+	}
+	// Exactly-once: flip the engine to payload-blind scoring and record
+	// the decision.
+	s.eng.SetPayloadBlind(true)
+	s.host.degrades.Inc()
+	s.degGauge.Set(1)
+}
+
+// Flush blocks until every op queued before the call has been applied and
+// all pool measurements folded into the scoreboard, or ctx expires.
+func (s *Session) Flush(ctx context.Context) error {
+	if !s.direct {
+		s.qmu.RLock()
+		if s.closed {
+			s.qmu.RUnlock()
+			return fmt.Errorf("host: session %q: flush: %w", s.id, ErrSessionClosed)
+		}
+		marker := batch{flushed: make(chan struct{})}
+		select {
+		case s.queue <- marker:
+			s.qmu.RUnlock()
+		case <-ctx.Done():
+			s.qmu.RUnlock()
+			return fmt.Errorf("host: session %q: flush: %w", s.id, ctx.Err())
+		}
+		select {
+		case <-marker.flushed:
+		case <-ctx.Done():
+			return fmt.Errorf("host: session %q: flush: %w", s.id, ctx.Err())
+		}
+	}
+	s.eng.Flush()
+	return nil
+}
+
+// Report returns the scoreboard snapshot for pid. It reflects only ops the
+// worker has already applied; call Flush first for an up-to-date view.
+func (s *Session) Report(pid int) (core.ProcessReport, bool) { return s.eng.Report(pid) }
+
+// Reports returns snapshots for every scored process, ordered by PID.
+func (s *Session) Reports() []core.ProcessReport { return s.eng.Reports() }
+
+// Detections returns the session's detections in occurrence order.
+func (s *Session) Detections() []core.Detection { return s.eng.Detections() }
+
+// isClosed reports whether seal ran.
+func (s *Session) isClosed() bool {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	return s.closed
+}
+
+// seal marks the session closed and, for queued sessions, closes the queue
+// so the worker exits after draining. The write lock cannot be acquired
+// while any submitter holds the read side, so no send can race the close.
+func (s *Session) seal() {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if !s.direct {
+		close(s.queue)
+	}
+}
+
+// drained returns a channel closed once the worker has applied every queued
+// batch and exited (immediately for direct sessions).
+func (s *Session) drained() <-chan struct{} { return s.done }
+
+// finalReport snapshots the session after its queue has drained.
+func (s *Session) finalReport() SessionReport {
+	s.eng.Flush()
+	return SessionReport{
+		ID:         s.id,
+		Reports:    s.eng.Reports(),
+		Detections: s.eng.Detections(),
+		Degraded:   s.degraded.Load(),
+		Ingested:   s.ingested.Load(),
+		ShedBytes:  s.shedBytes.Load(),
+	}
+}
+
+// unregisterTelemetry drops the per-session series from the host registry.
+func (s *Session) unregisterTelemetry() {
+	for _, name := range s.telNames {
+		s.host.cfg.Telemetry.Unregister(name)
+	}
+}
+
+// worker drains the queue, applying batches in submission order.
+func (s *Session) worker() {
+	defer close(s.done)
+	for b := range s.queue {
+		if b.flushed != nil {
+			close(b.flushed)
+			continue
+		}
+		s.apply(b.ops)
+	}
+}
+
+// apply runs one batch through the engine, enforcing the Op timing
+// contract: Pre content before PreEvent, Post content before Handle, Evict
+// after. After degradation it strips read/write payloads, counting every
+// shed byte, before the event reaches the scoreboard.
+func (s *Session) apply(ops []Op) {
+	for i := range ops {
+		op := &ops[i]
+		s.overlay.install(op.Pre)
+		if op.PreEvent != nil {
+			s.eng.PreEvent(*op.PreEvent)
+		} else {
+			s.eng.PreEvent(op.Event)
+		}
+		s.overlay.install(op.Post)
+		if ev := op.Event; ev.Kind != 0 {
+			if s.degraded.Load() && len(ev.Data) > 0 && (ev.Kind == core.EvRead || ev.Kind == core.EvWrite) {
+				n := int64(len(ev.Data))
+				s.shedBytes.Add(n)
+				s.shed.Add(n)
+				ev.Data = nil
+			}
+			s.eng.Handle(ev)
+		}
+		s.overlay.evict(op.Evict)
+	}
+	s.ingested.Add(int64(len(ops)))
+	s.events.Add(int64(len(ops)))
+	s.lastActive.Store(time.Now().UnixNano())
+}
+
+// overlaySource is the session's ContentSource: an ID-keyed overlay of
+// producer-staged snapshots over an optional fallback source. Only the
+// session worker mutates it, but reads may come from engine measurement
+// workers, so access is locked.
+type overlaySource struct {
+	mu       sync.RWMutex
+	m        map[uint64][]byte
+	fallback core.ContentSource
+}
+
+func newOverlaySource(fallback core.ContentSource) *overlaySource {
+	return &overlaySource{m: make(map[uint64][]byte), fallback: fallback}
+}
+
+// Content implements core.ContentSource.
+func (o *overlaySource) Content(id uint64) ([]byte, error) {
+	o.mu.RLock()
+	b, ok := o.m[id]
+	o.mu.RUnlock()
+	if ok {
+		return b, nil
+	}
+	if o.fallback != nil {
+		return o.fallback.Content(id)
+	}
+	return nil, fmt.Errorf("host: no staged content for file %d", id)
+}
+
+func (o *overlaySource) install(m map[uint64][]byte) {
+	if len(m) == 0 {
+		return
+	}
+	o.mu.Lock()
+	for id, b := range m {
+		o.m[id] = b
+	}
+	o.mu.Unlock()
+}
+
+func (o *overlaySource) evict(ids []uint64) {
+	if len(ids) == 0 {
+		return
+	}
+	o.mu.Lock()
+	for _, id := range ids {
+		delete(o.m, id)
+	}
+	o.mu.Unlock()
+}

@@ -13,48 +13,25 @@ import (
 // as one unknown actor.
 const actorPID = 1
 
-// AnalyzerConfig tunes the live analyzer.
-//
-// The preferred route is Engine: a full core.Config used verbatim, where
-// zero values mean zero — an indicator set to 0 points really is disabled.
-// The legacy flat fields below remain for compatibility; they only override
-// the defaults when non-zero (their historical ambiguity: a flat field
-// explicitly set to 0 is indistinguishable from "unset" and yields the
-// default — use Engine to disable things).
+// AnalyzerConfig tunes the live analyzer. Engine configuration goes through
+// Engine — a full core.Config, the single source of truth, where zero
+// values mean zero (an indicator set to 0 points really is disabled).
 type AnalyzerConfig struct {
 	// Engine, if non-nil, is the engine configuration used as-is (points,
-	// thresholds, disabled indicators — the single source of truth). The
-	// analyzer still forces the backend-dictated fields: Workers is pinned
-	// to 0 (content is staged synchronously around each event),
-	// NewCipherWithoutDelta is set (a watcher never sees the read/write
-	// payload stream, so the paper's Δe gate could never open), and
-	// OnDetection is owned by the analyzer (use OnAlert).
+	// thresholds, disabled indicators). The analyzer still forces the
+	// backend-dictated fields: Workers is pinned to 0 (content is staged
+	// synchronously around each event), NewCipherWithoutDelta is set (a
+	// watcher never sees the read/write payload stream, so the paper's Δe
+	// gate could never open), and OnDetection is owned by the analyzer
+	// (use OnAlert). Nil means core.DefaultConfig.
 	Engine *core.Config
 
-	// AlertThreshold is the score at which an alert fires (default: the
-	// engine's non-union threshold, 200).
-	AlertThreshold float64
-	// UnionThreshold applies once all three primary indicators have been
-	// observed (default: the engine's union threshold, 140).
-	UnionThreshold float64
-	// SimilarityMatchMax is the highest similarity score treated as
-	// complete dissimilarity (default: the engine's, 4).
-	SimilarityMatchMax int
-	// EntropyDeltaThreshold is the per-file entropy increase considered
-	// suspicious (default: the engine's, 0.1).
-	EntropyDeltaThreshold float64
-	// Points per indicator occurrence (defaults are core.DefaultPoints()).
-	TypeChangePoints float64
-	SimilarityPoints float64
-	EntropyPoints    float64
-	DeletionPoints   float64
-	NewCipherPoints  float64
-	UnionBonus       float64
 	// OnAlert, if set, fires once when the score crosses the threshold.
 	OnAlert func(Alert)
 	// Telemetry, if set, receives live-watch metrics (scan latency,
-	// per-kind event counts, alert counts) and the underlying engine's
-	// indicator metrics. Nil disables collection.
+	// per-kind event counts, alert counts) and — unless Engine carries its
+	// own registry — the underlying engine's indicator metrics. Nil
+	// disables collection.
 	Telemetry *telemetry.Registry
 }
 
@@ -67,36 +44,8 @@ func (c AnalyzerConfig) engineConfig() core.Config {
 		cfg = *c.Engine
 	} else {
 		cfg = core.DefaultConfig("")
-		if c.AlertThreshold != 0 {
-			cfg.NonUnionThreshold = c.AlertThreshold
-		}
-		if c.UnionThreshold != 0 {
-			cfg.UnionThreshold = c.UnionThreshold
-		}
-		if c.SimilarityMatchMax != 0 {
-			cfg.SimilarityMatchMax = c.SimilarityMatchMax
-		}
-		if c.EntropyDeltaThreshold != 0 {
-			cfg.EntropyDeltaThreshold = c.EntropyDeltaThreshold
-		}
-		if c.TypeChangePoints != 0 {
-			cfg.Points.TypeChange = c.TypeChangePoints
-		}
-		if c.SimilarityPoints != 0 {
-			cfg.Points.Similarity = c.SimilarityPoints
-		}
-		if c.EntropyPoints != 0 {
-			cfg.Points.EntropyDeltaFile = c.EntropyPoints
-		}
-		if c.DeletionPoints != 0 {
-			cfg.Points.Deletion = c.DeletionPoints
-		}
-		if c.NewCipherPoints != 0 {
-			cfg.Points.NewCipherFile = c.NewCipherPoints
-		}
-		if c.UnionBonus != 0 {
-			cfg.Points.UnionBonus = c.UnionBonus
-		}
+	}
+	if cfg.Telemetry == nil {
 		cfg.Telemetry = c.Telemetry
 	}
 	// Backend-dictated settings (see the Engine field doc).

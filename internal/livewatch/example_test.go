@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"cryptodrop/internal/core"
 	"cryptodrop/internal/livewatch"
 )
 
@@ -36,9 +37,11 @@ func ExampleAnalyzer() {
 	}
 
 	alerted := false
+	ecfg := core.DefaultConfig("")
+	ecfg.NonUnionThreshold = 100
 	a := livewatch.NewAnalyzer(livewatch.AnalyzerConfig{
-		AlertThreshold: 100,
-		OnAlert:        func(livewatch.Alert) { alerted = true },
+		Engine:  &ecfg,
+		OnAlert: func(livewatch.Alert) { alerted = true },
 	})
 	for _, p := range paths {
 		a.Prime(p)

@@ -1,0 +1,195 @@
+package livewatch
+
+import (
+	"context"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"cryptodrop/internal/core"
+	"cryptodrop/internal/host"
+)
+
+// Submitter accepts batches of host ops — satisfied by *host.Session. The
+// Feeder depends on the interface so tests can capture the op stream.
+type Submitter interface {
+	Submit(ctx context.Context, ops ...host.Op) error
+}
+
+// Feeder is the queued counterpart of Analyzer: it performs the same
+// directory-event → engine-event translation, but instead of driving an
+// engine synchronously it emits host.Op batches with the file content
+// staged inside (Pre for previous versions, Post for completed rewrites),
+// so a host session can apply them later without touching the changing
+// filesystem. One Feeder feeds one session; each root a host multiplexes
+// gets its own.
+//
+// Everything is attributed to the tree's single unknown actor, exactly as
+// Analyzer does, and scoring is payload-blind — build the session with
+// SessionConfig (or an Engine config with NewCipherWithoutDelta set).
+type Feeder struct {
+	mu     sync.Mutex
+	target Submitter
+
+	paths  map[string]uint64
+	nextID uint64
+}
+
+// FeederSessionConfig returns the host session configuration matching the
+// Feeder's backend semantics: the analyzer's engine rules (payload-blind
+// scoring, synchronous measurement, content resolved purely from staged
+// ops). A nil ecfg means core.DefaultConfig.
+func FeederSessionConfig(ecfg *core.Config) host.SessionConfig {
+	cfg := AnalyzerConfig{Engine: ecfg}.engineConfig()
+	return host.SessionConfig{Engine: cfg}
+}
+
+// NewFeeder returns a feeder submitting to target. Batches for one feeder
+// must not be submitted concurrently from multiple goroutines (the engine's
+// per-group ordering contract); the feeder's own methods serialise.
+func NewFeeder(target Submitter) *Feeder {
+	return &Feeder{target: target, paths: make(map[string]uint64)}
+}
+
+// id returns (assigning if needed) the stable file ID for path; f.mu held.
+func (f *Feeder) id(path string) uint64 {
+	if id, ok := f.paths[path]; ok {
+		return id
+	}
+	f.nextID++
+	f.paths[path] = f.nextID
+	return f.nextID
+}
+
+// Prime submits a baseline-only op snapshotting content as path's previous
+// version without scoring anything — the queued form of Analyzer.Prime.
+func (f *Feeder) Prime(ctx context.Context, path string, content []byte) error {
+	f.mu.Lock()
+	op := f.primeOp(path, content)
+	f.mu.Unlock()
+	return f.target.Submit(ctx, op)
+}
+
+// primeOp builds the baseline-only op for path; f.mu held.
+func (f *Feeder) primeOp(path string, content []byte) host.Op {
+	id := f.id(path)
+	return host.Op{
+		PreEvent: &core.Event{
+			Kind: core.EvOpen, PID: actorPID, Path: path, FileID: id,
+			Flags: core.EvWriteIntent, Size: int64(len(content)),
+		},
+		Pre:   map[uint64][]byte{id: content},
+		Evict: []uint64{id},
+	}
+}
+
+// PrimeTree baselines every readable file under root, batching the ops.
+func (f *Feeder) PrimeTree(ctx context.Context, root string) error {
+	return walkFiles(root, func(p string) error {
+		content, err := os.ReadFile(p)
+		if err != nil {
+			return nil //nolint:nilerr // priming is best-effort
+		}
+		return f.Prime(ctx, p, content)
+	})
+}
+
+// Apply translates one scan's events and submits them as a single batch —
+// the queued form of Analyzer.Apply. Files are read from the real
+// filesystem at translation time; unreadable files are skipped.
+func (f *Feeder) Apply(ctx context.Context, events []Event) error {
+	f.mu.Lock()
+	var ops []host.Op
+	for _, ev := range events {
+		switch ev.Kind {
+		case EventDeleted:
+			ops = append(ops, f.deleteOps(ev.Path)...)
+		case EventCreated, EventModified:
+			content, err := os.ReadFile(ev.Path)
+			if err != nil {
+				continue
+			}
+			ops = append(ops, f.changeOps(ev.Path, content, ev.Kind)...)
+		}
+	}
+	f.mu.Unlock()
+	return f.target.Submit(ctx, ops...)
+}
+
+// Change submits the ops scoring one created/modified file given its new
+// content — the queued form of Analyzer.ApplyChange.
+func (f *Feeder) Change(ctx context.Context, path string, content []byte, kind EventKind) error {
+	f.mu.Lock()
+	ops := f.changeOps(path, content, kind)
+	f.mu.Unlock()
+	return f.target.Submit(ctx, ops...)
+}
+
+// changeOps mirrors Analyzer.ApplyChange op-for-op; f.mu held.
+func (f *Feeder) changeOps(path string, content []byte, kind EventKind) []host.Op {
+	_, known := f.paths[path]
+	id := f.id(path)
+	var ops []host.Op
+	if !known && kind == EventCreated {
+		// A file born under the watch: the actor is its creator.
+		ops = append(ops, host.Op{Event: core.Event{
+			Kind: core.EvCreate, PID: actorPID, Path: path, FileID: id,
+			Flags: core.EvWriteIntent | core.EvCreateIntent,
+		}})
+	}
+	if !known && kind == EventModified {
+		// First sight of a pre-existing file mid-change: baseline it from
+		// the post-change content (see Analyzer.ApplyChange).
+		ops = append(ops, f.primeOpKnown(path, id, content))
+	}
+	ops = append(ops, host.Op{
+		Event: core.Event{
+			Kind: core.EvClose, PID: actorPID, Path: path, FileID: id,
+			Size: int64(len(content)), Wrote: true,
+		},
+		Post:  map[uint64][]byte{id: content},
+		Evict: []uint64{id},
+	})
+	return ops
+}
+
+// primeOpKnown is primeOp for an already-assigned ID; f.mu held.
+func (f *Feeder) primeOpKnown(path string, id uint64, content []byte) host.Op {
+	return host.Op{
+		PreEvent: &core.Event{
+			Kind: core.EvOpen, PID: actorPID, Path: path, FileID: id,
+			Flags: core.EvWriteIntent, Size: int64(len(content)),
+		},
+		Pre:   map[uint64][]byte{id: content},
+		Evict: []uint64{id},
+	}
+}
+
+// Delete submits the op scoring a removal.
+func (f *Feeder) Delete(ctx context.Context, path string) error {
+	f.mu.Lock()
+	ops := f.deleteOps(path)
+	f.mu.Unlock()
+	return f.target.Submit(ctx, ops...)
+}
+
+// deleteOps mirrors Analyzer.applyDelete; f.mu held.
+func (f *Feeder) deleteOps(path string) []host.Op {
+	id := f.id(path)
+	delete(f.paths, path)
+	return []host.Op{{Event: core.Event{
+		Kind: core.EvDelete, PID: actorPID, Path: path, FileID: id,
+	}}}
+}
+
+// walkFiles visits every regular file under root, skipping unreadable
+// entries.
+func walkFiles(root string, fn func(path string) error) error {
+	return filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil //nolint:nilerr // best-effort traversal
+		}
+		return fn(p)
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 	"time"
 
@@ -223,6 +224,18 @@ func TestAnalyzerDefaultsMatchEngine(t *testing.T) {
 	}
 	if cfg.Workers != 0 {
 		t.Fatal("analyzer must pin Workers to 0: content is staged synchronously")
+	}
+	// The deprecated flat indicator/threshold fields are gone: every tuning
+	// knob flows through Engine so a second points table cannot reappear.
+	want2 := map[string]bool{"Engine": true, "OnAlert": true, "Telemetry": true}
+	rt := reflect.TypeOf(AnalyzerConfig{})
+	for i := 0; i < rt.NumField(); i++ {
+		if !want2[rt.Field(i).Name] {
+			t.Fatalf("AnalyzerConfig grew field %q: engine tuning belongs in Engine *core.Config", rt.Field(i).Name)
+		}
+	}
+	if rt.NumField() != len(want2) {
+		t.Fatalf("AnalyzerConfig has %d fields, want %d", rt.NumField(), len(want2))
 	}
 }
 

@@ -153,6 +153,47 @@ func (t *Table) Resume(pid int) error {
 	return nil
 }
 
+// ResumeFamily clears the suspended flag on pid's entire process family —
+// the inverse of SuspendFamily, since that is what enforcement suspends. It
+// returns every PID in the family (resumed or already running), sorted, so
+// the caller can exempt the whole tree from further enforcement.
+func (t *Table) ResumeFamily(pid int) ([]int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.procs[pid]
+	if !ok {
+		return nil, fmt.Errorf("pid %d: %w", pid, ErrNoProcess)
+	}
+	root := p
+	for root.Parent != 0 {
+		pp, ok := t.procs[root.Parent]
+		if !ok {
+			break
+		}
+		root = pp
+	}
+	var family []int
+	t.resumeTree(root.PID, &family)
+	sort.Ints(family)
+	return family, nil
+}
+
+// resumeTree clears suspension on pid and all descendants, collecting every
+// family member visited; t.mu must be held.
+func (t *Table) resumeTree(pid int, out *[]int) {
+	p, ok := t.procs[pid]
+	if !ok {
+		return
+	}
+	p.Suspended = false
+	*out = append(*out, pid)
+	for cpid, c := range t.procs {
+		if c.Parent == pid {
+			t.resumeTree(cpid, out)
+		}
+	}
+}
+
 // Processes returns a snapshot of all processes, ordered by PID.
 func (t *Table) Processes() []Process {
 	t.mu.Lock()

@@ -102,6 +102,36 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// Unregister removes the metric registered under name, whatever its kind.
+// It reports whether a metric was removed. Existing handles keep working but
+// the metric no longer appears in snapshots or expositions — used by hosts
+// to drop per-session gauges when a session closes.
+func (r *Registry) Unregister(name string) bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	removed := false
+	if _, ok := r.counters[name]; ok {
+		delete(r.counters, name)
+		removed = true
+	}
+	if _, ok := r.gauges[name]; ok {
+		delete(r.gauges, name)
+		removed = true
+	}
+	if _, ok := r.gaugeFuncs[name]; ok {
+		delete(r.gaugeFuncs, name)
+		removed = true
+	}
+	if _, ok := r.histograms[name]; ok {
+		delete(r.histograms, name)
+		removed = true
+	}
+	return removed
+}
+
 // Snapshot is a point-in-time copy of every metric in a registry.
 type Snapshot struct {
 	// Counters maps full metric name to count.

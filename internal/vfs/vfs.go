@@ -261,7 +261,9 @@ func (fs *FS) lookupFile(p string) (*file, error) {
 }
 
 // pre runs the interceptor's PreOp; fs.mu must be held (it is released
-// around the callback so interceptors may query the filesystem).
+// around the callback so interceptors may query the filesystem). A veto is
+// wrapped with the vetoed operation's kind and path, preserving the
+// interceptor's error chain for errors.Is (e.g. cryptodrop.ErrSuspended).
 func (fs *FS) pre(op *Op) error {
 	ic := fs.interceptor
 	if ic == nil {
@@ -270,6 +272,9 @@ func (fs *FS) pre(op *Op) error {
 	fs.mu.Unlock()
 	err := ic.PreOp(op)
 	fs.mu.Lock()
+	if err != nil {
+		return fmt.Errorf("vfs: %s %s: %w", op.Kind, op.Path, err)
+	}
 	return err
 }
 
