@@ -47,6 +47,8 @@ import (
 	"cryptodrop/internal/corpus"
 	"cryptodrop/internal/filter"
 	"cryptodrop/internal/host"
+	"cryptodrop/internal/indicator"
+	"cryptodrop/internal/policy"
 	"cryptodrop/internal/proc"
 	"cryptodrop/internal/telemetry"
 	"cryptodrop/internal/vfs"
@@ -92,6 +94,45 @@ type (
 	ContentSource = core.ContentSource
 )
 
+// Re-exported indicator-pipeline types: the registry of pluggable indicator
+// units the engine scores with, and the detection policy that fuses awards
+// into a verdict. See internal/indicator and internal/policy for the layer
+// contracts, and DESIGN.md ("Indicator pipeline") for how the layers fit.
+type (
+	// IndicatorRegistry is an immutable set of indicator units; compose
+	// with DefaultIndicators().With(...) / .Without(...).
+	IndicatorRegistry = indicator.Registry
+	// IndicatorUnit is one pluggable behavioural indicator.
+	IndicatorUnit = indicator.Unit
+	// IndicatorDecl is a unit's static declaration.
+	IndicatorDecl = indicator.Decl
+	// IndicatorContext is the measured-state window a unit evaluates over.
+	IndicatorContext = indicator.Context
+	// HoneyfileIndicator is the opt-in SentryFS-style decoy-touch unit.
+	HoneyfileIndicator = indicator.HoneyfileUnit
+	// Policy decides when a scoring group's evidence becomes a detection.
+	Policy = policy.Policy
+	// MajorityPolicy accelerates detection once a quorum of distinct
+	// indicators has fired (Davies et al.-style majority voting).
+	MajorityPolicy = policy.Majority
+)
+
+// DefaultIndicators returns the paper's indicator set — the registry the
+// engine uses when no WithIndicators option is given.
+func DefaultIndicators() *IndicatorRegistry { return indicator.Default() }
+
+// NewHoneyfileIndicator returns the decoy-touch indicator guarding exactly
+// the given planted paths. Compose it into a registry with
+// DefaultIndicators().With(...); plant the decoys first (the unit only
+// matches paths, it does not create files).
+func NewHoneyfileIndicator(paths ...string) *HoneyfileIndicator {
+	return indicator.NewHoneyfile(paths...)
+}
+
+// NewUnionPolicy returns the paper's default detection policy: union
+// indication over the three primary indicators with the given score bonus.
+func NewUnionPolicy(bonus float64) Policy { return policy.NewUnion(bonus, false) }
+
 // Re-exported multi-session hosting types: a Host owns N detector Sessions,
 // each an independent engine behind a bounded ingest queue with explicit
 // backpressure and overload degradation. See internal/host for semantics.
@@ -135,13 +176,15 @@ const (
 	EvAppend       = core.EvAppend
 )
 
-// Re-exported indicator constants.
+// Re-exported indicator constants. IndicatorHoneyfile is the opt-in
+// decoy-touch indicator; the rest are the paper's default set.
 const (
 	IndicatorTypeChange   = core.IndicatorTypeChange
 	IndicatorSimilarity   = core.IndicatorSimilarity
 	IndicatorEntropyDelta = core.IndicatorEntropyDelta
 	IndicatorDeletion     = core.IndicatorDeletion
 	IndicatorFunneling    = core.IndicatorFunneling
+	IndicatorHoneyfile    = core.IndicatorHoneyfile
 )
 
 // Filter altitudes: CryptoDrop sits in the anti-virus filter range; the
@@ -205,8 +248,29 @@ func WithUnweightedEntropy() Option {
 
 // WithDisabledIndicators suppresses the listed indicators (ablation
 // studies).
+//
+// Deprecated: compose the registry instead —
+// WithIndicators(DefaultIndicators().Without(inds...)) is the same
+// subtraction made explicit, and it composes with custom registries.
 func WithDisabledIndicators(inds ...Indicator) Option {
 	return func(o *options) { o.cfg.DisabledIndicators = append(o.cfg.DisabledIndicators, inds...) }
+}
+
+// WithIndicators sets the engine's indicator registry, replacing the
+// default five-indicator paper set. Compose registries from
+// DefaultIndicators with With/Without; the engine measures only the
+// features the registered units declare a need for, so a registry without
+// content-dependent units never reads file content at all.
+func WithIndicators(reg *IndicatorRegistry) Option {
+	return func(o *options) { o.cfg.Indicators = reg }
+}
+
+// WithPolicy sets the detection policy, replacing the paper's default
+// union-plus-threshold policy. When set, the union-related knobs
+// (WithUnionDisabled, Points.UnionBonus) no longer apply — the policy owns
+// acceleration and thresholding.
+func WithPolicy(p Policy) Option {
+	return func(o *options) { o.cfg.Policy = p }
 }
 
 // WithFamilyScoring aggregates scores across process families: every

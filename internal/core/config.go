@@ -1,28 +1,32 @@
 // Package core implements the paper's contribution: the CryptoDrop analysis
-// engine (§IV). It consumes the filesystem operation stream delivered by the
-// filter chain and maintains a per-process reputation scoreboard over five
-// behavioural indicators:
+// engine (§IV), structured as the measurement layer of a three-layer
+// detection pipeline.
 //
-// Primary (§III-A/B/C):
-//  1. File type change — a file's magic-number type changes when written.
-//  2. Similarity measurement — the similarity digest of the new content
-//     scores near zero against the previous version.
-//  3. Entropy delta — the weighted mean entropy of the process's writes
-//     exceeds that of its reads by ≥ 0.1.
+//   - The measurement layer (this package) consumes the backend-neutral
+//     filesystem operation stream, extracts per-event features — magic-type
+//     sniffs, similarity digests, entropy deltas, delete/funnel bookkeeping —
+//     and maintains the per-process reputation scoreboard.
+//   - The indicator layer (internal/indicator) is a registry of pluggable
+//     units mapping measured features to score awards. The default registry
+//     is the paper's five indicators: three primary (file type change,
+//     similarity, entropy delta — §III-A/B/C) and two secondary (deletion,
+//     funneling — §III-D).
+//   - The policy layer (internal/policy) fuses awards into detections. The
+//     default is the paper's union indication + threshold (§III-E): once all
+//     three primaries have been seen, the score is boosted and the detection
+//     threshold drops.
 //
-// Secondary (§III-D):
-//
-//  4. Deletion — bulk removal of protected files.
-//  5. File type funneling — many distinct types read, few written.
-//
-// When one process exhibits all three primary indicators, union indication
-// (§III-E) fires: the score is boosted and the detection threshold drops,
-// so suspension follows almost immediately.
+// The engine only performs measurement work some registered unit declared a
+// need for: a registry of content-free indicators never reads file content
+// at all. Config.Indicators and Config.Policy swap the upper layers without
+// touching this package.
 package core
 
 import (
 	"runtime"
 
+	"cryptodrop/internal/indicator"
+	"cryptodrop/internal/policy"
 	"cryptodrop/internal/telemetry"
 )
 
@@ -50,60 +54,19 @@ const (
 	DefaultFunnelingThreshold = 6
 )
 
-// Points assigns reputation score values to indicator events. The paper
-// parameterises these (§IV-A); the defaults are calibrated so that the
-// experimental shape of §V reproduces: ransomware detected around a median
-// of ten files lost at the 200-point non-union threshold, while the §V-F
-// benign workloads score 0–150.
-type Points struct {
-	// TypeChange is awarded per protected file whose identified type
-	// changed when rewritten.
-	TypeChange float64
-	// Similarity is awarded per protected file whose new content is
-	// completely dissimilar from its previous version.
-	Similarity float64
-	// EntropyDeltaFile is awarded per transformed file completed while the
-	// process's entropy delta is suspicious.
-	EntropyDeltaFile float64
-	// EntropyDeltaOp is awarded per write operation performed while the
-	// entropy delta is suspicious. It is small: it exists to catch
-	// high-volume writers (Class C evaders, archivers) without penalising
-	// ordinary applications.
-	EntropyDeltaOp float64
-	// Deletion is awarded per protected file deleted that the process did
-	// not itself create — removing the user's pre-existing data.
-	Deletion float64
-	// DeletionOwn is awarded per protected file deleted that the process
-	// itself created (temp/autosave churn — ordinary application
-	// behaviour).
-	DeletionOwn float64
-	// NewCipherFile is awarded per new protected file whose written
-	// content is untyped high-entropy data, completed while the process's
-	// entropy delta is suspicious — the Class C encrypted-copy shape
-	// ("high entropy delta between the files it was reading and writing",
-	// §V-C).
-	NewCipherFile float64
-	// Funneling is awarded once when the type-funneling condition first
-	// holds for a process.
-	Funneling float64
-	// UnionBonus is added once when all three primary indicators have
-	// been observed for a process.
-	UnionBonus float64
-}
+// Points assigns reputation score values to indicator events. Each field's
+// calibrated default is declared by the owning indicator unit
+// (internal/indicator); DefaultPoints assembles them from those
+// declarations, so the table cannot drift from the units that consume it.
+type Points = indicator.Points
 
-// DefaultPoints returns the calibrated default point values.
+// DefaultPoints returns the calibrated default point values: the per-unit
+// fields from the indicator declarations, plus the policy-layer union
+// bonus.
 func DefaultPoints() Points {
-	return Points{
-		TypeChange:       8,
-		Similarity:       8,
-		EntropyDeltaFile: 4,
-		EntropyDeltaOp:   0.25,
-		Deletion:         12,
-		DeletionOwn:      0.5,
-		NewCipherFile:    3,
-		Funneling:        25,
-		UnionBonus:       DefaultUnionBonus,
-	}
+	p := indicator.DefaultPoints()
+	p.UnionBonus = DefaultUnionBonus
+	return p
 }
 
 // Config configures the analysis engine.
@@ -127,14 +90,31 @@ type Config struct {
 	FunnelingThreshold int
 	// Points are the per-indicator score values.
 	Points Points
-	// DisableUnion turns union indication off (ablation studies).
+	// Indicators is the indicator registry the engine scores with. Nil
+	// means indicator.Default() — the paper's five units. The engine only
+	// performs the measurement work the registered units declare a need
+	// for (indicator.Feature), so a registry without content-dependent
+	// units never reads file content.
+	Indicators *indicator.Registry
+	// Policy decides how awards fuse into detections. Nil means the
+	// paper's union+threshold policy, parameterised by Points.UnionBonus
+	// and DisableUnion; when a Policy is set, those two fields are ignored
+	// (the policy owns acceleration entirely).
+	Policy policy.Policy
+	// DisableUnion turns union indication off (ablation studies). Only
+	// consulted when Policy is nil.
 	DisableUnion bool
 	// UnweightedEntropy replaces the paper's w = 0.125×⌊e⌉×b operation
 	// weighting with plain byte weighting (ablation studies: shows how
 	// small low-entropy ransom-note writes skew an unweighted mean).
 	UnweightedEntropy bool
 	// DisabledIndicators suppresses scoring (and union participation) of
-	// the listed indicators (ablation studies).
+	// the listed indicators.
+	//
+	// Deprecated: compose the registry instead — Config.Indicators =
+	// indicator.Default().Without(ids...). This field remains as a
+	// compatibility shim and is applied as exactly that Without() call on
+	// the effective registry.
 	DisabledIndicators []Indicator
 	// NewCipherWithoutDelta awards NewCipherFile for a new untyped
 	// high-entropy file even when the process's read/write entropy delta is
@@ -142,7 +122,10 @@ type Config struct {
 	// completed files, never the read/write stream — set this: for them the
 	// delta gate can never open, so without it the Class C encrypted-copy
 	// shape would be invisible. Minifilter-style backends leave it false
-	// (the default), preserving the paper's delta-gated behaviour.
+	// (the default), preserving the paper's delta-gated behaviour. The
+	// indicator layer sees this (together with the runtime SetPayloadBlind
+	// switch) as "the FeatPayload feature is unavailable", via
+	// indicator.Context.PayloadStreamAvailable.
 	NewCipherWithoutDelta bool
 	// Workers sizes the measurement worker pool. Zero (the default) keeps
 	// every measurement synchronous on the event path — bit-identical to
@@ -161,10 +144,11 @@ type Config struct {
 	// the moment its score crosses the effective threshold.
 	OnDetection func(Detection)
 	// Telemetry, if set, receives the engine's metrics: per-indicator fire
-	// counters, detection counters and score distributions, measurement
-	// latency histograms, pool gauges and sampled shard lock-wait times.
-	// Nil (the default) disables all metric collection; the event path then
-	// pays a single nil-check branch.
+	// counters (series derived from the registry's declared names),
+	// detection counters and score distributions, measurement latency
+	// histograms, pool gauges and sampled shard lock-wait times. Nil (the
+	// default) disables all metric collection; the event path then pays a
+	// single nil-check branch.
 	Telemetry *telemetry.Registry
 	// FlightRecorder, if set, captures the ordered per-group sequence of
 	// indicator firings so every Detection can be explained after the fact.
@@ -189,42 +173,26 @@ func DefaultConfig(root string) Config {
 	}
 }
 
-// Indicator identifies one of CryptoDrop's behavioural indicators.
-type Indicator int
+// Indicator identifies one of CryptoDrop's behavioural indicators. It is
+// the indicator layer's unit ID; the name, class, feature needs and default
+// points of each ID live in its unit declaration (internal/indicator).
+type Indicator = indicator.ID
 
 // The indicators. TypeChange, Similarity and EntropyDelta are primary;
-// Deletion and Funneling are secondary.
+// Deletion and Funneling are secondary. Honeyfile is the opt-in decoy-touch
+// unit (not in the default registry).
 const (
-	IndicatorTypeChange Indicator = iota + 1
-	IndicatorSimilarity
-	IndicatorEntropyDelta
-	IndicatorDeletion
-	IndicatorFunneling
+	IndicatorTypeChange   = indicator.TypeChange
+	IndicatorSimilarity   = indicator.Similarity
+	IndicatorEntropyDelta = indicator.EntropyDelta
+	IndicatorDeletion     = indicator.Deletion
+	IndicatorFunneling    = indicator.Funneling
+	IndicatorHoneyfile    = indicator.Honeyfile
 )
 
 // PrimaryIndicators lists the three primary indicators whose union triggers
-// accelerated detection.
-func PrimaryIndicators() []Indicator {
-	return []Indicator{IndicatorTypeChange, IndicatorSimilarity, IndicatorEntropyDelta}
-}
-
-// String returns the indicator name.
-func (i Indicator) String() string {
-	switch i {
-	case IndicatorTypeChange:
-		return "file-type-change"
-	case IndicatorSimilarity:
-		return "similarity"
-	case IndicatorEntropyDelta:
-		return "entropy-delta"
-	case IndicatorDeletion:
-		return "deletion"
-	case IndicatorFunneling:
-		return "funneling"
-	default:
-		return "unknown"
-	}
-}
+// accelerated detection under the default policy.
+func PrimaryIndicators() []Indicator { return indicator.Primaries() }
 
 // Detection reports a process crossing its detection threshold.
 type Detection struct {
@@ -234,7 +202,8 @@ type Detection struct {
 	Score float64
 	// Threshold is the effective threshold that was crossed.
 	Threshold float64
-	// Union reports whether union indication had fired for the process.
+	// Union reports whether the policy had accelerated detection for the
+	// process (union indication under the default policy).
 	Union bool
 	// OpIndex is the number of protected-scope operations the engine had
 	// processed when detection occurred.

@@ -8,16 +8,20 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cryptodrop/internal/indicator"
 	"cryptodrop/internal/magic"
-	"cryptodrop/internal/sdhash"
+	"cryptodrop/internal/policy"
 )
 
-// Engine is the CryptoDrop analysis engine. It consumes the backend-neutral
-// file operation stream (the minifilter vantage point of Fig. 2, abstracted
-// as Events), measures the indicators, maintains the per-process reputation
-// scoreboard and reports detections. The engine observes but never vetoes:
-// enforcement (suspending the flagged process family) belongs to the monitor
-// that owns it.
+// Engine is the CryptoDrop analysis engine: the measurement layer of the
+// detection pipeline. It consumes the backend-neutral file operation stream
+// (the minifilter vantage point of Fig. 2, abstracted as Events), extracts
+// the features its indicator registry declares a need for, dispatches the
+// registered indicator units at fixed hook points, and lets the detection
+// policy fuse the resulting awards into detections on the per-process
+// reputation scoreboard. The engine observes but never vetoes: enforcement
+// (suspending the flagged process family) belongs to the monitor that owns
+// it.
 //
 // Create an Engine with New and feed it Events through PreEvent/Handle —
 // directly, or via one of the backend adapters (internal/vfsadapter for the
@@ -26,10 +30,22 @@ import (
 // scoreboard is sharded by scoring-group PID and the file-state cache by
 // file ID, so operations from distinct processes on distinct files never
 // contend on a shared lock; see DESIGN.md ("Concurrency model") for the
-// shard layout and ordering guarantees.
+// shard layout and ordering guarantees, and DESIGN.md ("Indicator
+// pipeline") for the layer seams.
 type Engine struct {
 	cfg Config
 	src ContentSource
+
+	// reg is the effective indicator registry (Config.Indicators minus the
+	// deprecated DisabledIndicators shim); pol is the detection policy.
+	reg *indicator.Registry
+	pol policy.Policy
+	// hooks are the registry's units flattened per evaluation hook, in
+	// canonical ID order.
+	hooks [indicator.HookMax + 1][]hookedUnit
+	// feats is the union of the registered units' declared feature needs —
+	// the measurement work this engine actually performs.
+	feats indicator.Feature
 
 	// procs is the sharded per-process scoreboard.
 	procs procTable
@@ -45,14 +61,14 @@ type Engine struct {
 	// original single-threaded engine).
 	pool *measurePool
 
-	disabled map[Indicator]bool
-	opIndex  atomic.Int64
+	opIndex atomic.Int64
 
-	// payloadBlind is the runtime equivalent of Config.NewCipherWithoutDelta:
-	// when set, new untyped high-entropy files score without the read/write
-	// entropy-delta gate. A host degrading an overloaded session to
-	// payload-blind scoring flips it mid-stream (the session sheds payload
-	// bytes, so the delta gate could never open again).
+	// payloadBlind marks the FeatPayload feature as unavailable at runtime,
+	// the equivalent of Config.NewCipherWithoutDelta: a host degrading an
+	// overloaded session to payload-blind scoring flips it mid-stream (the
+	// session sheds payload bytes, so payload-derived evidence could never
+	// accumulate again). Indicator units observe it through
+	// Context.PayloadStreamAvailable and waive payload-derived gates.
 	payloadBlind atomic.Bool
 
 	// tel is the telemetry facade; nil when telemetry is fully disabled,
@@ -71,18 +87,29 @@ func New(cfg Config, src ContentSource) *Engine {
 	if src == nil {
 		src = noContent{}
 	}
-	disabled := make(map[Indicator]bool, len(cfg.DisabledIndicators))
-	for _, ind := range cfg.DisabledIndicators {
-		disabled[ind] = true
+	reg := cfg.Indicators
+	if reg == nil {
+		reg = indicator.Default()
+	}
+	if len(cfg.DisabledIndicators) > 0 {
+		// Deprecated shim: ablation by list is registry subtraction.
+		reg = reg.Without(cfg.DisabledIndicators...)
+	}
+	pol := cfg.Policy
+	if pol == nil {
+		pol = policy.NewUnion(cfg.Points.UnionBonus, cfg.DisableUnion)
 	}
 	e := &Engine{
-		cfg:      cfg,
-		src:      src,
-		disabled: disabled,
+		cfg:   cfg,
+		src:   src,
+		reg:   reg,
+		pol:   pol,
+		feats: reg.Features(),
 	}
+	e.buildHooks()
 	e.procs.init()
 	e.files.init()
-	e.tel = newEngineTelemetry(cfg.Telemetry, cfg.FlightRecorder)
+	e.tel = newEngineTelemetry(cfg.Telemetry, cfg.FlightRecorder, reg)
 	if cfg.Workers > 0 {
 		e.pool = newMeasurePool(cfg.Workers, e.tel)
 		registerPoolGauges(cfg.Telemetry, e.pool)
@@ -93,12 +120,23 @@ func New(cfg Config, src ContentSource) *Engine {
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+// Indicators returns the effective indicator registry the engine scores
+// with (Config.Indicators after the deprecated DisabledIndicators shim).
+func (e *Engine) Indicators() *indicator.Registry { return e.reg }
+
+// Features returns the union of the registered units' declared feature
+// needs — the measurement work this engine performs.
+func (e *Engine) Features() indicator.Feature { return e.feats }
+
 // SetPayloadBlind switches the engine into (or out of) payload-blind
-// scoring at runtime: the Class C new-cipher-file award no longer requires a
-// suspicious read/write entropy delta, exactly as if the engine had been
-// built with Config.NewCipherWithoutDelta. Backends that stop delivering
-// payload bytes mid-stream (an overloaded host session shedding payloads)
-// set it so encrypted-copy attacks stay visible. Safe for concurrent use.
+// scoring at runtime: the FeatPayload feature is declared unavailable,
+// exactly as if the engine had been built with
+// Config.NewCipherWithoutDelta. Units gating awards on payload-derived
+// evidence (the Class C new-cipher-file award's entropy-delta gate) waive
+// those gates, since the corroborating feature can no longer exist.
+// Backends that stop delivering payload bytes mid-stream (an overloaded
+// host session shedding payloads) set it so encrypted-copy attacks stay
+// visible. Safe for concurrent use.
 func (e *Engine) SetPayloadBlind(on bool) { e.payloadBlind.Store(on) }
 
 // PayloadBlind reports whether runtime payload-blind scoring is on.
@@ -138,7 +176,12 @@ func (e *Engine) lockProc(pid int) (ps *procState, sh *procShard) {
 // operation: the previous version of a file opened for writing, and the
 // target a rename is about to replace. Backends must deliver it before the
 // operation mutates the underlying content (and before the matching Handle).
+// When no registered unit consumes file content, PreEvent does nothing —
+// the ContentSource is never consulted.
 func (e *Engine) PreEvent(ev Event) {
+	if !e.wantContent() {
+		return
+	}
 	switch ev.Kind {
 	case EvOpen:
 		if ev.Flags&EvWriteIntent != 0 && ev.Size > 0 && e.inRoot(ev.Path) {
@@ -160,27 +203,6 @@ func (e *Engine) PreEvent(ev Event) {
 		}
 	}
 }
-
-// snapshot caches the current content state of the file with the given ID
-// if not already cached. The content read and measurement run without any
-// engine lock held; with a measurement pool the digestion itself is
-// deferred to a worker and later lookups wait on the resolving task.
-func (e *Engine) snapshot(id uint64) {
-	if e.files.has(id) {
-		return
-	}
-	content, err := e.src.Content(id)
-	if err != nil || len(content) == 0 {
-		return
-	}
-	if e.pool != nil {
-		e.files.storeIfMissing(id, e.pool.submit(content))
-		return
-	}
-	e.files.storeIfMissing(id, resolvedTask(e.tel.measure(content)))
-}
-
-func (e *Engine) snapshotIfMissing(id uint64) { e.snapshot(id) }
 
 // Handle measures the completed operation and updates the scoreboard. It is
 // the engine's single entry point for scoring: every backend funnels its
@@ -220,7 +242,9 @@ func (e *Engine) Handle(ev Event) {
 	case EvRename:
 		e.handleRename(ps, &ev, job, opIdx)
 	case EvCreate:
-		e.files.setCreator(ev.FileID, ev.PID)
+		if e.feats.Has(indicator.FeatCreator) {
+			e.files.setCreator(ev.FileID, ev.PID)
+		}
 		ps.dirsTouched[path.Dir(ev.Path)] = true
 	case EvOpen:
 		ps.dirsTouched[path.Dir(ev.Path)] = true
@@ -230,34 +254,6 @@ func (e *Engine) Handle(ev Event) {
 	}
 	sh.mu.Unlock()
 	e.dispatch(dets)
-}
-
-// needsContent reports whether the operation evaluates a file
-// transformation and therefore needs the file's current content measured;
-// the caller holds the proc-shard lock.
-func (e *Engine) needsContent(ev *Event) bool {
-	switch ev.Kind {
-	case EvClose:
-		return ev.Wrote
-	case EvRename:
-		return e.inRoot(ev.NewPath) && (ev.ReplacedID != 0 || e.files.has(ev.FileID))
-	}
-	return false
-}
-
-// prepareMeasure reads the file's content (no engine lock held) and starts
-// its measurement: on the pool when configured, inline otherwise. It
-// returns nil when the content cannot be read (e.g. the file was deleted in
-// the window since the operation completed).
-func (e *Engine) prepareMeasure(id uint64) *measureTask {
-	content, err := e.src.Content(id)
-	if err != nil {
-		return nil
-	}
-	if e.pool != nil {
-		return e.pool.submit(content)
-	}
-	return resolvedTask(e.tel.measure(content))
 }
 
 // dispatch invokes the detection callback for each fired detection, in
@@ -271,13 +267,13 @@ func (e *Engine) dispatch(dets []Detection) {
 	}
 }
 
-// handleRead folds a read payload into the entropy tracker and funneling
-// sets; proc-shard lock held.
+// handleRead folds a read payload into the entropy tracker and, when some
+// unit consumes type sniffs, the funneling sets; proc-shard lock held.
 func (e *Engine) handleRead(ps *procState, ev *Event, opIdx int64) {
 	ps.delta.AddRead(ev.Data)
 	ps.dirsTouched[path.Dir(ev.Path)] = true
 	ps.touchExt(extOf(ev.Path))
-	if ev.Offset == 0 && len(ev.Data) > 0 {
+	if ev.Offset == 0 && len(ev.Data) > 0 && e.feats.Has(indicator.FeatTypeSniff) {
 		// Identify the type being read, consulting the per-process sniff
 		// cache first: re-reading the same unchanged prefix must not pay
 		// for a full magic scan every time.
@@ -288,19 +284,17 @@ func (e *Engine) handleRead(ps *procState, ev *Event, opIdx int64) {
 			ps.sniff.put(key, t)
 		}
 		ps.typesRead[t.ID] = true
-		e.checkFunneling(ps, opIdx, ev.Path)
+		e.runHook(indicator.HookFunnel, ps, opIdx, ev.Path, measured{})
 	}
 }
 
-// handleWrite folds a write payload into the entropy tracker and applies
-// per-operation entropy-delta scoring; proc-shard lock held.
+// handleWrite folds a write payload into the entropy tracker and dispatches
+// the per-write hook; proc-shard lock held.
 func (e *Engine) handleWrite(ps *procState, ev *Event, opIdx int64) {
 	ps.delta.AddWrite(ev.Data)
 	ps.dirsTouched[path.Dir(ev.Path)] = true
 	ps.touchExt(extOf(ev.Path))
-	if e.deltaSuspicious(ps) {
-		e.award(ps, IndicatorEntropyDelta, e.cfg.Points.EntropyDeltaOp, opIdx, ev.Path)
-	}
+	e.runHook(indicator.HookWrite, ps, opIdx, ev.Path, measured{})
 }
 
 // deltaSuspicious reports whether the process's current entropy delta
@@ -310,10 +304,16 @@ func (e *Engine) deltaSuspicious(ps *procState) bool {
 	return ok && d >= e.cfg.EntropyDeltaThreshold
 }
 
-// handleClose evaluates a completed file rewrite against the cached
-// previous-version state; proc-shard lock held.
+// handleClose dispatches the touch-level close hook for every written
+// handle, then evaluates the completed rewrite against the cached
+// previous-version state when its content could be measured; proc-shard
+// lock held.
 func (e *Engine) handleClose(ps *procState, ev *Event, job *measureTask, opIdx int64) {
-	if !ev.Wrote || job == nil {
+	if !ev.Wrote {
+		return
+	}
+	e.runHook(indicator.HookClose, ps, opIdx, ev.Path, measured{})
+	if job == nil {
 		return
 	}
 	e.evaluate(ps, job, ev.FileID, e.files.entry(ev.FileID), opIdx, ev.Path)
@@ -321,18 +321,18 @@ func (e *Engine) handleClose(ps *procState, ev *Event, job *measureTask, opIdx i
 
 // handleDelete scores a protected file removal; proc-shard lock held.
 // Removing a file the process itself created (temp/autosave churn) is
-// ordinary behaviour and scores far lower than destroying the user's
-// pre-existing data — the bulk deletion the secondary indicator targets
-// (§III-D).
+// ordinary behaviour; the deletion unit scores it far lower than destroying
+// the user's pre-existing data — the bulk deletion the secondary indicator
+// targets (§III-D).
 func (e *Engine) handleDelete(ps *procState, ev *Event, opIdx int64) {
 	ps.deletes++
 	ps.dirsTouched[path.Dir(ev.Path)] = true
 	ps.touchExt(extOf(ev.Path))
-	pts := e.cfg.Points.Deletion
-	if e.files.creator(ev.FileID) == ev.PID {
-		pts = e.cfg.Points.DeletionOwn
+	var own bool
+	if e.feats.Has(indicator.FeatCreator) {
+		own = e.files.creator(ev.FileID) == ev.PID
 	}
-	e.award(ps, IndicatorDeletion, pts, opIdx, ev.Path)
+	e.runHook(indicator.HookDelete, ps, opIdx, ev.Path, measured{ownDelete: own})
 	e.files.drop(ev.FileID)
 	e.files.dropCreator(ev.FileID)
 }
@@ -340,15 +340,20 @@ func (e *Engine) handleDelete(ps *procState, ev *Event, opIdx int64) {
 // handleRename links file state across moves. A rename that replaces an
 // existing protected file is a Class B/C transformation of the replaced
 // file; a move back into the protected root is checked against the moved
-// file's own cached state; proc-shard lock held.
+// file's own cached state. Each protected-tree side of the rename also gets
+// a touch-level hook dispatch; proc-shard lock held.
 func (e *Engine) handleRename(ps *procState, ev *Event, job *measureTask, opIdx int64) {
 	if e.inRoot(ev.Path) {
 		ps.dirsTouched[path.Dir(ev.Path)] = true
+		e.runHook(indicator.HookRename, ps, opIdx, ev.Path, measured{})
 	}
 	if !e.inRoot(ev.NewPath) {
 		// Moved out of the protected tree: keep the cached state; the
 		// file ID preserves identity until it comes back.
 		return
+	}
+	if ev.NewPath != ev.Path {
+		e.runHook(indicator.HookRename, ps, opIdx, ev.NewPath, measured{})
 	}
 	ps.dirsTouched[path.Dir(ev.NewPath)] = true
 	ps.touchExt(extOf(ev.NewPath))
@@ -398,39 +403,22 @@ func (e *Engine) evaluate(ps *procState, job *measureTask, contentID uint64, pre
 	ps.pending = append(ps.pending, p)
 }
 
-// applyPending applies one queued evaluation; proc-shard lock held.
+// applyPending applies one queued evaluation, dispatching the funneling
+// hook (the written-type set may have changed) and then the new-file or
+// transform hook; proc-shard lock held.
 func (e *Engine) applyPending(ps *procState, p pendingApply) {
 	newState := p.job.state()
-	ps.typesWritten[newState.typ.ID] = true
-	e.checkFunneling(ps, p.opIdx, p.path)
+	if e.feats.Has(indicator.FeatTypeSniff) {
+		ps.typesWritten[newState.typ.ID] = true
+	}
+	e.runHook(indicator.HookFunnel, ps, p.opIdx, p.path, measured{})
 	prev := p.prev.state()
 	if prev == nil {
-		// A brand-new file of untyped high-entropy content, written while
-		// the process reads lower-entropy data: the shape of a Class C
-		// encrypted copy (§V-C).
-		if newState.typ.IsData() && newState.entropy > 7.0 &&
-			(e.deltaSuspicious(ps) || e.cfg.NewCipherWithoutDelta || e.payloadBlind.Load()) {
-			e.award(ps, IndicatorEntropyDelta, e.cfg.Points.NewCipherFile, p.opIdx, p.path)
-		}
+		e.runHook(indicator.HookNewFile, ps, p.opIdx, p.path, measured{newState: newState})
 	}
 	if prev != nil {
 		ps.filesTransformed++
-		if newState.typ.ID != prev.typ.ID {
-			e.award(ps, IndicatorTypeChange, e.cfg.Points.TypeChange, p.opIdx, p.path)
-		}
-		// A dissimilarity verdict requires a reliable previous digest:
-		// digests with very few features (chance features in random-like
-		// data, e.g. JPEG scan streams) carry no confidence — the same
-		// reliability caveat sdhash applies to sparse digests.
-		if reliableDigest(prev) && e.dissimilar(prev.digest, newState.digest) {
-			e.award(ps, IndicatorSimilarity, e.cfg.Points.Similarity, p.opIdx, p.path)
-		}
-		// File-level entropy increase: the rewrite pushed this file's own
-		// entropy up by at least the Δe threshold — the resolution that
-		// catches even compressed formats gaining entropy (§IV-C1).
-		if newState.entropy-prev.entropy >= e.cfg.EntropyDeltaThreshold {
-			e.award(ps, IndicatorEntropyDelta, e.cfg.Points.EntropyDeltaFile, p.opIdx, p.path)
-		}
+		e.runHook(indicator.HookTransform, ps, p.opIdx, p.path, measured{newState: newState, prev: prev})
 	}
 	e.files.store(p.contentID, newState)
 }
@@ -452,116 +440,6 @@ func (e *Engine) drainPending(ps *procState) []Detection {
 	}
 	ps.pending = ps.pending[:0]
 	return dets
-}
-
-// minReliableFeatures is the feature count above which a digest is always
-// trusted for a dissimilarity verdict.
-const minReliableFeatures = 8
-
-// reliableDigest reports whether the previous version's digest can support
-// a dissimilarity verdict: either it has plenty of features, or its feature
-// density is high enough that the features are characteristic content
-// rather than chance windows in random-like data (≥ 1 feature per 256
-// bytes). Chance features in ciphertext-like streams occur orders of
-// magnitude more sparsely.
-func reliableDigest(st *fileState) bool {
-	if st.digest == nil {
-		return false
-	}
-	fc := st.digest.FeatureCount()
-	return fc >= minReliableFeatures || int64(fc)*256 >= st.size
-}
-
-// dissimilar reports whether new content is completely dissimilar from the
-// previous digest: either its comparison score is at or below the match
-// ceiling, or the new content is undigestable (as ciphertext is) while the
-// old version was digestable.
-func (e *Engine) dissimilar(prev *sdhash.Digest, next *sdhash.Digest) bool {
-	if next == nil {
-		return true
-	}
-	return prev.Compare(next) <= e.cfg.SimilarityMatchMax
-}
-
-// checkFunneling awards the one-time funneling score when the process has
-// read many more distinct types than it has written; proc-shard lock held.
-func (e *Engine) checkFunneling(ps *procState, opIdx int64, path string) {
-	if ps.funnelFired || len(ps.typesWritten) == 0 {
-		return
-	}
-	if len(ps.typesRead)-len(ps.typesWritten) >= e.cfg.FunnelingThreshold {
-		ps.funnelFired = true
-		e.award(ps, IndicatorFunneling, e.cfg.Points.Funneling, opIdx, path)
-	}
-}
-
-// award adds points for an indicator occurrence and re-evaluates union
-// indication; proc-shard lock held. Disabled indicators are ignored
-// entirely. path attributes the award in telemetry.
-func (e *Engine) award(ps *procState, ind Indicator, pts float64, opIdx int64, path string) {
-	if e.disabled[ind] {
-		return
-	}
-	ps.indicatorSeen[ind] = true
-	ps.indicatorPoints[ind] += pts
-	ps.score += pts
-	if len(ps.history) < maxHistory {
-		ps.history = append(ps.history, ScorePoint{OpIndex: opIdx, Score: ps.score})
-	}
-	e.tel.fired(ps, ind, pts, opIdx, path)
-	e.checkUnion(ps, opIdx)
-}
-
-// checkUnion fires union indication once all three primary indicators have
-// been observed for the process; proc-shard lock held.
-func (e *Engine) checkUnion(ps *procState, opIdx int64) {
-	if ps.unionFired || e.cfg.DisableUnion {
-		return
-	}
-	for _, ind := range PrimaryIndicators() {
-		if !ps.indicatorSeen[ind] {
-			return
-		}
-	}
-	ps.unionFired = true
-	ps.score += e.cfg.Points.UnionBonus
-	if len(ps.history) < maxHistory {
-		ps.history = append(ps.history, ScorePoint{OpIndex: opIdx, Score: ps.score})
-	}
-	e.tel.unionFired(ps, e.cfg.Points.UnionBonus, opIdx)
-}
-
-// checkDetection evaluates the process against its effective threshold;
-// proc-shard lock held. The Detection is returned for dispatch outside the
-// lock.
-func (e *Engine) checkDetection(ps *procState, opIdx int64) (Detection, bool) {
-	if ps.detected {
-		return Detection{}, false
-	}
-	threshold := e.cfg.NonUnionThreshold
-	if ps.unionFired && e.cfg.UnionThreshold < threshold {
-		threshold = e.cfg.UnionThreshold
-	}
-	if ps.score < threshold {
-		return Detection{}, false
-	}
-	ps.detected = true
-	e.tel.detected(ps)
-	det := Detection{
-		PID:        ps.pid,
-		Score:      ps.score,
-		Threshold:  threshold,
-		Union:      ps.unionFired,
-		OpIndex:    opIdx,
-		Indicators: make(map[Indicator]float64, len(ps.indicatorPoints)),
-	}
-	for ind, pts := range ps.indicatorPoints {
-		det.Indicators[ind] = pts
-	}
-	e.detMu.Lock()
-	e.detections = append(e.detections, det)
-	e.detMu.Unlock()
-	return det, true
 }
 
 // Flush applies every queued measurement result across all processes,

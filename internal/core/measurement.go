@@ -1,0 +1,113 @@
+package core
+
+import (
+	"cryptodrop/internal/entropy"
+	"cryptodrop/internal/indicator"
+	"cryptodrop/internal/magic"
+	"cryptodrop/internal/sdhash"
+)
+
+// This file is the content side of the measurement layer: reading a file's
+// bytes through the ContentSource and turning them into a fileState (magic
+// type, similarity digest, size, Shannon entropy). All of it is gated on
+// the registry's declared feature needs — when no registered unit consumes
+// FeatContent, the engine never calls the ContentSource at all.
+
+// measureFile computes the cached state for content.
+func measureFile(content []byte) *fileState {
+	st := &fileState{
+		typ:     magic.Identify(content),
+		size:    int64(len(content)),
+		entropy: entropy.Shannon(content),
+	}
+	if d, err := sdhash.Compute(content); err == nil {
+		st.digest = d
+	}
+	return st
+}
+
+// wantContent reports whether any registered unit consumes measured file
+// content.
+func (e *Engine) wantContent() bool { return e.feats.Has(indicator.FeatContent) }
+
+// snapshot caches the current content state of the file with the given ID
+// if not already cached. The content read and measurement run without any
+// engine lock held; with a measurement pool the digestion itself is
+// deferred to a worker and later lookups wait on the resolving task.
+func (e *Engine) snapshot(id uint64) {
+	if e.files.has(id) {
+		return
+	}
+	content, err := e.src.Content(id)
+	if err != nil || len(content) == 0 {
+		return
+	}
+	if e.pool != nil {
+		e.files.storeIfMissing(id, e.pool.submit(content))
+		return
+	}
+	e.files.storeIfMissing(id, resolvedTask(e.tel.measure(content)))
+}
+
+func (e *Engine) snapshotIfMissing(id uint64) { e.snapshot(id) }
+
+// needsContent reports whether the operation evaluates a file
+// transformation and therefore needs the file's current content measured;
+// the caller holds the proc-shard lock. Always false when no registered
+// unit consumes content.
+func (e *Engine) needsContent(ev *Event) bool {
+	if !e.wantContent() {
+		return false
+	}
+	switch ev.Kind {
+	case EvClose:
+		return ev.Wrote
+	case EvRename:
+		return e.inRoot(ev.NewPath) && (ev.ReplacedID != 0 || e.files.has(ev.FileID))
+	}
+	return false
+}
+
+// prepareMeasure reads the file's content (no engine lock held) and starts
+// its measurement: on the pool when configured, inline otherwise. It
+// returns nil when the content cannot be read (e.g. the file was deleted in
+// the window since the operation completed).
+func (e *Engine) prepareMeasure(id uint64) *measureTask {
+	content, err := e.src.Content(id)
+	if err != nil {
+		return nil
+	}
+	if e.pool != nil {
+		return e.pool.submit(content)
+	}
+	return resolvedTask(e.tel.measure(content))
+}
+
+// minReliableFeatures is the feature count above which a digest is always
+// trusted for a dissimilarity verdict.
+const minReliableFeatures = 8
+
+// reliableDigest reports whether the previous version's digest can support
+// a dissimilarity verdict: either it has plenty of features, or its feature
+// density is high enough that the features are characteristic content
+// rather than chance windows in random-like data (≥ 1 feature per 256
+// bytes). Chance features in ciphertext-like streams occur orders of
+// magnitude more sparsely.
+func reliableDigest(st *fileState) bool {
+	if st.digest == nil {
+		return false
+	}
+	fc := st.digest.FeatureCount()
+	return fc >= minReliableFeatures || int64(fc)*256 >= st.size
+}
+
+// dissimilar reports whether new content is completely dissimilar from the
+// previous digest: either its comparison score is at or below the match
+// ceiling, or the new content is undigestable (as ciphertext is) while the
+// old version was digestable.
+func (e *Engine) dissimilar(prev *sdhash.Digest, next *sdhash.Digest) bool {
+	if next == nil {
+		return true
+	}
+	return prev.Compare(next) <= e.cfg.SimilarityMatchMax
+}

@@ -18,19 +18,6 @@ type fileState struct {
 	entropy float64
 }
 
-// measureFile computes the cached state for content.
-func measureFile(content []byte) *fileState {
-	st := &fileState{
-		typ:     magic.Identify(content),
-		size:    int64(len(content)),
-		entropy: entropy.Shannon(content),
-	}
-	if d, err := sdhash.Compute(content); err == nil {
-		st.digest = d
-	}
-	return st
-}
-
 // procState is the per-process scoreboard entry.
 type procState struct {
 	pid   int
@@ -44,9 +31,8 @@ type procState struct {
 	// typesRead / typesWritten hold distinct type IDs for funneling.
 	typesRead    map[string]bool
 	typesWritten map[string]bool
-	// funnelFired records the one-time funneling award.
-	funnelFired bool
-	// unionFired records the one-time union award.
+	// unionFired records the policy's one-time acceleration latch (the
+	// union bonus under the default policy).
 	unionFired bool
 	// detected records that OnDetection already ran for this process.
 	detected bool
@@ -67,6 +53,10 @@ type procState struct {
 	pending []pendingApply
 	// sniff caches identified types of offset-0 read prefixes.
 	sniff sniffCache
+	// ctx is the scratch evaluation context handed to indicator units and
+	// the policy; living here keeps hook dispatch allocation-free. Only
+	// valid under the owning shard lock, reconfigured per scoring step.
+	ctx evalCtx
 }
 
 // ScorePoint is one step of a process's score trajectory.

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"cryptodrop/internal/indicator"
 	"cryptodrop/internal/telemetry"
 )
 
@@ -11,9 +12,15 @@ import (
 // one branch per call site; individual handles are themselves nil-safe, so
 // a flight recorder can be attached without a registry and vice versa.
 type engineTelemetry struct {
-	// fires counts indicator firings, indexed by Indicator.
-	fires [IndicatorFunneling + 1]*telemetry.Counter
-	// unions counts union-indication firings.
+	// fires counts indicator firings, keyed by registry indicator ID. The
+	// series set is derived from the engine's indicator registry, so a
+	// composed-in unit (a honeyfile, a custom indicator) gets its own
+	// series without any telemetry change.
+	fires map[indicator.ID]*telemetry.Counter
+	// names caches each registered indicator's declared name for
+	// flight-recorder attribution.
+	names map[indicator.ID]string
+	// unions counts policy acceleration firings (union bonus by default).
 	unions *telemetry.Counter
 	// detections counts threshold crossings.
 	detections *telemetry.Counter
@@ -37,17 +44,23 @@ type engineTelemetry struct {
 const lockWaitSampleMask = 63
 
 // newEngineTelemetry wires the engine's metrics into reg and attaches the
-// flight recorder. It returns nil — telemetry fully off — when both are
-// nil. With a nil reg every metric handle is nil (no-op) and only the
-// recorder is live.
-func newEngineTelemetry(reg *telemetry.Registry, fr *telemetry.FlightRecorder) *engineTelemetry {
+// flight recorder, deriving one fire-counter series per indicator in the
+// engine's registry ir. It returns nil — telemetry fully off — when both
+// reg and fr are nil. With a nil reg every metric handle is nil (no-op) and
+// only the recorder is live.
+func newEngineTelemetry(reg *telemetry.Registry, fr *telemetry.FlightRecorder, ir *indicator.Registry) *engineTelemetry {
 	if reg == nil && fr == nil {
 		return nil
 	}
-	t := &engineTelemetry{recorder: fr}
-	for _, ind := range []Indicator{IndicatorTypeChange, IndicatorSimilarity,
-		IndicatorEntropyDelta, IndicatorDeletion, IndicatorFunneling} {
-		t.fires[ind] = reg.Counter(`engine_indicator_fires_total{indicator="` + ind.String() + `"}`)
+	t := &engineTelemetry{
+		recorder: fr,
+		fires:    make(map[indicator.ID]*telemetry.Counter, ir.Len()),
+		names:    make(map[indicator.ID]string, ir.Len()),
+	}
+	for _, u := range ir.Units() {
+		d := u.Decl()
+		t.names[d.ID] = d.Name
+		t.fires[d.ID] = reg.Counter(`engine_indicator_fires_total{indicator="` + d.Name + `"}`)
 	}
 	t.unions = reg.Counter("engine_union_fires_total")
 	t.detections = reg.Counter("engine_detections_total")
@@ -71,26 +84,38 @@ func registerPoolGauges(reg *telemetry.Registry, pool *measurePool) {
 	reg.Gauge("engine_measure_pool_capacity").Set(int64(cap(pool.sem)))
 }
 
+// indicatorName resolves an indicator ID to its registered declared name,
+// falling back to ID.String() for units the registry does not hold.
+func (t *engineTelemetry) indicatorName(id indicator.ID) string {
+	if name, ok := t.names[id]; ok {
+		return name
+	}
+	return id.String()
+}
+
 // fired records one indicator award; proc-shard lock held (so events for a
 // scoring group are captured in award order).
-func (t *engineTelemetry) fired(ps *procState, ind Indicator, pts float64, opIdx int64, path string) {
+func (t *engineTelemetry) fired(ps *procState, id indicator.ID, pts float64, opIdx int64, path string) {
 	if t == nil {
 		return
 	}
-	t.fires[ind].Inc()
+	t.fires[id].Inc()
 	t.recorder.Record(telemetry.FireEvent{
-		Group:      ps.pid,
-		OpIndex:    opIdx,
-		Path:       path,
-		Indicator:  ind.String(),
-		Points:     pts,
-		ScoreAfter: ps.score,
-		Union:      ps.unionFired,
+		Group:       ps.pid,
+		OpIndex:     opIdx,
+		Path:        path,
+		Indicator:   t.indicatorName(id),
+		IndicatorID: int(id),
+		Points:      pts,
+		ScoreAfter:  ps.score,
+		Union:       ps.unionFired,
 	})
 }
 
-// unionFired records the one-time union bonus; proc-shard lock held.
-func (t *engineTelemetry) unionFired(ps *procState, pts float64, opIdx int64) {
+// accelerated records the policy's one-time acceleration bonus under its
+// own label ("union-bonus" for the default union policy); proc-shard lock
+// held.
+func (t *engineTelemetry) accelerated(ps *procState, label string, pts float64, opIdx int64) {
 	if t == nil {
 		return
 	}
@@ -98,7 +123,7 @@ func (t *engineTelemetry) unionFired(ps *procState, pts float64, opIdx int64) {
 	t.recorder.Record(telemetry.FireEvent{
 		Group:      ps.pid,
 		OpIndex:    opIdx,
-		Indicator:  "union-bonus",
+		Indicator:  label,
 		Points:     pts,
 		ScoreAfter: ps.score,
 		Union:      true,

@@ -34,20 +34,26 @@ type AblationResult struct {
 
 // ablationVariants returns the design-choice ablations from DESIGN.md:
 // union indication, each primary indicator, and the entropy weighting.
+// Indicator ablations are registry subtraction — the engine variant simply
+// runs with a smaller registry, and the measurement layer stops extracting
+// whatever features the removed units were the only consumers of.
 func ablationVariants() []struct {
 	name string
 	opts []cryptodrop.Option
 } {
+	without := func(inds ...cryptodrop.Indicator) cryptodrop.Option {
+		return cryptodrop.WithIndicators(cryptodrop.DefaultIndicators().Without(inds...))
+	}
 	return []struct {
 		name string
 		opts []cryptodrop.Option
 	}{
 		{"full engine", nil},
 		{"no union indication", []cryptodrop.Option{cryptodrop.WithUnionDisabled()}},
-		{"no type-change indicator", []cryptodrop.Option{cryptodrop.WithDisabledIndicators(cryptodrop.IndicatorTypeChange)}},
-		{"no similarity indicator", []cryptodrop.Option{cryptodrop.WithDisabledIndicators(cryptodrop.IndicatorSimilarity)}},
-		{"no entropy-delta indicator", []cryptodrop.Option{cryptodrop.WithDisabledIndicators(cryptodrop.IndicatorEntropyDelta)}},
-		{"no secondary indicators", []cryptodrop.Option{cryptodrop.WithDisabledIndicators(cryptodrop.IndicatorDeletion, cryptodrop.IndicatorFunneling)}},
+		{"no type-change indicator", []cryptodrop.Option{without(cryptodrop.IndicatorTypeChange)}},
+		{"no similarity indicator", []cryptodrop.Option{without(cryptodrop.IndicatorSimilarity)}},
+		{"no entropy-delta indicator", []cryptodrop.Option{without(cryptodrop.IndicatorEntropyDelta)}},
+		{"no secondary indicators", []cryptodrop.Option{without(cryptodrop.IndicatorDeletion, cryptodrop.IndicatorFunneling)}},
 		{"unweighted entropy mean", []cryptodrop.Option{cryptodrop.WithUnweightedEntropy()}},
 	}
 }

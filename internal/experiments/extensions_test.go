@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"testing"
+
+	"cryptodrop"
+	"cryptodrop/internal/corpus"
+	"cryptodrop/internal/ransomware"
+)
+
+// extSpec is a reduced corpus for the config-extension end-to-end tests.
+var extSpec = corpus.Spec{Seed: 77, Files: 150, Dirs: 15, SizeScale: 0.25}
+
+// onePerClass returns the first representative roster sample of each
+// behavioural class. The two deliberately defective specimens
+// (BrokenDelete: "created new files but did not successfully remove the
+// original files") are skipped — they never modify, rename or delete an
+// in-tree file, so they are not representative of their class's disposal
+// behaviour.
+func onePerClass(t *testing.T) map[ransomware.Class]ransomware.Sample {
+	t.Helper()
+	out := make(map[ransomware.Class]ransomware.Sample, 3)
+	for _, s := range ransomware.Roster(extSpec.Seed) {
+		if s.Profile.BrokenDelete {
+			continue
+		}
+		if _, ok := out[s.Profile.Class]; !ok {
+			out[s.Profile.Class] = s
+		}
+		if len(out) == 3 {
+			break
+		}
+	}
+	return out
+}
+
+// TestHoneyfileIndicatorPerClass proves the indicator seam end to end: an
+// engine whose registry holds ONLY the honeyfile unit — no content, payload,
+// sniff or creator measurement at all — still detects one sample of every
+// behavioural class purely from decoy touches. Class A hits a decoy by
+// rewriting it, Class B by renaming it out of the tree, Class C by
+// disposing of the original (delete or move-over).
+func TestHoneyfileIndicatorPerClass(t *testing.T) {
+	r, err := NewRunner(extSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant decoys bracketing the lexicographic walk into the pristine
+	// corpus, so every clone ships them.
+	decoys := []string{
+		r.Manifest().Root + "/!accounts_backup.txt",
+		r.Manifest().Root + "/zz_tax_archive.txt",
+	}
+	for _, p := range decoys {
+		if err := r.base.WriteFile(0, p, []byte("ledger archive: savings AB-2231 1180.22\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	honeyOnly := cryptodrop.DefaultIndicators().
+		Without(cryptodrop.IndicatorTypeChange, cryptodrop.IndicatorSimilarity,
+			cryptodrop.IndicatorEntropyDelta, cryptodrop.IndicatorDeletion, cryptodrop.IndicatorFunneling).
+		With(cryptodrop.NewHoneyfileIndicator(decoys...))
+	r.opts = []cryptodrop.Option{cryptodrop.WithIndicators(honeyOnly)}
+
+	for class, s := range onePerClass(t) {
+		out, err := r.RunSample(s)
+		if err != nil {
+			t.Fatalf("%v (%s): %v", class, s.ID, err)
+		}
+		if !out.Detected {
+			t.Errorf("%v (%s): honeyfile-only engine did not detect", class, s.ID)
+			continue
+		}
+		if out.Report.IndicatorPoints[cryptodrop.IndicatorHoneyfile] <= 0 {
+			t.Errorf("%v (%s): detection not attributed to the honeyfile indicator: %v",
+				class, s.ID, out.Report.IndicatorPoints)
+		}
+	}
+}
+
+// TestMajorityPolicyPerClass proves the policy seam end to end: swapping
+// the paper's union policy for majority voting still detects one sample of
+// every class, with the quorum acceleration latched.
+func TestMajorityPolicyPerClass(t *testing.T) {
+	r, err := NewRunner(extSpec, cryptodrop.WithPolicy(&cryptodrop.MajorityPolicy{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for class, s := range onePerClass(t) {
+		out, err := r.RunSample(s)
+		if err != nil {
+			t.Fatalf("%v (%s): %v", class, s.ID, err)
+		}
+		if !out.Detected {
+			t.Errorf("%v (%s): majority-voting policy did not detect", class, s.ID)
+			continue
+		}
+		if !out.Union {
+			t.Errorf("%v (%s): majority quorum never latched acceleration", class, s.ID)
+		}
+	}
+}
+
+// TestExtensionsLeaveDefaultPathUntouched pins the acceptance criterion for
+// the opt-in extensions: constructing them changes nothing for an engine
+// that does not opt in — the default run of a sample is bit-identical with
+// and without the extension code in the binary.
+func TestExtensionsLeaveDefaultPathUntouched(t *testing.T) {
+	sample := onePerClass(t)[ransomware.ClassA]
+
+	rDefault, err := NewRunner(extSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outDefault, err := rDefault.RunSample(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Explicitly passing the default registry must be a no-op too.
+	rExplicit, err := NewRunner(extSpec, cryptodrop.WithIndicators(cryptodrop.DefaultIndicators()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outExplicit, err := rExplicit.RunSample(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outDefault.Score != outExplicit.Score || outDefault.Detected != outExplicit.Detected ||
+		outDefault.FilesLost != outExplicit.FilesLost {
+		t.Fatalf("explicit default registry diverged: %+v vs %+v", outDefault, outExplicit)
+	}
+}

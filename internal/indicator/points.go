@@ -1,0 +1,48 @@
+package indicator
+
+// Points assigns the per-award score values (the paper's Table ~§IV
+// calibration). An indicator's fields here are written by its unit's
+// DefaultPoints declaration; UnionBonus belongs to the policy layer (the
+// default union policy's acceleration bonus) and is filled in by the engine
+// configuration, not by any unit.
+type Points struct {
+	// TypeChange is awarded when a rewrite changes a file's magic type.
+	TypeChange float64
+	// Similarity is awarded when rewritten content shares nothing with the
+	// previous version's similarity digest.
+	Similarity float64
+	// EntropyDeltaFile is awarded when a rewrite raises the file's entropy
+	// past the configured threshold.
+	EntropyDeltaFile float64
+	// EntropyDeltaOp is awarded per write while the process's write stream
+	// runs higher-entropy than its read stream.
+	EntropyDeltaOp float64
+	// Deletion is awarded when a process deletes a file it did not create.
+	Deletion float64
+	// DeletionOwn is awarded when a process deletes its own file.
+	DeletionOwn float64
+	// NewCipherFile is awarded when a brand-new file is untyped high-entropy
+	// data.
+	NewCipherFile float64
+	// Funneling is awarded once when a process reads many distinct types but
+	// writes few.
+	Funneling float64
+	// UnionBonus is added by the default policy when all primary indicators
+	// have fired.
+	UnionBonus float64
+	// Honeyfile is awarded per touch of a planted decoy file (opt-in unit).
+	Honeyfile float64
+}
+
+// DefaultPoints returns the point table assembled from the built-in units'
+// declarations. UnionBonus is zero here — it is a policy-layer value the
+// engine configuration supplies (core.DefaultPoints composes both).
+func DefaultPoints() Points {
+	var p Points
+	for _, d := range builtins() {
+		if d.DefaultPoints != nil {
+			d.DefaultPoints(&p)
+		}
+	}
+	return p
+}

@@ -1,0 +1,47 @@
+package livewatch
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// honeyfileNames are the standard decoy file names PlantHoneyfiles writes.
+// The names are chosen to bracket an alphabetical directory walk — most
+// ransomware enumerates lexicographically, so a decoy sorting first is
+// touched within the first few operations of an attack — while looking like
+// ordinary user documents rather than tripwires.
+var honeyfileNames = []string{
+	"!account_backup.txt",
+	"passwords_old.txt",
+	"zz_tax_archive.csv",
+}
+
+// honeyfileContent is plausible document filler: typed, low-entropy text so
+// a decoy is indistinguishable from user data to a walking attacker.
+const honeyfileContent = "Account ledger (archived copy)\n" +
+	"last reviewed: see folder timestamp\n\n" +
+	"item,reference,balance\n" +
+	"savings,AB-2231,1180.22\n" +
+	"checking,AB-2232,412.07\n"
+
+// PlantHoneyfiles writes the standard decoy set into dir and returns the
+// absolute decoy paths, ready to guard with indicator.NewHoneyfile. The
+// decoys are ordinary files on the real filesystem; plant them before
+// priming a watcher so the engine tracks them like any other document. Any
+// decoy that already exists is left untouched (its path is still returned),
+// so replanting over a watched tree is idempotent.
+func PlantHoneyfiles(dir string) ([]string, error) {
+	paths := make([]string, 0, len(honeyfileNames))
+	for _, name := range honeyfileNames {
+		p := filepath.Join(dir, name)
+		if _, err := os.Stat(p); err == nil {
+			paths = append(paths, p)
+			continue
+		}
+		if err := os.WriteFile(p, []byte(honeyfileContent), 0o644); err != nil {
+			return nil, err
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
+}

@@ -22,6 +22,10 @@ type FireEvent struct {
 	Path string `json:"path,omitempty"`
 	// Indicator names the indicator that fired.
 	Indicator string `json:"indicator"`
+	// IndicatorID is the registry ID of the indicator that fired; 0 for
+	// policy-level entries (e.g. the union bonus), which have no registry
+	// identity.
+	IndicatorID int `json:"indicatorId,omitempty"`
 	// Points is the score contribution of this firing.
 	Points float64 `json:"points"`
 	// ScoreAfter is the group's reputation score after the award.
