@@ -26,6 +26,7 @@ import (
 	"os"
 	"runtime"
 
+	"cryptodrop"
 	"cryptodrop/internal/benign"
 	"cryptodrop/internal/corpus"
 	"cryptodrop/internal/experiments"
@@ -51,6 +52,35 @@ type config struct {
 	quick   bool
 	workers int
 	jsonOut string
+	// Measurement-optimisation knobs (DESIGN.md "Measurement tiers and
+	// memoization"); applied to the roster-driven experiments (table1,
+	// fig3, fig4, fig5, fig6, union, paper).
+	cacheMB     int
+	tier        string
+	sampleKB    int
+	incremental bool
+}
+
+// monitorOpts translates the measurement-optimisation flags into monitor
+// options for the experiment runners. A positive -measure-cache-mb builds
+// one cache shared by every monitor in the run (the fleet-dedup
+// configuration; the cache is safe for concurrent engines).
+func (cfg config) monitorOpts() ([]cryptodrop.Option, error) {
+	var opts []cryptodrop.Option
+	if cfg.cacheMB > 0 {
+		opts = append(opts, cryptodrop.WithMeasureCache(cryptodrop.NewMeasureCache(int64(cfg.cacheMB)<<20)))
+	}
+	switch cfg.tier {
+	case "", "full":
+	case "sampled":
+		opts = append(opts, cryptodrop.WithSampledTier(cfg.sampleKB<<10))
+	default:
+		return nil, fmt.Errorf("unknown tier %q (want full or sampled)", cfg.tier)
+	}
+	if cfg.incremental {
+		opts = append(opts, cryptodrop.WithIncrementalEntropy())
+	}
+	return opts, nil
 }
 
 func run(args []string) error {
@@ -67,6 +97,10 @@ func run(args []string) error {
 	fs.BoolVar(&cfg.quick, "quick", false, "reduced scale (800 files, 80 dirs, 1 sample per family/class)")
 	fs.IntVar(&cfg.workers, "workers", runtime.NumCPU(), "parallel sample workers")
 	fs.StringVar(&cfg.jsonOut, "json", "", "also export roster outcomes as JSON to this file")
+	fs.IntVar(&cfg.cacheMB, "measure-cache-mb", 0, "measurement memo cache shared across the run's monitors, in MiB (0 = off)")
+	fs.StringVar(&cfg.tier, "tier", "full", "measurement tier: full, or sampled for the two-tier ladder")
+	fs.IntVar(&cfg.sampleKB, "sample-kb", 0, "sampled-tier header sample size in KiB (0 = default 8)")
+	fs.BoolVar(&cfg.incremental, "incremental", false, "maintain incremental per-file entropy histograms")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -130,7 +164,11 @@ func buildRoster(cfg config) []ransomware.Sample {
 
 // runRoster executes the roster with optional progress output.
 func runRoster(cfg config, spec corpus.Spec, roster []ransomware.Sample) ([]experiments.SampleOutcome, error) {
-	r, err := experiments.NewRunner(spec)
+	opts, err := cfg.monitorOpts()
+	if err != nil {
+		return nil, err
+	}
+	r, err := experiments.NewRunner(spec, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -216,7 +254,11 @@ func expFig3(cfg config, spec corpus.Spec, roster []ransomware.Sample) error {
 }
 
 func expFig4(cfg config, spec corpus.Spec, roster []ransomware.Sample) error {
-	r, err := experiments.NewRunner(spec)
+	opts, err := cfg.monitorOpts()
+	if err != nil {
+		return err
+	}
+	r, err := experiments.NewRunner(spec, opts...)
 	if err != nil {
 		return err
 	}
@@ -279,7 +321,11 @@ func expFig5(cfg config, spec corpus.Spec, roster []ransomware.Sample) error {
 }
 
 func expFig6(cfg config, spec corpus.Spec, roster []ransomware.Sample) error {
-	r, err := experiments.NewRunner(spec)
+	opts, err := cfg.monitorOpts()
+	if err != nil {
+		return err
+	}
+	r, err := experiments.NewRunner(spec, opts...)
 	if err != nil {
 		return err
 	}

@@ -48,6 +48,7 @@ import (
 	"cryptodrop/internal/filter"
 	"cryptodrop/internal/host"
 	"cryptodrop/internal/indicator"
+	"cryptodrop/internal/measurecache"
 	"cryptodrop/internal/policy"
 	"cryptodrop/internal/proc"
 	"cryptodrop/internal/telemetry"
@@ -92,7 +93,35 @@ type (
 	EventFlag = core.EventFlag
 	// ContentSource supplies file content by stable file ID.
 	ContentSource = core.ContentSource
+	// RangeReader is the optional ContentSource capability for serving byte
+	// ranges; the sampled measurement tier and incremental entropy use it to
+	// read only the bytes they need.
+	RangeReader = core.RangeReader
+	// MeasureCache is a bounded content-hash measurement memo cache,
+	// shareable across engines and host sessions. Create with
+	// NewMeasureCache.
+	MeasureCache = measurecache.Cache
+	// MeasureCacheStats is a point-in-time snapshot of a MeasureCache's
+	// hit/miss/eviction counters and occupancy.
+	MeasureCacheStats = measurecache.Stats
+	// MeasureTier selects the measurement ladder tier an engine scores on:
+	// TierFull (default) or TierSampled.
+	MeasureTier = core.MeasureTier
 )
+
+// The measurement ladder tiers. TierSampled is the cheap tier: header-area
+// sampling with per-process escalation to TierFull on the first indicator
+// firing.
+const (
+	TierFull    = core.TierFull
+	TierSampled = core.TierSampled
+)
+
+// NewMeasureCache returns a measurement memo cache bounded to roughly
+// maxBytes of cached state. Hand it to WithMeasureCache,
+// EngineConfig.MeasureCache or HostConfig.MeasureCache; one cache may be
+// shared by any number of engines and sessions.
+func NewMeasureCache(maxBytes int64) *MeasureCache { return measurecache.New(maxBytes) }
 
 // Re-exported indicator-pipeline types: the registry of pluggable indicator
 // units the engine scores with, and the detection policy that fuses awards
@@ -296,6 +325,37 @@ func WithMeasureWorkers(n int) Option {
 // machine, for use with WithMeasureWorkers.
 func DefaultMeasureWorkers() int { return core.DefaultWorkers() }
 
+// WithMeasureCache memoizes file measurements in c: content already measured
+// anywhere sharing the cache is resolved by hash lookup instead of re-running
+// the digest and entropy kernels. Detections, scores and traces are
+// bit-identical with and without the cache. Create c with NewMeasureCache;
+// the same cache may back many monitors and host sessions at once.
+func WithMeasureCache(c *MeasureCache) Option {
+	return func(o *options) { o.cfg.MeasureCache = c }
+}
+
+// WithSampledTier puts the engine on the cheap tier of the two-tier
+// measurement ladder: file measurements read only the leading sampleBytes of
+// content (zero means the default sample size) and score on sampled entropy,
+// magic type and a prefix digest, until a process's first indicator firing
+// escalates that process to full measurement. Benign bulk traffic pays a
+// fraction of the read and kernel cost; suspicious processes converge to
+// full-fidelity scoring.
+func WithSampledTier(sampleBytes int) Option {
+	return func(o *options) {
+		o.cfg.Tier = core.TierSampled
+		o.cfg.SampleBytes = sampleBytes
+	}
+}
+
+// WithIncrementalEntropy maintains per-file byte histograms folded forward
+// by each write, so re-measuring a mutated file reuses the maintained counts
+// instead of rescanning the whole content. Entropy values — and therefore
+// all verdicts — are bit-identical to the full rescan.
+func WithIncrementalEntropy() Option {
+	return func(o *options) { o.cfg.IncrementalEntropy = true }
+}
+
 // WithDetectionHandler registers a callback invoked once per detection,
 // after the process family has been suspended.
 func WithDetectionHandler(fn func(Detection)) Option {
@@ -390,7 +450,7 @@ func NewMonitor(fsys *vfs.FS, procs *proc.Table, opts ...Option) (*Monitor, erro
 	if o.familyScoring {
 		o.cfg.FamilyOf = procs.RootOf
 	}
-	m.hst = host.New(host.Config{Telemetry: o.cfg.Telemetry})
+	m.hst = host.New(host.Config{Telemetry: o.cfg.Telemetry, MeasureCache: o.cfg.MeasureCache})
 	sess, err := m.hst.Open(MonitorSessionID, host.SessionConfig{
 		Engine: o.cfg,
 		Source: vfsadapter.Source(fsys),

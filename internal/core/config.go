@@ -26,6 +26,8 @@ import (
 	"runtime"
 
 	"cryptodrop/internal/indicator"
+	"cryptodrop/internal/magic"
+	"cryptodrop/internal/measurecache"
 	"cryptodrop/internal/policy"
 	"cryptodrop/internal/telemetry"
 )
@@ -53,6 +55,29 @@ const (
 	// read over types written before funneling is flagged.
 	DefaultFunnelingThreshold = 6
 )
+
+// MeasureTier selects the measurement ladder tier a session scores on.
+type MeasureTier int
+
+const (
+	// TierFull — the default — measures whole files: every transform runs
+	// the full-content kernels (magic sniff, full Shannon, full similarity
+	// digest), the paper's original behaviour.
+	TierFull MeasureTier = iota
+	// TierSampled is the cheap tier of the two-tier scoring ladder: file
+	// measurements read only the leading Config.SampleBytes of content (the
+	// header area, per the Differential Area Analysis observation that most
+	// of the entropy signal lives there) and score on sampled entropy, magic
+	// and a prefix digest. The first indicator that fires for a process
+	// escalates that process to full measurement, so verdicts converge on
+	// anything suspicious while benign bulk traffic pays a fraction of the
+	// read and kernel cost.
+	TierSampled
+)
+
+// DefaultSampleBytes is the cheap tier's header-area sample size. It is
+// comfortably above magic.SniffLen, so sampled type identification is exact.
+const DefaultSampleBytes = 8 << 10
 
 // Points assigns reputation score values to indicator events. Each field's
 // calibrated default is declared by the owning indicator unit
@@ -134,6 +159,29 @@ type Config struct {
 	// digest + entropy + magic sniff) may run concurrently off the event
 	// path; DefaultWorkers sizes it to the machine.
 	Workers int
+	// MeasureCache, if set, memoizes file measurements by content hash:
+	// before running the measurement kernels the engine looks the content up
+	// in the cache, and identical bytes — across files, processes, and every
+	// engine sharing the cache (a host fleet over deduplicated corpora) —
+	// are measured exactly once. Measured states in the cache are immutable
+	// and safe to share. Detections, scores and traces are bit-identical
+	// with and without the cache; only the work performed changes.
+	MeasureCache *measurecache.Cache
+	// Tier selects the measurement ladder tier: TierFull (default) or the
+	// cheap sampled tier with per-process escalation. See MeasureTier.
+	Tier MeasureTier
+	// SampleBytes is the cheap tier's header sample size. Zero means
+	// DefaultSampleBytes; values below magic.SniffLen are raised to it so
+	// sampled type identification stays exact. Ignored under TierFull.
+	SampleBytes int
+	// IncrementalEntropy maintains a per-file byte histogram updated by each
+	// write's replaced range, so a full measurement of a file mutated since
+	// its last measurement reuses the maintained counts (O(256)) instead of
+	// rescanning the whole content. Entropy values are bit-identical to the
+	// full rescan; any mutation the engine cannot attribute exactly
+	// (overlapping in-flight writes, truncations, sparse writes) falls back
+	// to the full scan.
+	IncrementalEntropy bool
 	// FamilyOf, if set, maps an acting PID to its scoring group (typically
 	// the root ancestor of the process family). All processes in a group
 	// share one scoreboard entry, so malware cannot dilute its score by
@@ -158,6 +206,21 @@ type Config struct {
 // DefaultWorkers returns the measurement pool size matched to the machine:
 // one worker per schedulable CPU.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// sampleBytes resolves the effective cheap-tier sample size: the configured
+// value, defaulted and clamped so a sample always covers magic.SniffLen —
+// the prefix Identify inspects — keeping sampled type identification exactly
+// equal to full-content identification.
+func (c *Config) sampleBytes() int {
+	n := c.SampleBytes
+	if n <= 0 {
+		n = DefaultSampleBytes
+	}
+	if n < magic.SniffLen {
+		n = magic.SniffLen
+	}
+	return n
+}
 
 // DefaultConfig returns a Config with the paper's parameters, protecting
 // root.

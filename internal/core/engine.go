@@ -10,6 +10,7 @@ import (
 
 	"cryptodrop/internal/indicator"
 	"cryptodrop/internal/magic"
+	"cryptodrop/internal/measurecache"
 	"cryptodrop/internal/policy"
 )
 
@@ -61,6 +62,12 @@ type Engine struct {
 	// original single-threaded engine).
 	pool *measurePool
 
+	// memo is the content-hash measurement memo cache (Config.MeasureCache,
+	// possibly shared fleet-wide); nil disables memoization.
+	memo *measurecache.Cache
+	// sampleN is the resolved cheap-tier sample size (Config.sampleBytes).
+	sampleN int
+
 	opIndex atomic.Int64
 
 	// payloadBlind marks the FeatPayload feature as unavailable at runtime,
@@ -109,6 +116,8 @@ func New(cfg Config, src ContentSource) *Engine {
 	e.buildHooks()
 	e.procs.init()
 	e.files.init()
+	e.memo = cfg.MeasureCache
+	e.sampleN = cfg.sampleBytes()
 	e.tel = newEngineTelemetry(cfg.Telemetry, cfg.FlightRecorder, reg)
 	if cfg.Workers > 0 {
 		e.pool = newMeasurePool(cfg.Workers, e.tel)
@@ -185,21 +194,29 @@ func (e *Engine) PreEvent(ev Event) {
 	switch ev.Kind {
 	case EvOpen:
 		if ev.Flags&EvWriteIntent != 0 && ev.Size > 0 && e.inRoot(ev.Path) {
-			e.snapshot(ev.FileID)
+			e.snapshot(ev.FileID, e.tierSampled(ev.PID))
 		}
 	case EvWrite:
-		// Fallback for handles opened before the engine attached.
-		if ev.Size > 0 && e.inRoot(ev.Path) {
-			e.snapshotIfMissing(ev.FileID)
+		if e.inRoot(ev.Path) {
+			// Fallback for handles opened before the engine attached.
+			if ev.Size > 0 {
+				e.snapshotIfMissing(ev.FileID, e.tierSampled(ev.PID))
+			}
+			if e.cfg.IncrementalEntropy && len(ev.Data) > 0 {
+				// The ContentSource still observes the pre-write bytes here:
+				// fold the about-to-be-replaced range out of the file's
+				// incremental histogram.
+				e.incrBeginWrite(&ev)
+			}
 		}
 	case EvRename:
 		if ev.ReplacedID != 0 && e.inRoot(ev.NewPath) {
-			e.snapshot(ev.ReplacedID)
+			e.snapshot(ev.ReplacedID, e.tierSampled(ev.PID))
 		}
 		if e.inRoot(ev.Path) && !e.inRoot(ev.NewPath) {
 			// The file is leaving the protected tree (Class B move-out):
 			// capture its state so the return trip can be compared.
-			e.snapshot(ev.FileID)
+			e.snapshot(ev.FileID, e.tierSampled(ev.PID))
 		}
 	}
 }
@@ -224,8 +241,12 @@ func (e *Engine) Handle(ev Event) {
 	// file cache under a lock the reader believes it still holds.
 	var job *measureTask
 	if e.needsContent(&ev) {
+		// The tier decision reads the escalation latch under the lock we
+		// already hold, so a process promoted by its previous operation
+		// measures this one at full fidelity.
+		sampled := e.cfg.Tier == TierSampled && !ps.escalated
 		sh.mu.Unlock()
-		job = e.prepareMeasure(ev.FileID)
+		job = e.prepareMeasure(ev.FileID, sampled)
 		sh.mu.Lock()
 	}
 
@@ -247,6 +268,10 @@ func (e *Engine) Handle(ev Event) {
 		}
 		ps.dirsTouched[path.Dir(ev.Path)] = true
 	case EvOpen:
+		if e.cfg.IncrementalEntropy && ev.Flags&EvTruncate != 0 {
+			// Truncation discards bytes the tracker cannot attribute.
+			e.incrInvalidate(ev.FileID)
+		}
 		ps.dirsTouched[path.Dir(ev.Path)] = true
 	}
 	if det, fire := e.checkDetection(ps, opIdx); fire {
@@ -291,6 +316,9 @@ func (e *Engine) handleRead(ps *procState, ev *Event, opIdx int64) {
 // handleWrite folds a write payload into the entropy tracker and dispatches
 // the per-write hook; proc-shard lock held.
 func (e *Engine) handleWrite(ps *procState, ev *Event, opIdx int64) {
+	if e.cfg.IncrementalEntropy && e.wantContent() && len(ev.Data) > 0 {
+		e.incrApplyWrite(ev)
+	}
 	ps.delta.AddWrite(ev.Data)
 	ps.dirsTouched[path.Dir(ev.Path)] = true
 	ps.touchExt(extOf(ev.Path))
@@ -335,6 +363,9 @@ func (e *Engine) handleDelete(ps *procState, ev *Event, opIdx int64) {
 	e.runHook(indicator.HookDelete, ps, opIdx, ev.Path, measured{ownDelete: own})
 	e.files.drop(ev.FileID)
 	e.files.dropCreator(ev.FileID)
+	if e.cfg.IncrementalEntropy {
+		e.incrDrop(ev.FileID)
+	}
 }
 
 // handleRename links file state across moves. A rename that replaces an
@@ -364,6 +395,9 @@ func (e *Engine) handleRename(ps *procState, ev *Event, job *measureTask, opIdx 
 			e.evaluate(ps, job, ev.FileID, e.files.entry(ev.ReplacedID), opIdx, ev.NewPath)
 		}
 		e.files.drop(ev.ReplacedID)
+		if e.cfg.IncrementalEntropy {
+			e.incrDrop(ev.ReplacedID)
+		}
 		return
 	}
 	if prev := e.files.entry(ev.FileID); prev != nil && job != nil {

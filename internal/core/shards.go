@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"cryptodrop/internal/entropy"
 	"cryptodrop/internal/magic"
 )
 
@@ -71,6 +72,29 @@ type fileShard struct {
 	states map[uint64]*measureTask
 	// creators records which process created each file.
 	creators map[uint64]int
+	// incr tracks incrementally maintained content histograms
+	// (Config.IncrementalEntropy); nil entries never exist — a file either
+	// has a tracker or is absent.
+	incr map[uint64]*incrState
+}
+
+// incrState tracks one file's incrementally maintained byte histogram. hist,
+// when non-nil, reflects the file's byte counts as of the last full
+// measurement plus every write folded through since; gen counts content
+// mutations so an asynchronously computed histogram whose snapshot predates
+// the current generation is rejected at install time. The pend* fields
+// describe the single in-flight write whose replaced range has been folded
+// out (PreEvent) but whose new bytes have not yet been folded in (Handle).
+// Guarded by the owning fileShard's mutex.
+type incrState struct {
+	gen  uint64
+	hist *entropy.Histogram
+	// size is the content length hist reflects.
+	size    int64
+	pendSet bool
+	pendPID int
+	pendOff int64
+	pendLen int
 }
 
 // fileTable is the sharded previous-version file-state cache.
@@ -82,6 +106,7 @@ func (t *fileTable) init() {
 	for i := range t.shards {
 		t.shards[i].states = make(map[uint64]*measureTask)
 		t.shards[i].creators = make(map[uint64]int)
+		t.shards[i].incr = make(map[uint64]*incrState)
 	}
 }
 
@@ -208,15 +233,16 @@ func newMeasurePool(workers int, tel *engineTelemetry) *measurePool {
 	return &measurePool{sem: make(chan struct{}, workers), tel: tel}
 }
 
-// submit schedules measureFile(content) and returns its task handle.
-func (p *measurePool) submit(content []byte) *measureTask {
+// submit schedules fn — the engine's prepared measurement closure — on a
+// worker and returns its task handle.
+func (p *measurePool) submit(fn func() *fileState) *measureTask {
 	t := &measureTask{done: make(chan struct{})}
 	if tl := p.tel; tl != nil && len(p.sem) == cap(p.sem) {
 		tl.poolSaturated.Inc()
 	}
 	p.sem <- struct{}{}
 	go func() {
-		t.st = p.tel.measure(content)
+		t.st = fn()
 		close(t.done)
 		<-p.sem
 	}()

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"time"
-
 	"cryptodrop/internal/indicator"
 	"cryptodrop/internal/telemetry"
 )
@@ -34,6 +32,12 @@ type engineTelemetry struct {
 	lockWait *telemetry.Histogram
 	// poolSaturated counts submissions that found every pool slot busy.
 	poolSaturated *telemetry.Counter
+	// readFails counts ContentSource read failures on the measurement path.
+	// A failed read is not "empty content": it aborts the measurement, and
+	// this counter is what distinguishes the two after the fact.
+	readFails *telemetry.Counter
+	// escalations counts sampled-tier processes promoted to full measurement.
+	escalations *telemetry.Counter
 	// recorder captures per-group indicator firings for post-hoc
 	// explanation of detections.
 	recorder *telemetry.FlightRecorder
@@ -69,6 +73,8 @@ func newEngineTelemetry(reg *telemetry.Registry, fr *telemetry.FlightRecorder, i
 	t.measureLat = reg.Histogram("engine_measure_seconds", telemetry.DefaultLatencyBuckets())
 	t.lockWait = reg.Histogram("engine_proc_shard_lock_wait_seconds", telemetry.DefaultLatencyBuckets())
 	t.poolSaturated = reg.Counter("engine_measure_pool_saturated_total")
+	t.readFails = reg.Counter("engine_content_read_failures_total")
+	t.escalations = reg.Counter("engine_tier_escalations_total")
 	return t
 }
 
@@ -140,15 +146,19 @@ func (t *engineTelemetry) detected(ps *procState) {
 	t.detTransformed.Observe(float64(ps.filesTransformed))
 }
 
-// measure runs the measurement kernel, timing it when telemetry is on. It
-// is the single entry point for both the synchronous path and the pool
-// workers.
-func (t *engineTelemetry) measure(content []byte) *fileState {
-	if t == nil || t.measureLat == nil {
-		return measureFile(content)
+// readFailed counts one ContentSource read failure on the measurement path.
+func (t *engineTelemetry) readFailed() {
+	if t == nil {
+		return
 	}
-	t0 := time.Now()
-	st := measureFile(content)
-	t.measureLat.ObserveDuration(time.Since(t0))
-	return st
+	t.readFails.Inc()
+}
+
+// escalatedTier counts one sampled-tier process promoted to full
+// measurement; proc-shard lock held.
+func (t *engineTelemetry) escalatedTier() {
+	if t == nil {
+		return
+	}
+	t.escalations.Inc()
 }

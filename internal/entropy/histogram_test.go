@@ -1,0 +1,91 @@
+package entropy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestHistogramMatchesShannonBitIdentical pins the incremental kernel's core
+// guarantee: a histogram whose counts match a byte slice yields the exact
+// float64 Shannon returns for that slice — not approximately, bit for bit —
+// because both paths run the identical frequency-form sum.
+func TestHistogramMatchesShannonBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, size := range []int{0, 1, 7, 512, 4096, 100_000} {
+		data := make([]byte, size)
+		rng.Read(data)
+		h := HistogramOf(data)
+		if got, want := h.Entropy(), Shannon(data); got != want {
+			t.Fatalf("size %d: histogram entropy %v != Shannon %v", size, got, want)
+		}
+		if h.Total() != size {
+			t.Fatalf("size %d: total %d", size, h.Total())
+		}
+	}
+}
+
+// TestHistogramIncrementalUpdate replays a sequence of range overwrites two
+// ways — maintaining the histogram incrementally vs rescanning the mutated
+// buffer — and requires bit-identical entropy after every step.
+func TestHistogramIncrementalUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	file := make([]byte, 32<<10)
+	rng.Read(file)
+	h := HistogramOf(file)
+	for step := 0; step < 200; step++ {
+		off := rng.Intn(len(file))
+		n := rng.Intn(len(file)-off) + 1
+		patch := make([]byte, n)
+		rng.Read(patch)
+
+		h.Sub(file[off : off+n])
+		copy(file[off:], patch)
+		h.Add(patch)
+
+		if got, want := h.Entropy(), Shannon(file); got != want {
+			t.Fatalf("step %d: incremental %v != rescan %v", step, got, want)
+		}
+		if !h.Valid() {
+			t.Fatalf("step %d: histogram invalid", step)
+		}
+	}
+}
+
+// TestHistogramGrowth covers the append case: adding bytes past the tracked
+// size without a matching Sub.
+func TestHistogramGrowth(t *testing.T) {
+	file := []byte("hello")
+	h := HistogramOf(file)
+	file = append(file, " world"...)
+	h.Add([]byte(" world"))
+	if got, want := h.Entropy(), Shannon(file); got != want {
+		t.Fatalf("grown entropy %v != %v", got, want)
+	}
+}
+
+// TestHistogramValidDetectsCorruption pins that subtracting bytes that were
+// never added is observable, so trackers can fall back to a full rescan.
+func TestHistogramValidDetectsCorruption(t *testing.T) {
+	h := HistogramOf([]byte("aaaa"))
+	h.Sub([]byte("bb"))
+	if h.Valid() {
+		t.Fatal("corrupted histogram reported valid")
+	}
+	h.Reset()
+	if !h.Valid() || h.Total() != 0 || h.Entropy() != 0 {
+		t.Fatal("reset did not restore the empty histogram")
+	}
+}
+
+// TestHistogramClone pins that clones are independent.
+func TestHistogramClone(t *testing.T) {
+	h := HistogramOf([]byte("abcabc"))
+	c := h.Clone()
+	c.Add([]byte("zzzz"))
+	if h.Total() != 6 || c.Total() != 10 {
+		t.Fatalf("clone not independent: %d, %d", h.Total(), c.Total())
+	}
+	if got, want := h.Entropy(), Shannon([]byte("abcabc")); got != want {
+		t.Fatalf("original mutated by clone: %v != %v", got, want)
+	}
+}

@@ -103,6 +103,28 @@ func expectStandalone(t *testing.T, spec corpus.Spec, w *hostWorkload) {
 // disabled: it is a deliberate scoring-mode switch, covered by the overload
 // tests in internal/host. Run under -race in CI.
 func TestHostConformance64Sessions(t *testing.T) {
+	hostConformance64(t, nil)
+}
+
+// TestHostConformance64SessionsMemoized repeats the 64-session conformance
+// run with a single host-wide measurement memo cache shared by every
+// session. The standalone expectations are computed WITHOUT a cache, so
+// DeepEqual across scoreboards, detections and flight traces proves
+// memoized and unmemoized measurement produce bit-identical verdicts even
+// when 64 concurrent engines resolve each other's measurements. Run under
+// -race in CI.
+func TestHostConformance64SessionsMemoized(t *testing.T) {
+	cache := cryptodrop.NewMeasureCache(256 << 20)
+	hostConformance64(t, cache)
+	st := cache.Stats()
+	if st.Hits == 0 {
+		t.Fatalf("64 sessions over cycled identical traces hit the shared cache 0 times: %+v", st)
+	}
+	t.Logf("shared cache: %d hits, %d misses, %d evictions, %d entries, %d bytes",
+		st.Hits, st.Misses, st.Evictions, st.Entries, st.Bytes)
+}
+
+func hostConformance64(t *testing.T, cache *cryptodrop.MeasureCache) {
 	if testing.Short() {
 		t.Skip("64 sessions over captured traces")
 	}
@@ -145,7 +167,7 @@ func TestHostConformance64Sessions(t *testing.T) {
 	// degradation off, every engine with its own flight recorder.
 	const sessions = 64
 	const batchSize = 16
-	h := host.New(host.Config{QueueDepth: 4, Telemetry: telemetry.NewRegistry()})
+	h := host.New(host.Config{QueueDepth: 4, Telemetry: telemetry.NewRegistry(), MeasureCache: cache})
 	ctx := context.Background()
 	flights := make([]*telemetry.FlightRecorder, sessions)
 	assigned := make([]*hostWorkload, sessions)

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"testing"
+
+	"cryptodrop"
+)
+
+// TestReducedRosterLadderEnabled reruns the reduced Table I roster with the
+// two-tier measurement ladder and a shared memo cache enabled — the bulk
+// fleet configuration — and quantifies the drift against the full-tier
+// baseline. Every sample must still be detected: the cheap tier defers full
+// measurement, it does not remove any indicator permanently, and the
+// payload-level entropy-delta award escalates a process on its first
+// firing. Files lost may drift upward (escalation costs a few files of
+// latency on header-preserving writers); the drift is bounded here and the
+// measured medians are recorded in EXPERIMENTS.md.
+func TestReducedRosterLadderEnabled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full reduced-roster runs")
+	}
+	roster := reducedRoster(t)
+
+	base, err := NewRunner(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseOut, err := base.RunRoster(roster, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseTbl := BuildTable1(baseOut)
+
+	cache := cryptodrop.NewMeasureCache(128 << 20)
+	ladder, err := NewRunner(testSpec,
+		cryptodrop.WithSampledTier(0),
+		cryptodrop.WithMeasureCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ladderOut, err := ladder.RunRoster(roster, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ladderTbl := BuildTable1(ladderOut)
+
+	if ladderTbl.DetectionRate != 1.0 {
+		t.Errorf("ladder-enabled detection rate = %.2f, want 1.0", ladderTbl.DetectionRate)
+		for _, o := range ladderOut {
+			if !o.Detected {
+				t.Logf("  missed: %s score=%.1f lost=%d points=%v",
+					o.Sample.ID, o.Score, o.FilesLost, o.Report.IndicatorPoints)
+			}
+		}
+	}
+	if st := cache.Stats(); st.Hits == 0 {
+		t.Errorf("roster over one corpus never hit the shared cache: %+v", st)
+	}
+	// The ladder may cost detection latency, never detections. Bound the
+	// drift so a regression that silently blinds the cheap tier fails here.
+	if ladderTbl.OverallMedianFilesLost > baseTbl.OverallMedianFilesLost+8 {
+		t.Errorf("ladder-enabled median files lost %.1f, full-tier %.1f: drift above budget",
+			ladderTbl.OverallMedianFilesLost, baseTbl.OverallMedianFilesLost)
+	}
+	worse := 0
+	for i := range baseOut {
+		if ladderOut[i].FilesLost > baseOut[i].FilesLost {
+			worse++
+		}
+	}
+	t.Logf("full tier:   rate=%.2f medianFL=%.1f maxFL=%d", baseTbl.DetectionRate, baseTbl.OverallMedianFilesLost, baseTbl.MaxFilesLost)
+	t.Logf("ladder:      rate=%.2f medianFL=%.1f maxFL=%d (%d/%d samples lost more files)",
+		ladderTbl.DetectionRate, ladderTbl.OverallMedianFilesLost, ladderTbl.MaxFilesLost, worse, len(baseOut))
+	t.Logf("cache:       %+v", cache.Stats())
+}

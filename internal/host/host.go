@@ -51,6 +51,7 @@ import (
 	"sync"
 	"time"
 
+	"cryptodrop/internal/measurecache"
 	"cryptodrop/internal/telemetry"
 )
 
@@ -88,6 +89,13 @@ type Config struct {
 	// sessions may override it. Zero means DefaultDegradeAfter; negative
 	// disables degradation host-wide.
 	DegradeAfter int
+	// MeasureCache, when set, is the host-wide measurement memo cache:
+	// every session whose SessionConfig.Engine does not name its own cache
+	// inherits this one, so identical content ingested by different tenants
+	// (a fleet over deduplicated corpora) is measured once host-wide. Sharing
+	// never changes verdicts — cached states are immutable and keyed by
+	// content hash plus measurement flavour.
+	MeasureCache *measurecache.Cache
 	// Telemetry, when set, receives the host gauges and counters:
 	//
 	//	host_sessions_open                               gauge
@@ -98,6 +106,12 @@ type Config struct {
 	//	host_session_degraded{session="id"}              gauge (0/1)
 	//	host_session_events_total{session="id"}          counter
 	//	host_session_shed_bytes_total{session="id"}      counter
+	//
+	// With MeasureCache also set, the cache's counters are exported once at
+	// host level (not per session, since the cache is shared):
+	//
+	//	host_measure_cache_hits_total / _misses_total / _evictions_total
+	//	host_measure_cache_entries / _bytes / _capacity_bytes    gauges
 	//
 	// Per-session series are unregistered when their session closes.
 	Telemetry *telemetry.Registry
@@ -128,7 +142,7 @@ func New(cfg Config) *Host {
 	if cfg.DegradeAfter == 0 {
 		cfg.DegradeAfter = DefaultDegradeAfter
 	}
-	return &Host{
+	h := &Host{
 		cfg:           cfg,
 		sessions:      make(map[string]*Session),
 		open:          cfg.Telemetry.Gauge("host_sessions_open"),
@@ -137,6 +151,23 @@ func New(cfg Config) *Host {
 		backpressures: cfg.Telemetry.Counter("host_backpressure_waits_total"),
 		degrades:      cfg.Telemetry.Counter("host_degrades_total"),
 	}
+	registerCacheGauges(cfg.Telemetry, cfg.MeasureCache)
+	return h
+}
+
+// registerCacheGauges exports the shared measurement cache's counters as
+// host-level series; registered once here, never per session, because the
+// cache is shared across every session in the host.
+func registerCacheGauges(reg *telemetry.Registry, c *measurecache.Cache) {
+	if reg == nil || c == nil {
+		return
+	}
+	reg.GaugeFunc("host_measure_cache_hits_total", func() float64 { return float64(c.Stats().Hits) })
+	reg.GaugeFunc("host_measure_cache_misses_total", func() float64 { return float64(c.Stats().Misses) })
+	reg.GaugeFunc("host_measure_cache_evictions_total", func() float64 { return float64(c.Stats().Evictions) })
+	reg.GaugeFunc("host_measure_cache_entries", func() float64 { return float64(c.Stats().Entries) })
+	reg.GaugeFunc("host_measure_cache_bytes", func() float64 { return float64(c.Stats().Bytes) })
+	reg.GaugeFunc("host_measure_cache_capacity_bytes", func() float64 { return float64(c.Stats().Capacity) })
 }
 
 // Open creates, registers and starts the session with the given ID. It

@@ -1,0 +1,277 @@
+// Package measurecache provides a bounded, sharded LRU cache mapping file
+// content to its measured state, shared across the sessions of a detector
+// host. Identical bytes observed by many sessions — shared corpora,
+// deduplicated stores, fleet-wide ransom-note drops — are measured once:
+// the expensive kernels (magic sniff, full-file Shannon, sdhash digest) run
+// on the first sighting and every later sighting is a hash lookup.
+//
+// Entries are keyed by content, not by file identity: two 64-bit hashes
+// (FNV-1a and an XXH64-style mix) over the full content, the content
+// length, and a caller-chosen mode tag. The cache does not retain content
+// for full equality verification — see Key for the collision tradeoff.
+package measurecache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Key identifies cached content. Two different byte strings collide only if
+// they agree on both independent 64-bit hashes AND their length — a
+// probability on the order of 2^-128 per pair, far below any operational
+// concern (the host would need ~2^64 distinct file versions in flight for a
+// birthday collision to become likely). The cache deliberately does not
+// store content for byte-exact verification: doubling resident bytes to
+// guard against a 2^-128 event is the wrong trade for a detection-side
+// cache whose worst collision outcome is one file scored with another
+// file's measurement.
+//
+// Mode partitions the key space by measurement flavour (full vs sampled
+// tiers, prefix lengths), so a sampled-tier measurement can never be served
+// to a full-tier session.
+type Key struct {
+	h1   uint64 // FNV-1a over content
+	h2   uint64 // XXH64-style over content
+	len  int
+	mode uint32
+}
+
+// KeyOf computes the cache key for content under the given mode tag.
+func KeyOf(content []byte, mode uint32) Key {
+	return Key{h1: fnv1a(content), h2: xxh64(content, 0), len: len(content), mode: mode}
+}
+
+// KeyOfSeeded computes the cache key for content with an extra seed folded
+// into the second hash. Callers use it when the hashed bytes alone do not
+// determine the cached value — e.g. a header-sample measurement also depends
+// on the file's full size, which the seed carries into the key.
+func KeyOfSeeded(content []byte, seed uint64, mode uint32) Key {
+	return Key{h1: fnv1a(content), h2: xxh64(content, seed), len: len(content), mode: mode}
+}
+
+// fnv1a is the 64-bit FNV-1a hash.
+func fnv1a(data []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range data {
+		h = (h ^ uint64(b)) * prime64
+	}
+	return h
+}
+
+// XXH64 primes.
+const (
+	prime1 = 11400714785074694791
+	prime2 = 14029467366897019727
+	prime3 = 1609587929392839161
+	prime4 = 9650029242287828579
+	prime5 = 2870177450012600261
+)
+
+func rotl(x uint64, r uint) uint64 { return x<<r | x>>(64-r) }
+
+func round(acc, input uint64) uint64 {
+	acc += input * prime2
+	return rotl(acc, 31) * prime1
+}
+
+func mergeRound(acc, val uint64) uint64 {
+	acc ^= round(0, val)
+	return acc*prime1 + prime4
+}
+
+func u64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func u32(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24
+}
+
+// xxh64 is the XXH64 hash of data with the given seed — the second,
+// independently-mixed 64-bit view of the content. Implemented locally: the
+// container ships no third-party hash package, and the stdlib's 64-bit
+// options (FNV, CRC) are not independent enough of fnv1a's mixing to serve
+// as the second half of a 128-bit composite.
+func xxh64(data []byte, seed uint64) uint64 {
+	n := len(data)
+	var h uint64
+	if n >= 32 {
+		v1 := seed + prime1 + prime2
+		v2 := seed + prime2
+		v3 := seed
+		v4 := seed - prime1
+		for len(data) >= 32 {
+			v1 = round(v1, u64(data[0:8]))
+			v2 = round(v2, u64(data[8:16]))
+			v3 = round(v3, u64(data[16:24]))
+			v4 = round(v4, u64(data[24:32]))
+			data = data[32:]
+		}
+		h = rotl(v1, 1) + rotl(v2, 7) + rotl(v3, 12) + rotl(v4, 18)
+		h = mergeRound(h, v1)
+		h = mergeRound(h, v2)
+		h = mergeRound(h, v3)
+		h = mergeRound(h, v4)
+	} else {
+		h = seed + prime5
+	}
+	h += uint64(n)
+	for len(data) >= 8 {
+		h ^= round(0, u64(data[:8]))
+		h = rotl(h, 27)*prime1 + prime4
+		data = data[8:]
+	}
+	if len(data) >= 4 {
+		h ^= u32(data[:4]) * prime1
+		h = rotl(h, 23)*prime2 + prime3
+		data = data[4:]
+	}
+	for _, b := range data {
+		h ^= uint64(b) * prime5
+		h = rotl(h, 11) * prime1
+	}
+	h ^= h >> 33
+	h *= prime2
+	h ^= h >> 29
+	h *= prime3
+	h ^= h >> 32
+	return h
+}
+
+// shardCount is the number of independently locked cache shards (power of
+// two): concurrent sessions hitting different content never contend.
+const shardCount = 16
+
+type entry struct {
+	key  Key
+	val  any
+	cost int64
+}
+
+type shard struct {
+	mu    sync.Mutex
+	m     map[Key]*list.Element
+	order *list.List // front = least recently used
+	bytes int64
+	max   int64
+}
+
+// Cache is a sharded, byte-bounded LRU. Values are immutable once inserted:
+// callers must never mutate a value after Put or after receiving it from
+// Get, since the same value is shared by every session that hits.
+type Cache struct {
+	shards [shardCount]shard
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	capacity  int64
+}
+
+// New returns a cache bounded to roughly maxBytes of accounted entry cost.
+// The bound is split evenly across shards, so per-shard skew can evict a
+// little early; the cache never exceeds maxBytes. A maxBytes ≤ 0 cache
+// accepts no entries (every Get misses).
+func New(maxBytes int64) *Cache {
+	c := &Cache{capacity: maxBytes}
+	per := maxBytes / shardCount
+	for i := range c.shards {
+		c.shards[i].m = make(map[Key]*list.Element)
+		c.shards[i].order = list.New()
+		c.shards[i].max = per
+	}
+	return c
+}
+
+func (c *Cache) shard(k Key) *shard {
+	return &c.shards[k.h2&(shardCount-1)]
+}
+
+// Get returns the cached value for k, refreshing its recency.
+func (c *Cache) Get(k Key) (any, bool) {
+	sh := c.shard(k)
+	var val any
+	sh.mu.Lock()
+	el, ok := sh.m[k]
+	if ok {
+		sh.order.MoveToBack(el)
+		val = el.Value.(*entry).val
+	}
+	sh.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return val, true
+}
+
+// Put inserts val for k, accounting cost bytes against the bound and
+// evicting least-recently-used entries to make room. Entries costing more
+// than a whole shard's budget are not cached. Re-putting an existing key
+// refreshes its value, cost and recency.
+func (c *Cache) Put(k Key, val any, cost int64) {
+	sh := c.shard(k)
+	if cost < 0 || cost > sh.max {
+		return
+	}
+	var evicted uint64
+	sh.mu.Lock()
+	if el, ok := sh.m[k]; ok {
+		en := el.Value.(*entry)
+		sh.bytes += cost - en.cost
+		en.val, en.cost = val, cost
+		sh.order.MoveToBack(el)
+	} else {
+		sh.m[k] = sh.order.PushBack(&entry{key: k, val: val, cost: cost})
+		sh.bytes += cost
+	}
+	for sh.bytes > sh.max {
+		el := sh.order.Front()
+		en := el.Value.(*entry)
+		sh.order.Remove(el)
+		delete(sh.m, en.key)
+		sh.bytes -= en.cost
+		evicted++
+	}
+	sh.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+	}
+}
+
+// Stats is a point-in-time view of the cache's counters and occupancy.
+type Stats struct {
+	// Hits and Misses count Get outcomes; Evictions counts entries pushed
+	// out by the byte bound.
+	Hits, Misses, Evictions uint64
+	// Entries and Bytes are current occupancy; Capacity is the configured
+	// byte bound.
+	Entries  int
+	Bytes    int64
+	Capacity int64
+}
+
+// Stats returns the cache's current statistics.
+func (c *Cache) Stats() Stats {
+	s := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Capacity:  c.capacity,
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Entries += len(sh.m)
+		s.Bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return s
+}

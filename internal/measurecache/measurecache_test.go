@@ -1,0 +1,175 @@
+package measurecache
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestXXH64Vectors pins the local XXH64 implementation against published
+// reference digests (seed 0), covering the short path, the 4/8-byte tail
+// folds, and the ≥32-byte lane loop.
+func TestXXH64Vectors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+	}{
+		{"", 0xEF46DB3751D8E999},
+		{"a", 0xD24EC4F1A98C6E5B},
+		{"abc", 0x44BC2CF5AD770999},
+		{"Nobody inspects the spammish repetition", 0xFBCEA83C8A378BF1},
+	}
+	for _, c := range cases {
+		if got := xxh64([]byte(c.in), 0); got != c.want {
+			t.Errorf("xxh64(%q) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+// TestKeyOfDiscriminates pins that content, length and mode all participate
+// in the key: distinct inputs yield distinct keys.
+func TestKeyOfDiscriminates(t *testing.T) {
+	a := KeyOf([]byte("hello world"), 0)
+	if b := KeyOf([]byte("hello worlc"), 0); a == b {
+		t.Error("distinct content produced equal keys")
+	}
+	if b := KeyOf([]byte("hello world"), 1); a == b {
+		t.Error("distinct mode produced equal keys")
+	}
+	if b := KeyOf([]byte("hello world"), 0); a != b {
+		t.Error("identical input produced different keys")
+	}
+}
+
+func TestGetPut(t *testing.T) {
+	c := New(1 << 20)
+	k := KeyOf([]byte("content"), 0)
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, "v1", 100)
+	v, ok := c.Get(k)
+	if !ok || v.(string) != "v1" {
+		t.Fatalf("got %v %v", v, ok)
+	}
+	c.Put(k, "v2", 200) // re-put refreshes value and cost
+	if v, _ := c.Get(k); v.(string) != "v2" {
+		t.Fatalf("re-put not visible: %v", v)
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 || s.Entries != 1 || s.Bytes != 200 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// TestEvictionByteBound fills one shard past its budget and checks the
+// least-recently-used entries go first while the bound holds.
+func TestEvictionByteBound(t *testing.T) {
+	c := New(16 * 1000) // 1000 bytes per shard
+	sh := &c.shards[0]
+
+	// Build keys that all land in shard 0 so the per-shard bound is what we
+	// exercise.
+	var keys []Key
+	for i := 0; len(keys) < 8; i++ {
+		k := KeyOf([]byte(fmt.Sprintf("content-%d", i)), 0)
+		if c.shard(k) == sh {
+			keys = append(keys, k)
+		}
+	}
+	for i, k := range keys {
+		c.Put(k, i, 300) // 4th insert exceeds 1000 → evictions
+	}
+	if sh.bytes > sh.max {
+		t.Fatalf("shard over budget: %d > %d", sh.bytes, sh.max)
+	}
+	if s := c.Stats(); s.Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+	// Oldest keys evicted first; the most recent insert must survive.
+	if _, ok := c.Get(keys[len(keys)-1]); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+	if _, ok := c.Get(keys[0]); ok {
+		t.Fatal("oldest entry survived over-budget inserts")
+	}
+}
+
+// TestRecencyProtectsHotEntries pins LRU (not FIFO) order: an old entry
+// refreshed by Get outlives a younger untouched one.
+func TestRecencyProtectsHotEntries(t *testing.T) {
+	c := New(16 * 1000)
+	sh := &c.shards[0]
+	var keys []Key
+	for i := 0; len(keys) < 4; i++ {
+		k := KeyOf([]byte(fmt.Sprintf("hot-%d", i)), 0)
+		if c.shard(k) == sh {
+			keys = append(keys, k)
+		}
+	}
+	c.Put(keys[0], 0, 400)
+	c.Put(keys[1], 1, 400)
+	c.Get(keys[0])         // refresh the older entry
+	c.Put(keys[2], 2, 400) // over budget: should evict keys[1], not keys[0]
+	if _, ok := c.Get(keys[0]); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if _, ok := c.Get(keys[1]); ok {
+		t.Fatal("least recently used entry survived")
+	}
+}
+
+func TestOversizedAndZeroCapacity(t *testing.T) {
+	c := New(16 * 100)
+	k := KeyOf([]byte("big"), 0)
+	c.Put(k, "v", 101) // exceeds the 100-byte shard budget
+	if _, ok := c.Get(k); ok {
+		t.Fatal("oversized entry cached")
+	}
+	z := New(0)
+	z.Put(k, "v", 1)
+	if _, ok := z.Get(k); ok {
+		t.Fatal("zero-capacity cache accepted an entry")
+	}
+}
+
+// TestConcurrentAccess hammers the cache from many goroutines under -race.
+func TestConcurrentAccess(t *testing.T) {
+	c := New(1 << 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				k := KeyOf([]byte(fmt.Sprintf("cc-%d", rng.Intn(200))), 0)
+				if rng.Intn(2) == 0 {
+					c.Put(k, i, int64(rng.Intn(512)))
+				} else {
+					c.Get(k)
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Bytes > s.Capacity {
+		t.Fatalf("cache over capacity: %d > %d", s.Bytes, s.Capacity)
+	}
+}
+
+func BenchmarkKeyOf(b *testing.B) {
+	for _, size := range []int{4 << 10, 64 << 10, 1 << 20} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			data := make([]byte, size)
+			rand.New(rand.NewSource(3)).Read(data)
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				KeyOf(data, 0)
+			}
+		})
+	}
+}

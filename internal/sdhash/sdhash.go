@@ -76,6 +76,20 @@ func (d *Digest) FilterCount() int { return len(d.filters) }
 // InputSize returns the length in bytes of the digested input.
 func (d *Digest) InputSize() int { return d.size }
 
+// MemSize estimates the digest's resident size in bytes — the filters plus
+// per-filter bookkeeping — for cache byte accounting. A nil digest costs
+// nothing.
+func (d *Digest) MemSize() int {
+	if d == nil {
+		return 0
+	}
+	n := 48
+	for _, f := range d.filters {
+		n += len(f) + 8
+	}
+	return n
+}
+
 // precedence maps a window's entropy to a selection rank. Both very low
 // entropy (constant runs, padding) and near-maximal entropy (compressed or
 // encrypted regions) rank at zero, so random-looking data generates few

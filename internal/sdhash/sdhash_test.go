@@ -299,3 +299,62 @@ func BenchmarkCompare(b *testing.B) {
 		d1.Compare(d2)
 	}
 }
+
+// TestDigestConcurrentCompare pins that a computed digest is immutable:
+// Compare must be safe to call from many goroutines against the same
+// digests, because the measurement memo cache shares one *Digest across
+// every engine that hits the same content. Run under -race in CI.
+func TestDigestConcurrentCompare(t *testing.T) {
+	doc := genText(1, 64<<10)
+	d1, err := Compute(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Compute(genText(2, 64<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := d1.Compare(d2)
+	self := d1.Compare(d1)
+
+	done := make(chan int, 16)
+	for g := 0; g < 16; g++ {
+		go func() {
+			bad := 0
+			for i := 0; i < 200; i++ {
+				if d1.Compare(d2) != want || d2.Compare(d1) != want || d1.Compare(d1) != self {
+					bad++
+				}
+			}
+			done <- bad
+		}()
+	}
+	for g := 0; g < 16; g++ {
+		if bad := <-done; bad != 0 {
+			t.Fatalf("concurrent Compare produced %d divergent scores", bad)
+		}
+	}
+}
+
+// TestDigestMemSize pins the cache cost accounting: a digest's estimated
+// resident size grows with its filters and is safe on nil.
+func TestDigestMemSize(t *testing.T) {
+	if got := (*Digest)(nil).MemSize(); got != 0 {
+		t.Fatalf("nil digest MemSize = %d, want 0", got)
+	}
+	small, err := Compute(genText(3, 8<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Compute(genText(3, 512<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.MemSize() <= 0 {
+		t.Fatalf("small digest MemSize = %d, want > 0", small.MemSize())
+	}
+	if large.MemSize() <= small.MemSize() {
+		t.Fatalf("512KB digest MemSize %d not larger than 8KB digest %d",
+			large.MemSize(), small.MemSize())
+	}
+}

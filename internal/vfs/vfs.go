@@ -766,6 +766,32 @@ func (fs *FS) ReadFileRawByID(id uint64) ([]byte, error) {
 	return out, nil
 }
 
+// ReadFileRawRangeByID returns the file bytes in [off, off+n) — shorter at
+// end of file, empty when off is at or past it — together with the file's
+// total size, by file ID. Like ReadFileRawByID it bypasses the interceptor,
+// but it materialises only the requested range: the analysis engine's
+// sampled measurements and write-range captures read kilobytes from
+// megabyte files through it.
+func (fs *FS) ReadFileRawRangeByID(id uint64, off, n int64) ([]byte, int64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := findByID(fs.root, id)
+	if f == nil {
+		return nil, 0, fmt.Errorf("file id %d: %w", id, ErrNotExist)
+	}
+	size := int64(len(f.data))
+	if off < 0 || off >= size || n <= 0 {
+		return nil, size, nil
+	}
+	end := off + n
+	if end > size {
+		end = size
+	}
+	out := make([]byte, end-off)
+	copy(out, f.data[off:end])
+	return out, size, nil
+}
+
 func findByID(d *dir, id uint64) *file {
 	for _, n := range d.children {
 		switch t := n.(type) {
