@@ -1,19 +1,27 @@
 // Command cdhost multiplexes several live directory roots through one
 // multi-session detector host: each -dir gets its own detector session
 // (independent engine, bounded ingest queue, overload policy) and the
-// telemetry endpoint exposes per-session gauges.
+// telemetry endpoint exposes per-session gauges, the fleet introspection
+// snapshot (/debug/sessions), and — when tracing is on — the causal span
+// buffer as a Chrome trace (/debug/trace).
 //
 //	cdhost -dir ~/Documents -dir ~/Pictures          # watch two roots
 //	cdhost -selftest                                 # stage three corpora,
 //	                                                 # encrypt one, show that
 //	                                                 # only its session alerts
+//	cdhost -selftest -trace-out /tmp/spans.json \
+//	       -audit-out /tmp/audit.jsonl               # ...and keep the causal
+//	                                                 # trace + audit bundle
 package main
 
 import (
 	"context"
 	"crypto/rand"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -22,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"cryptodrop/internal/audit"
 	"cryptodrop/internal/core"
 	"cryptodrop/internal/corpus"
 	"cryptodrop/internal/host"
@@ -48,29 +57,71 @@ func run(args []string) error {
 	var dirs dirList
 	fs.Var(&dirs, "dir", "directory to watch as one session (repeatable)")
 	var (
-		interval = fs.Duration("interval", time.Second, "poll interval per session")
-		queue    = fs.Int("queue", host.DefaultQueueDepth, "per-session ingest queue depth (batches)")
-		selftest = fs.Bool("selftest", false, "stage three corpora, encrypt one, show per-session verdicts")
-		telAddr  = fs.String("telemetry", "", "serve /metrics, /debug/vars and pprof on this address (e.g. :9090)")
+		interval    = fs.Duration("interval", time.Second, "poll interval per session")
+		queue       = fs.Int("queue", host.DefaultQueueDepth, "per-session ingest queue depth (batches)")
+		selftest    = fs.Bool("selftest", false, "stage three corpora, encrypt one, show per-session verdicts")
+		telAddr     = fs.String("telemetry", "", "serve /metrics, /debug/vars, /debug/sessions and pprof on this address (e.g. :9090)")
+		traceOut    = fs.String("trace-out", "", "record causal pipeline spans and write a Chrome trace-event JSON file at shutdown")
+		traceSample = fs.Int("trace-sample", 1, "record one in N operations when tracing (1 = every operation)")
+		auditOut    = fs.String("audit-out", "", "append one JSONL detection audit bundle per detection to this file")
+		slowMs      = fs.Int("slow-ms", 0, "log ingested ops slower than this many milliseconds to the introspection snapshot (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	reg := telemetry.NewRegistry()
-	if *telAddr != "" {
-		_, bound, err := telemetry.Serve(*telAddr, reg, nil)
+	cfg := watchConfig{
+		interval: *interval,
+		queue:    *queue,
+		reg:      telemetry.NewRegistry(),
+		telAddr:  *telAddr,
+		traceOut: *traceOut,
+		slowOp:   time.Duration(*slowMs) * time.Millisecond,
+	}
+	if *traceOut != "" {
+		cfg.spans = telemetry.NewSpanTracer(telemetry.DefaultSpanCapacity, *traceSample)
+	}
+	if *auditOut != "" {
+		f, err := os.Create(*auditOut)
 		if err != nil {
-			return fmt.Errorf("telemetry: %w", err)
+			return fmt.Errorf("audit-out: %w", err)
 		}
-		fmt.Printf("telemetry: serving /metrics with per-session gauges on http://%s\n", bound)
+		defer f.Close()
+		sink := audit.NewJSONLSink(f)
+		cfg.sink = sink
+		defer func() {
+			fmt.Printf("audit: %d bundle(s) written to %s\n", sink.Emitted(), *auditOut)
+		}()
 	}
 	if *selftest {
-		return runSelftest(*interval, *queue, reg)
+		return runSelftest(cfg)
 	}
 	if len(dirs) == 0 {
 		return fmt.Errorf("pass -dir <directory> (repeatable) or -selftest")
 	}
-	return watch(dirs, *interval, *queue, reg, nil, false)
+	cfg.dirs = dirs
+	return watch(cfg)
+}
+
+// watchConfig carries everything watch needs: the roots, the overload knobs,
+// and the observability surfaces (shared across all sessions).
+type watchConfig struct {
+	dirs     []string
+	interval time.Duration
+	queue    int
+	reg      *telemetry.Registry
+	telAddr  string
+	spans    *telemetry.SpanTracer
+	traceOut string
+	sink     audit.Sink
+	slowOp   time.Duration
+	// attack, if non-nil, runs in the background once watching has started;
+	// exitOnAlert stops at the first alert (both selftest hooks).
+	attack      func() error
+	exitOnAlert bool
+	// onAlert, if non-nil, runs on the first alert before shutdown, with the
+	// live host and the bound telemetry address ("" when not serving) — the
+	// selftest uses it to validate the introspection endpoint against itself.
+	onAlert func(h *host.Host, addr string) error
 }
 
 // sessionID derives a unique, readable session ID for a root.
@@ -92,23 +143,55 @@ type roster struct {
 	sess    *host.Session
 }
 
-// watch multiplexes the given roots through one host until interrupted (or,
-// when exitOnAlert, until the first alert). attack, if non-nil, runs in the
-// background once watching has started.
-func watch(dirs []string, interval time.Duration, queue int, reg *telemetry.Registry, attack func() error, exitOnAlert bool) error {
-	h := host.New(host.Config{QueueDepth: queue, Telemetry: reg})
+// watch multiplexes the configured roots through one host until interrupted
+// (or, when cfg.exitOnAlert, until the first alert).
+func watch(cfg watchConfig) error {
+	h := host.New(host.Config{
+		QueueDepth:      cfg.queue,
+		Telemetry:       cfg.reg,
+		SlowOpThreshold: cfg.slowOp,
+	})
+	if cfg.traceOut != "" {
+		defer dumpSpans(cfg.traceOut, cfg.spans)
+	}
+
+	bound := ""
+	if cfg.telAddr != "" {
+		ln, err := net.Listen("tcp", cfg.telAddr)
+		if err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/", telemetry.Handler(cfg.reg, nil, cfg.spans))
+		mux.Handle("/debug/sessions", h.IntrospectionHandler())
+		srv := &http.Server{Handler: mux}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		bound = ln.Addr().String()
+		fmt.Printf("telemetry: serving /metrics and /debug/sessions on http://%s\n", bound)
+	}
 
 	type alert struct {
 		id  string
 		det core.Detection
 	}
-	alerts := make(chan alert, len(dirs))
+	alerts := make(chan alert, len(cfg.dirs))
 
 	taken := make(map[string]bool)
-	rosters := make([]*roster, 0, len(dirs))
-	for _, dir := range dirs {
+	rosters := make([]*roster, 0, len(cfg.dirs))
+	for _, dir := range cfg.dirs {
 		id := sessionID(dir, taken)
 		ecfg := core.DefaultConfig("")
+		ecfg.SpanTracer = cfg.spans
+		if cfg.sink != nil {
+			ecfg.AuditSink = cfg.sink
+			// Audit bundles reconstruct the causal firing history from the
+			// flight recorder; one per session, with wall-clock stamps so the
+			// bundle can report time-to-detection.
+			fr := telemetry.NewFlightRecorder(telemetry.DefaultFlightCapacity)
+			fr.EnableTimestamps()
+			ecfg.FlightRecorder = fr
+		}
 		ecfg.OnDetection = func(d core.Detection) {
 			select {
 			case alerts <- alert{id: id, det: d}:
@@ -148,7 +231,7 @@ func watch(dirs []string, interval time.Duration, queue int, reg *telemetry.Regi
 		wg.Add(1)
 		go func(r *roster) {
 			defer wg.Done()
-			ticker := time.NewTicker(interval)
+			ticker := time.NewTicker(cfg.interval)
 			defer ticker.Stop()
 			for {
 				select {
@@ -167,15 +250,15 @@ func watch(dirs []string, interval time.Duration, queue int, reg *telemetry.Regi
 		}(r)
 	}
 	defer wg.Wait()
-	fmt.Printf("watching %d sessions (poll every %v). Ctrl-C to stop.\n", len(rosters), interval)
+	fmt.Printf("watching %d sessions (poll every %v). Ctrl-C to stop.\n", len(rosters), cfg.interval)
 
 	interrupt := make(chan os.Signal, 1)
 	signal.Notify(interrupt, os.Interrupt)
 	defer signal.Stop(interrupt)
 
 	attackDone := make(chan error, 1)
-	if attack != nil {
-		go func() { attackDone <- attack() }()
+	if cfg.attack != nil {
+		go func() { attackDone <- cfg.attack() }()
 	}
 
 	status := time.NewTicker(5 * time.Second)
@@ -184,7 +267,13 @@ func watch(dirs []string, interval time.Duration, queue int, reg *telemetry.Regi
 		select {
 		case a := <-alerts:
 			fmt.Printf("\n!! ALERT in session %q: score %.1f (union=%v)\n", a.id, a.det.Score, a.det.Union)
-			if exitOnAlert {
+			if cfg.exitOnAlert {
+				if cfg.onAlert != nil {
+					if err := cfg.onAlert(h, bound); err != nil {
+						cancel()
+						return fmt.Errorf("selftest introspection: %w", err)
+					}
+				}
 				cancel()
 				return shutdown(h, a.id)
 			}
@@ -209,6 +298,21 @@ func watch(dirs []string, interval time.Duration, queue int, reg *telemetry.Regi
 			return shutdown(h, "")
 		}
 	}
+}
+
+// dumpSpans writes the recorded causal spans as a Chrome trace-event file.
+func dumpSpans(path string, spans *telemetry.SpanTracer) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdhost: trace-out:", err)
+		return
+	}
+	defer f.Close()
+	if err := spans.WriteChromeTrace(f); err != nil {
+		fmt.Fprintln(os.Stderr, "cdhost: trace-out:", err)
+		return
+	}
+	fmt.Printf("trace: %d span(s) written to %s (%d dropped)\n", spans.Recorded(), path, spans.Dropped())
 }
 
 // shutdown drains every session and prints the final per-session summary,
@@ -241,8 +345,9 @@ func shutdown(h *host.Host, alertedID string) error {
 }
 
 // runSelftest stages three corpora in temp directories, watches each as its
-// own session, encrypts exactly one and verifies only that session alerts.
-func runSelftest(interval time.Duration, queue int, reg *telemetry.Registry) error {
+// own session, encrypts exactly one and verifies only that session alerts —
+// and, on the way out, that the introspection endpoint sees the whole fleet.
+func runSelftest(cfg watchConfig) error {
 	var dirs []string
 	for i := 0; i < 3; i++ {
 		stage, err := os.MkdirTemp("", fmt.Sprintf("cdhost-selftest-%d-", i))
@@ -276,8 +381,10 @@ func runSelftest(interval time.Duration, queue int, reg *telemetry.Registry) err
 	}
 
 	victim := dirs[1]
-	attack := func() error {
-		time.Sleep(2 * interval) // let the pollers settle
+	cfg.dirs = dirs
+	cfg.exitOnAlert = true
+	cfg.attack = func() error {
+		time.Sleep(2 * cfg.interval) // let the pollers settle
 		fmt.Printf("  (selftest: encrypting %s...)\n", victim)
 		return filepath.WalkDir(victim, func(p string, d os.DirEntry, err error) error {
 			if err != nil || d.IsDir() {
@@ -294,5 +401,41 @@ func runSelftest(interval time.Duration, queue int, reg *telemetry.Registry) err
 			return os.WriteFile(p, enc, 0o644)
 		})
 	}
-	return watch(dirs, interval, queue, reg, attack, true)
+	if cfg.telAddr == "" {
+		// The selftest validates the fleet endpoint against itself, so it
+		// always serves — on an ephemeral loopback port unless told where.
+		cfg.telAddr = "127.0.0.1:0"
+	}
+	cfg.onAlert = func(h *host.Host, addr string) error {
+		return checkIntrospection(h, addr, len(dirs))
+	}
+	return watch(cfg)
+}
+
+// checkIntrospection fetches /debug/sessions from the live endpoint and
+// verifies the snapshot lists every session with its ingest accounting.
+func checkIntrospection(h *host.Host, addr string, want int) error {
+	resp, err := http.Get("http://" + addr + "/debug/sessions")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /debug/sessions: status %d", resp.StatusCode)
+	}
+	var snap host.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return fmt.Errorf("parse /debug/sessions: %w", err)
+	}
+	if snap.SessionsOpen != want || len(snap.Sessions) != want {
+		return fmt.Errorf("snapshot lists %d sessions (rows: %d), want %d",
+			snap.SessionsOpen, len(snap.Sessions), want)
+	}
+	for _, s := range snap.Sessions {
+		if s.Ingested == 0 {
+			return fmt.Errorf("session %q shows no ingested ops", s.ID)
+		}
+	}
+	fmt.Printf("  (selftest: /debug/sessions lists all %d sessions)\n", want)
+	return nil
 }

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cryptodrop/internal/audit"
+)
+
+// TestSelftestObservabilityOutputs drives the full selftest — three staged
+// corpora, one encrypted, fleet endpoint self-checked — with every
+// observability surface armed, then validates the artifacts: the Chrome
+// trace parses and holds spans, and the detection's audit bundle parses with
+// per-indicator contributions summing to the detection score.
+func TestSelftestObservabilityOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full selftest cycle")
+	}
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "spans.json")
+	auditPath := filepath.Join(dir, "audit.jsonl")
+
+	err := run([]string{
+		"-selftest",
+		"-interval", "50ms",
+		"-slow-ms", "1",
+		"-trace-out", tracePath,
+		"-audit-out", auditPath,
+	})
+	if err != nil {
+		t.Fatalf("selftest: %v", err)
+	}
+
+	// The Chrome trace is valid JSON with complete events from the pipeline.
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+			Cat   string `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &chrome); err != nil {
+		t.Fatalf("trace-out is not valid Chrome trace JSON: %v", err)
+	}
+	cats := make(map[string]int)
+	for _, ev := range chrome.TraceEvents {
+		if ev.Phase == "X" {
+			cats[ev.Cat]++
+		}
+	}
+	if len(chrome.TraceEvents) == 0 || cats["dispatch"] == 0 {
+		t.Fatalf("trace has %d events, dispatch spans %d — want both > 0 (cats: %v)",
+			len(chrome.TraceEvents), cats["dispatch"], cats)
+	}
+
+	// The audit JSONL parses back and explains the detection: contributions
+	// sum to the score, the causal trace is present, files were lost.
+	f, err := os.Open(auditPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	bundles, err := audit.ReadBundles(f)
+	if err != nil {
+		t.Fatalf("audit-out did not parse: %v", err)
+	}
+	if len(bundles) == 0 {
+		t.Fatal("no audit bundle for the selftest detection")
+	}
+	b := bundles[0]
+	sum := 0.0
+	for _, c := range b.Contributions {
+		sum += c.Points
+	}
+	if math.Abs(sum-b.Score) > 1e-9 {
+		t.Fatalf("contributions sum to %g, detection score is %g", sum, b.Score)
+	}
+	if b.SessionID == "" {
+		t.Fatal("bundle carries no session ID")
+	}
+	if b.Registry.Fingerprint == "" {
+		t.Fatal("bundle carries no registry fingerprint")
+	}
+	if len(b.Trace.Events) == 0 {
+		t.Fatal("bundle carries no causal firing history")
+	}
+	if b.TimeToDetectionNs <= 0 {
+		t.Fatalf("time-to-detection %d, want > 0 (timestamps enabled)", b.TimeToDetectionNs)
+	}
+}
+
+func TestRunRequiresDirs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no -dir and no -selftest accepted")
+	}
+}

@@ -45,7 +45,7 @@ func run(args []string) error {
 	var reg *telemetry.Registry
 	if *telAddr != "" {
 		reg = telemetry.NewRegistry()
-		_, bound, err := telemetry.Serve(*telAddr, reg, nil)
+		_, bound, err := telemetry.Serve(*telAddr, reg, nil, nil)
 		if err != nil {
 			return fmt.Errorf("telemetry: %w", err)
 		}

@@ -41,6 +41,7 @@ func run(args []string) error {
 		threshold = fs.Float64("threshold", 0, "override the non-union threshold (0 = default)")
 		noCorpus  = fs.Bool("no-corpus", false, "replay against an empty content store (trace-created files only)")
 		traceOut  = fs.String("trace-out", "", "dump flight-recorder detection traces to this JSON file")
+		spansOut  = fs.String("spans-out", "", "trace every operation's pipeline spans and write a Chrome trace-event JSON file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,6 +88,13 @@ func run(args []string) error {
 		flight = telemetry.NewFlightRecorder(telemetry.DefaultFlightCapacity)
 		cfg.FlightRecorder = flight
 	}
+	var spans *telemetry.SpanTracer
+	if *spansOut != "" {
+		// Offline replay wants the complete picture: sample every operation.
+		spans = telemetry.NewSpanTracer(telemetry.DefaultSpanCapacity, 1)
+		cfg.SpanTracer = spans
+		cfg.SessionID = "replay"
+	}
 	eng := core.New(cfg, replayer)
 
 	res, err := replayer.Replay(eng, records)
@@ -109,7 +117,27 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if spans != nil {
+		if err := dumpSpans(*spansOut, spans); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// dumpSpans writes the recorded pipeline spans as a Chrome trace-event file
+// (load in chrome://tracing or https://ui.perfetto.dev).
+func dumpSpans(path string, spans *telemetry.SpanTracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := spans.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write spans: %w", err)
+	}
+	fmt.Printf("span tracer: %d span(s) written to %s (%d dropped)\n", spans.Recorded(), path, spans.Dropped())
+	return f.Close()
 }
 
 // dumpTraces writes one flight-recorder trace per detected scoring group;

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"math"
 	"os"
 	"path/filepath"
@@ -63,14 +64,45 @@ func TestReplayTraceOutRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Replay through the command with flight-recorder dumping on.
+	// Replay through the command with flight-recorder dumping and full
+	// pipeline span tracing on.
+	spansPath := filepath.Join(dir, "spans.json")
 	args := []string{
 		"-trace", tracePath,
 		"-seed", "7", "-files", "200", "-dirs", "20", "-scale", "0.25",
 		"-trace-out", outPath,
+		"-spans-out", spansPath,
 	}
 	if err := run(args); err != nil {
 		t.Fatalf("cdreplay run: %v", err)
+	}
+
+	// The span dump is a valid Chrome trace with spans from every pipeline
+	// stage the replay exercises: dispatch, awards and policy decisions.
+	rawSpans, err := os.ReadFile(spansPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+			Cat   string `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rawSpans, &chrome); err != nil {
+		t.Fatalf("spans-out is not valid Chrome trace JSON: %v", err)
+	}
+	spanCats := make(map[string]int)
+	for _, ev := range chrome.TraceEvents {
+		if ev.Phase == "X" {
+			spanCats[ev.Cat]++
+		}
+	}
+	for _, cat := range []string{"dispatch", "award", "policy"} {
+		if spanCats[cat] == 0 {
+			t.Fatalf("span dump has no %q spans (cats: %v)", cat, spanCats)
+		}
 	}
 
 	// Round-trip: the dumped JSON parses back into traces.

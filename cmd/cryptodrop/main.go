@@ -86,7 +86,7 @@ func setupTelemetry(addr string) (telemetrySetup, error) {
 		reg: telemetry.NewRegistry(),
 		fr:  telemetry.NewFlightRecorder(telemetry.DefaultFlightCapacity),
 	}
-	_, bound, err := telemetry.Serve(addr, t.reg, t.fr)
+	_, bound, err := telemetry.Serve(addr, t.reg, t.fr, nil)
 	if err != nil {
 		return telemetrySetup{}, fmt.Errorf("telemetry: %w", err)
 	}

@@ -43,6 +43,7 @@ import (
 	"fmt"
 	"sync"
 
+	"cryptodrop/internal/audit"
 	"cryptodrop/internal/core"
 	"cryptodrop/internal/corpus"
 	"cryptodrop/internal/filter"
@@ -107,6 +108,15 @@ type (
 	// MeasureTier selects the measurement ladder tier an engine scores on:
 	// TierFull (default) or TierSampled.
 	MeasureTier = core.MeasureTier
+	// SpanTracer is the sampling causal span tracer behind WithSpanTracer;
+	// create with NewSpanTracer, export with its WriteChromeTrace.
+	SpanTracer = telemetry.SpanTracer
+	// AuditSink receives one AuditBundle per detection (WithAuditSink).
+	AuditSink = audit.Sink
+	// AuditBundle is the self-contained record of one detection: score
+	// composition, causal firing history, touched files, engine and registry
+	// identity, measurement state.
+	AuditBundle = audit.Bundle
 )
 
 // The measurement ladder tiers. TierSampled is the cheap tier: header-area
@@ -122,6 +132,16 @@ const (
 // EngineConfig.MeasureCache or HostConfig.MeasureCache; one cache may be
 // shared by any number of engines and sessions.
 func NewMeasureCache(maxBytes int64) *MeasureCache { return measurecache.New(maxBytes) }
+
+// NewSpanTracer returns a span tracer ringing over capacity spans (zero:
+// telemetry.DefaultSpanCapacity), recording one in sampleEvery sampled
+// operations (values below 1 mean every operation). Hand it to
+// WithSpanTracer or EngineConfig.SpanTracer; one tracer may be shared by
+// many sessions, whose spans then interleave in one timeline under
+// per-session lanes.
+func NewSpanTracer(capacity, sampleEvery int) *SpanTracer {
+	return telemetry.NewSpanTracer(capacity, sampleEvery)
+}
 
 // Re-exported indicator-pipeline types: the registry of pluggable indicator
 // units the engine scores with, and the detection policy that fuses awards
@@ -382,6 +402,25 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 // detection can be explained after the fact (see telemetry.FlightRecorder).
 func WithFlightRecorder(fr *telemetry.FlightRecorder) Option {
 	return func(o *options) { o.cfg.FlightRecorder = fr }
+}
+
+// WithSpanTracer attaches a causal span tracer: sampled operations record
+// their journey through ingest, measurement, hook dispatch, indicator awards
+// and the policy decision as timed spans, exportable as a Chrome trace-event
+// file (see telemetry.SpanTracer). Create one with NewSpanTracer. A nil
+// tracer (the default) disables tracing at the cost of one nil check per
+// operation.
+func WithSpanTracer(tr *SpanTracer) Option {
+	return func(o *options) { o.cfg.SpanTracer = tr }
+}
+
+// WithAuditSink attaches a detection audit sink: every detection emits a
+// self-contained AuditBundle — score composition per indicator, causal
+// firing history, touched files, engine configuration and registry
+// fingerprint, measurement and cache state — through it (see internal/audit;
+// audit.NewJSONLSink writes bundles as JSON Lines).
+func WithAuditSink(sink AuditSink) Option {
+	return func(o *options) { o.cfg.AuditSink = sink }
 }
 
 // Monitor binds the CryptoDrop analysis engine, a filter chain and a

@@ -52,7 +52,33 @@ func BenchmarkEngineParallelPostOpTelemetry(b *testing.B) {
 	benchEngineParallelPostOp(b, true)
 }
 
+// BenchmarkEngineParallelPostOpSpans layers causal span tracing on top of
+// the telemetry workload at two sampling rates. sample=0 is the control: a
+// nil tracer, i.e. tracing compiled in but disabled — the configuration
+// whose overhead vs BenchmarkEngineParallelPostOpTelemetry must stay ≤3%
+// (BENCH_PR7.json). sample=64 is the recommended production rate; sample=1
+// traces every op, the worst case.
+func BenchmarkEngineParallelPostOpSpans(b *testing.B) {
+	for _, rate := range []int{0, 64, 1} {
+		b.Run(fmt.Sprintf("sample=%d", rate), func(b *testing.B) {
+			benchEngineParallelPostOpSpans(b, rate)
+		})
+	}
+}
+
+func benchEngineParallelPostOpSpans(b *testing.B, sampleEvery int) {
+	var tr *telemetry.SpanTracer
+	if sampleEvery > 0 {
+		tr = telemetry.NewSpanTracer(telemetry.DefaultSpanCapacity, sampleEvery)
+	}
+	benchEngineParallelPostOpCfg(b, true, tr)
+}
+
 func benchEngineParallelPostOp(b *testing.B, withTelemetry bool) {
+	benchEngineParallelPostOpCfg(b, withTelemetry, nil)
+}
+
+func benchEngineParallelPostOpCfg(b *testing.B, withTelemetry bool, tr *telemetry.SpanTracer) {
 	const root = "/Users/victim/Documents"
 	const nfiles = 64
 	fs := vfs.New()
@@ -83,6 +109,7 @@ func benchEngineParallelPostOp(b *testing.B, withTelemetry bool) {
 		cfg.Telemetry = telemetry.NewRegistry()
 		cfg.FlightRecorder = telemetry.NewFlightRecorder(telemetry.DefaultFlightCapacity)
 	}
+	cfg.SpanTracer = tr
 	e := New(cfg, testSource{fs})
 	var pidCtr atomic.Int64
 	b.SetBytes(int64(len(doc)))

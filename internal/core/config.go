@@ -25,6 +25,7 @@ package core
 import (
 	"runtime"
 
+	"cryptodrop/internal/audit"
 	"cryptodrop/internal/indicator"
 	"cryptodrop/internal/magic"
 	"cryptodrop/internal/measurecache"
@@ -201,6 +202,24 @@ type Config struct {
 	// FlightRecorder, if set, captures the ordered per-group sequence of
 	// indicator firings so every Detection can be explained after the fact.
 	FlightRecorder *telemetry.FlightRecorder
+	// SpanTracer, if set, samples causal spans across the pipeline: one
+	// Sample() decision per operation covers the operation's hook dispatch,
+	// indicator awards and policy decision, and measurements sample
+	// independently (they may run on pool workers long after the operation
+	// that queued them). Nil (the default) disables tracing; the event path
+	// then pays a single nil-check branch and scoring output is
+	// bit-identical.
+	SpanTracer *telemetry.SpanTracer
+	// AuditSink, if set, receives one self-contained audit bundle per
+	// detection — per-indicator score provenance, touched/lost files,
+	// config and registry fingerprint, measurement stats — emitted outside
+	// all engine locks, right after OnDetection. Nil disables audit
+	// assembly entirely.
+	AuditSink audit.Sink
+	// SessionID labels spans and audit bundles with the owning pipeline
+	// instance (the host stamps its session ID here). Empty means "engine".
+	// It never affects scoring.
+	SessionID string
 }
 
 // DefaultWorkers returns the measurement pool size matched to the machine:

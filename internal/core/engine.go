@@ -12,6 +12,7 @@ import (
 	"cryptodrop/internal/magic"
 	"cryptodrop/internal/measurecache"
 	"cryptodrop/internal/policy"
+	"cryptodrop/internal/telemetry"
 )
 
 // Engine is the CryptoDrop analysis engine: the measurement layer of the
@@ -82,6 +83,15 @@ type Engine struct {
 	// in which case every instrumented path costs one branch.
 	tel *engineTelemetry
 
+	// spans is the causal span tracer (Config.SpanTracer); nil disables
+	// tracing at the cost of one branch per operation. lane labels this
+	// engine's spans and audit bundles (Config.SessionID, or "engine").
+	spans *telemetry.SpanTracer
+	lane  string
+	// indNames resolves indicator IDs to their declared names for span and
+	// audit attribution, independent of whether metrics are enabled.
+	indNames map[indicator.ID]string
+
 	detMu      sync.Mutex
 	detections []Detection
 }
@@ -119,6 +129,16 @@ func New(cfg Config, src ContentSource) *Engine {
 	e.memo = cfg.MeasureCache
 	e.sampleN = cfg.sampleBytes()
 	e.tel = newEngineTelemetry(cfg.Telemetry, cfg.FlightRecorder, reg)
+	e.spans = cfg.SpanTracer
+	e.lane = cfg.SessionID
+	if e.lane == "" {
+		e.lane = "engine"
+	}
+	e.indNames = make(map[indicator.ID]string, reg.Len())
+	for _, u := range reg.Units() {
+		e.indNames[u.Decl().ID] = u.Decl().Name
+	}
+	registerObsSeries(cfg.Telemetry, cfg.SpanTracer)
 	if cfg.Workers > 0 {
 		e.pool = newMeasurePool(cfg.Workers, e.tel)
 		registerPoolGauges(cfg.Telemetry, e.pool)
@@ -229,7 +249,16 @@ func (e *Engine) Handle(ev Event) {
 	if !relevant {
 		return
 	}
+	// One sampling decision covers the whole operation: the op span plus
+	// the award/policy sub-spans recorded under ps.spanOn. Disabled tracing
+	// costs exactly this one nil-check branch.
+	var opStart time.Time
+	traced := e.spans.Sample()
+	if traced {
+		opStart = time.Now()
+	}
 	ps, sh := e.lockProc(ev.PID)
+	ps.spanOn = traced
 	// Fold in any measurement results completed since the process's last
 	// operation, in submission order, before scoring the new operation.
 	dets := e.drainPending(ps)
@@ -277,18 +306,41 @@ func (e *Engine) Handle(ev Event) {
 	if det, fire := e.checkDetection(ps, opIdx); fire {
 		dets = append(dets, det)
 	}
+	ps.spanOn = false
 	sh.mu.Unlock()
+	if traced {
+		e.spans.Record(telemetry.Span{
+			Name: "op " + ev.Kind.String(), Cat: "dispatch", Lane: e.lane,
+			Group: ps.pid, OpIndex: opIdx, Path: ev.Path,
+		}, opStart, time.Since(opStart))
+	}
 	e.dispatch(dets)
 }
 
-// dispatch invokes the detection callback for each fired detection, in
-// order, outside all engine locks.
-func (e *Engine) dispatch(dets []Detection) {
-	if e.cfg.OnDetection == nil {
+// firedDetection couples a Detection with the flagged group's bookkeeping
+// captured under the shard lock at the moment of detection — the inputs
+// the audit bundle needs that the public Detection does not carry.
+type firedDetection struct {
+	det       Detection
+	filesLost int
+	deletes   int
+	escalated bool
+}
+
+// dispatch invokes the detection callback and emits the audit bundle for
+// each fired detection, in order, outside all engine locks.
+func (e *Engine) dispatch(dets []firedDetection) {
+	if len(dets) == 0 {
 		return
 	}
-	for _, d := range dets {
-		e.cfg.OnDetection(d)
+	for _, fd := range dets {
+		if e.cfg.OnDetection != nil {
+			e.cfg.OnDetection(fd.det)
+		}
+		if e.cfg.AuditSink != nil {
+			e.cfg.AuditSink.Emit(e.buildAuditBundle(fd))
+			e.tel.auditEmitted()
+		}
 	}
 }
 
@@ -461,11 +513,11 @@ func (e *Engine) applyPending(ps *procState, p pendingApply) {
 // submission order, re-checking detection against each evaluation's own
 // operation index; proc-shard lock held. Fired detections are returned for
 // dispatch outside the lock.
-func (e *Engine) drainPending(ps *procState) []Detection {
+func (e *Engine) drainPending(ps *procState) []firedDetection {
 	if len(ps.pending) == 0 {
 		return nil
 	}
-	var dets []Detection
+	var dets []firedDetection
 	for _, p := range ps.pending {
 		e.applyPending(ps, p)
 		if det, fire := e.checkDetection(ps, p.opIdx); fire {
@@ -480,7 +532,7 @@ func (e *Engine) drainPending(ps *procState) []Detection {
 // dispatching any detections that fire. It returns once the scoreboard
 // reflects all operations observed so far.
 func (e *Engine) Flush() {
-	var dets []Detection
+	var dets []firedDetection
 	for i := range e.procs.shards {
 		sh := &e.procs.shards[i]
 		sh.mu.Lock()
@@ -515,7 +567,7 @@ func (e *Engine) Report(pid int) (ProcessReport, bool) {
 // Reports returns snapshots for every scored process, ordered by PID.
 func (e *Engine) Reports() []ProcessReport {
 	var out []ProcessReport
-	var dets []Detection
+	var dets []firedDetection
 	for i := range e.procs.shards {
 		sh := &e.procs.shards[i]
 		sh.mu.Lock()

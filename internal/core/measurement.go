@@ -8,6 +8,7 @@ import (
 	"cryptodrop/internal/magic"
 	"cryptodrop/internal/measurecache"
 	"cryptodrop/internal/sdhash"
+	"cryptodrop/internal/telemetry"
 )
 
 // This file is the content side of the measurement layer: reading a file's
@@ -111,12 +112,40 @@ type measureSpec struct {
 	installGen uint64
 }
 
+// spanDetail names the measurement flavour for a causal span: the ladder
+// tier, the entropy source and whether the result feeds the memo cache.
+func (sp *measureSpec) spanDetail() string {
+	d := "tier=full"
+	if sp.sampled {
+		d = "tier=sampled"
+	}
+	if sp.haveEntropy {
+		d += " entropy=incremental"
+	} else {
+		d += " entropy=scan"
+	}
+	if sp.useMemo {
+		d += " memo=store"
+	}
+	return d
+}
+
 // runMeasure executes a prepared measurement: on the event path in
 // synchronous mode, on a pool worker otherwise.
 func (e *Engine) runMeasure(sp measureSpec) *fileState {
 	if tl := e.tel; tl != nil {
 		t0 := time.Now()
 		defer func() { tl.measureLat.ObserveDuration(time.Since(t0)) }()
+	}
+	// Measurements sample independently of the operation that queued them:
+	// with a pool they run on worker goroutines, long after Handle returned.
+	if e.spans.Sample() {
+		t0 := time.Now()
+		defer func() {
+			e.spans.Record(telemetry.Span{
+				Name: "measure", Cat: "measure", Lane: e.lane, Detail: sp.spanDetail(),
+			}, t0, time.Since(t0))
+		}()
 	}
 	if sp.sampled {
 		st := measureSampled(sp.content, sp.fullSize)
@@ -196,6 +225,15 @@ func (e *Engine) startMeasure(id uint64, sampled, skipEmpty bool) (*measureTask,
 			sp.memoKey = measurecache.KeyOf(sp.content, e.memoMode(false))
 		}
 		if v, ok := e.memo.Get(sp.memoKey); ok {
+			if e.spans.Sample() {
+				detail := "memo=hit tier=full"
+				if sampled {
+					detail = "memo=hit tier=sampled"
+				}
+				e.spans.Record(telemetry.Span{
+					Name: "measure", Cat: "measure", Lane: e.lane, Detail: detail,
+				}, time.Now(), 0)
+			}
 			return resolvedTask(v.(*fileState)), true
 		}
 		sp.useMemo = true

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"fmt"
 	"math"
+	"time"
 
 	"cryptodrop/internal/indicator"
 	"cryptodrop/internal/policy"
+	"cryptodrop/internal/telemetry"
 )
 
 // This file is the seam between the measurement layer (the engine) and the
@@ -40,8 +43,8 @@ func (e *Engine) buildHooks() {
 // the units: the new content's state, the previous version's state (both
 // nil outside transform scope) and the delete-ownership verdict.
 type measured struct {
-	newState *fileState
-	prev     *fileState
+	newState  *fileState
+	prev      *fileState
 	ownDelete bool
 }
 
@@ -77,6 +80,13 @@ func (e *Engine) award(ps *procState, id indicator.ID, pts float64, opIdx int64,
 		ps.history = append(ps.history, ScorePoint{OpIndex: opIdx, Score: ps.score})
 	}
 	e.tel.fired(ps, id, pts, opIdx, path)
+	if ps.spanOn {
+		e.spans.Record(telemetry.Span{
+			Name: "award " + e.indNames[id], Cat: "award", Lane: e.lane,
+			Group: ps.pid, OpIndex: opIdx, Path: path,
+			Detail: fmt.Sprintf("points=%g score=%g", pts, ps.score),
+		}, time.Now(), 0)
+	}
 	if e.cfg.Tier == TierSampled && !ps.escalated {
 		// The two-tier ladder's promotion rule: the first indicator that
 		// fires for a process escalates it to full measurement, so every
@@ -89,17 +99,25 @@ func (e *Engine) award(ps *procState, id indicator.ID, pts float64, opIdx int64,
 }
 
 // checkDetection asks the policy to judge the process against its effective
-// threshold; proc-shard lock held. The Detection is returned for dispatch
-// outside the lock.
-func (e *Engine) checkDetection(ps *procState, opIdx int64) (Detection, bool) {
+// threshold; proc-shard lock held. The fired detection — the Detection plus
+// the scoreboard facts the audit bundle needs, captured under this lock —
+// is returned for dispatch outside the lock.
+func (e *Engine) checkDetection(ps *procState, opIdx int64) (firedDetection, bool) {
 	if ps.detected {
-		return Detection{}, false
+		return firedDetection{}, false
 	}
 	c := &ps.ctx
 	c.e, c.ps, c.opIdx = e, ps, opIdx
 	threshold, detect := e.pol.Decide(c)
+	if ps.spanOn {
+		e.spans.Record(telemetry.Span{
+			Name: "policy", Cat: "policy", Lane: e.lane,
+			Group: ps.pid, OpIndex: opIdx,
+			Detail: fmt.Sprintf("score=%g threshold=%g detect=%t", ps.score, threshold, detect),
+		}, time.Now(), 0)
+	}
 	if !detect {
-		return Detection{}, false
+		return firedDetection{}, false
 	}
 	ps.detected = true
 	e.tel.detected(ps)
@@ -117,7 +135,12 @@ func (e *Engine) checkDetection(ps *procState, opIdx int64) (Detection, bool) {
 	e.detMu.Lock()
 	e.detections = append(e.detections, det)
 	e.detMu.Unlock()
-	return det, true
+	return firedDetection{
+		det:       det,
+		filesLost: ps.filesTransformed,
+		deletes:   ps.deletes,
+		escalated: ps.escalated,
+	}, true
 }
 
 // evalCtx adapts one scoring step to the indicator- and policy-layer
@@ -229,6 +252,13 @@ func (c *evalCtx) Accelerate(label string, bonus float64) {
 		ps.history = append(ps.history, ScorePoint{OpIndex: c.opIdx, Score: ps.score})
 	}
 	c.e.tel.accelerated(ps, label, bonus, c.opIdx)
+	if ps.spanOn {
+		c.e.spans.Record(telemetry.Span{
+			Name: "award " + label, Cat: "award", Lane: c.e.lane,
+			Group: ps.pid, OpIndex: c.opIdx,
+			Detail: fmt.Sprintf("points=%g score=%g", bonus, ps.score),
+		}, time.Now(), 0)
+	}
 }
 
 // NonUnionThreshold implements policy.Context.

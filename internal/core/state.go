@@ -74,6 +74,10 @@ type procState struct {
 	// pending holds transformation evaluations whose measurement may
 	// still be resolving on the pool, in submission order.
 	pending []pendingApply
+	// spanOn marks the operation currently scoring this process as sampled
+	// for causal tracing: award and policy sub-spans record only while it
+	// is set. Written and read under the owning shard lock.
+	spanOn bool
 	// sniff caches identified types of offset-0 read prefixes.
 	sniff sniffCache
 	// ctx is the scratch evaluation context handed to indicator units and

@@ -38,6 +38,8 @@ type engineTelemetry struct {
 	readFails *telemetry.Counter
 	// escalations counts sampled-tier processes promoted to full measurement.
 	escalations *telemetry.Counter
+	// auditBundles counts detection audit bundles emitted to the sink.
+	auditBundles *telemetry.Counter
 	// recorder captures per-group indicator firings for post-hoc
 	// explanation of detections.
 	recorder *telemetry.FlightRecorder
@@ -75,7 +77,20 @@ func newEngineTelemetry(reg *telemetry.Registry, fr *telemetry.FlightRecorder, i
 	t.poolSaturated = reg.Counter("engine_measure_pool_saturated_total")
 	t.readFails = reg.Counter("engine_content_read_failures_total")
 	t.escalations = reg.Counter("engine_tier_escalations_total")
+	t.auditBundles = reg.Counter("engine_audit_bundles_total")
 	return t
+}
+
+// registerObsSeries exposes the span tracer's recorded/dropped accounting
+// as metric series, so a wrapped ring is visible in exposition instead of
+// silently clipping traces; called once at engine construction when both a
+// registry and a tracer exist.
+func registerObsSeries(reg *telemetry.Registry, tr *telemetry.SpanTracer) {
+	if reg == nil || tr == nil {
+		return
+	}
+	reg.GaugeFunc("engine_spans_recorded_total", func() float64 { return float64(tr.Recorded()) })
+	reg.GaugeFunc("engine_spans_dropped_total", func() float64 { return float64(tr.Dropped()) })
 }
 
 // registerPool exposes the measurement pool's live occupancy; called once
@@ -152,6 +167,14 @@ func (t *engineTelemetry) readFailed() {
 		return
 	}
 	t.readFails.Inc()
+}
+
+// auditEmitted counts one audit bundle handed to the sink.
+func (t *engineTelemetry) auditEmitted() {
+	if t == nil {
+		return
+	}
+	t.auditBundles.Inc()
 }
 
 // escalatedTier counts one sampled-tier process promoted to full

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cryptodrop"
+	"cryptodrop/internal/audit"
+	"cryptodrop/internal/ransomware"
+	"cryptodrop/internal/telemetry"
+)
+
+// TestAuditBundleGoldens runs one scripted sample per ransomware class with
+// an audit sink and a flight recorder attached and pins the emitted bundle,
+// byte for byte, against a checked-in JSONL golden. The bundles are fully
+// deterministic — flight-recorder timestamps stay off, so no wall-clock
+// field is populated — which makes the golden a schema lock: any change to
+// bundle content or encoding shows up as a diff here first.
+//
+// Regenerate with: UPDATE_AUDIT_GOLDEN=1 go test ./internal/experiments -run TestAuditBundleGoldens
+func TestAuditBundleGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full per-class sample runs")
+	}
+	for _, class := range []ransomware.Class{ransomware.ClassA, ransomware.ClassB, ransomware.ClassC} {
+		class := class
+		t.Run("Class"+class.String(), func(t *testing.T) {
+			var sample ransomware.Sample
+			found := false
+			for _, s := range ransomware.Roster(1) {
+				if s.Profile.Class == class {
+					sample, found = s, true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("no class %s sample in roster", class)
+			}
+
+			sink := &audit.MemorySink{}
+			r, err := NewRunner(testSpec, cryptodrop.WithAuditSink(sink))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A flight recorder (timestamps off) enriches the bundle with the
+			// causal firing history while keeping it deterministic.
+			r.SetTelemetry(nil, telemetry.NewFlightRecorder(telemetry.DefaultFlightCapacity))
+			out, err := r.RunSample(sample)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !out.Detected {
+				t.Fatalf("%s not detected, no bundle to pin", sample.ID)
+			}
+
+			bundles := sink.Bundles()
+			if len(bundles) != 1 {
+				t.Fatalf("emitted %d bundles for one detection, want 1", len(bundles))
+			}
+			b := bundles[0]
+
+			// The invariant every bundle carries: per-indicator contributions
+			// sum to the detection score exactly.
+			sum := 0.0
+			for _, c := range b.Contributions {
+				sum += c.Points
+			}
+			if math.Abs(sum-b.Score) > 1e-9 {
+				t.Fatalf("contributions sum to %g, detection score is %g", sum, b.Score)
+			}
+			if math.Abs(b.Score-out.Score) > 1e-9 {
+				t.Fatalf("bundle score %g disagrees with outcome score %g", b.Score, out.Score)
+			}
+			if len(b.Trace.Events) == 0 {
+				t.Fatal("bundle has no causal firing history despite an attached recorder")
+			}
+			if b.TimeToDetectionNs != 0 {
+				t.Fatalf("TimeToDetectionNs = %d with timestamps off — golden would be nondeterministic", b.TimeToDetectionNs)
+			}
+
+			var buf bytes.Buffer
+			jl := audit.NewJSONLSink(&buf)
+			jl.Emit(b)
+			if jl.Err() != nil {
+				t.Fatal(jl.Err())
+			}
+
+			goldenPath := filepath.Join("testdata", "audit_class"+class.String()+".golden.jsonl")
+			if os.Getenv("UPDATE_AUDIT_GOLDEN") != "" {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", goldenPath, buf.Len())
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("%v — run with UPDATE_AUDIT_GOLDEN=1 to generate", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("audit bundle for class %s drifted from golden %s.\ngot:  %s\nwant: %s\nIf the change is intentional, regenerate with UPDATE_AUDIT_GOLDEN=1.",
+					class, goldenPath, strings.TrimSpace(buf.String()), strings.TrimSpace(string(want)))
+			}
+		})
+	}
+}

@@ -49,6 +49,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cryptodrop/internal/measurecache"
@@ -115,6 +116,12 @@ type Config struct {
 	//
 	// Per-session series are unregistered when their session closes.
 	Telemetry *telemetry.Registry
+	// SlowOpThreshold, when positive, arms the host's slow-op log: every
+	// ingested op taking at least this long end-to-end (overlay install,
+	// PreEvent, Handle, evict) is recorded in a bounded ring surfaced by
+	// Snapshot / the introspection endpoint. Zero disables the log — and
+	// with it the per-op clock reads — entirely.
+	SlowOpThreshold time.Duration
 }
 
 // Host owns a set of detector sessions. All methods are safe for concurrent
@@ -132,6 +139,13 @@ type Host struct {
 	closes        *telemetry.Counter
 	backpressures *telemetry.Counter
 	degrades      *telemetry.Counter
+
+	// bpCount / degCount mirror the backpressure and degrade counters in
+	// plain atomics, so the introspection snapshot works without a registry.
+	bpCount  atomic.Int64
+	degCount atomic.Int64
+	// slow is the slow-op log, nil unless Config.SlowOpThreshold is set.
+	slow *slowLog
 }
 
 // New returns an empty host.
@@ -150,6 +164,9 @@ func New(cfg Config) *Host {
 		closes:        cfg.Telemetry.Counter("host_closes_total"),
 		backpressures: cfg.Telemetry.Counter("host_backpressure_waits_total"),
 		degrades:      cfg.Telemetry.Counter("host_degrades_total"),
+	}
+	if cfg.SlowOpThreshold > 0 {
+		h.slow = newSlowLog(cfg.SlowOpThreshold, slowLogCapacity)
 	}
 	registerCacheGauges(cfg.Telemetry, cfg.MeasureCache)
 	return h

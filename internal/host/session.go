@@ -90,6 +90,10 @@ type batch struct {
 	// flushed, when non-nil, marks a barrier: the worker closes it once
 	// every earlier batch has been applied.
 	flushed chan struct{}
+	// enq is the submission time, stamped only when the session has a span
+	// tracer — it feeds the queue-wait span, and staying zero otherwise keeps
+	// the clock read off the untraced ingest path.
+	enq time.Time
 }
 
 // Session is one detector instance inside a Host: a core.Engine, its
@@ -124,6 +128,17 @@ type Session struct {
 	shedBytes  atomic.Int64
 	lastActive atomic.Int64
 
+	// saturations counts submissions (blocking or not) that found the queue
+	// full; detCount and lastDet track the session's detections for the
+	// introspection snapshot.
+	saturations atomic.Int64
+	detCount    atomic.Int64
+	lastDet     atomic.Pointer[LastDetection]
+
+	// spans, when non-nil, is the engine's span tracer; the session adds the
+	// ingest-side queue-wait span to the causal picture the engine records.
+	spans *telemetry.SpanTracer
+
 	// Per-session telemetry handles (nil-safe).
 	events   *telemetry.Counter
 	shed     *telemetry.Counter
@@ -152,6 +167,26 @@ func newSession(h *Host, id string, sc SessionConfig) *Session {
 		// Sessions inherit the host-wide memo cache unless they bring their
 		// own (or the host has none either, leaving memoization off).
 		sc.Engine.MeasureCache = h.cfg.MeasureCache
+	}
+	if sc.Engine.SessionID == "" {
+		// Audit bundles from this engine carry the host's session ID unless
+		// the caller claimed a different one.
+		sc.Engine.SessionID = id
+	}
+	s.spans = sc.Engine.SpanTracer
+	// The introspection snapshot reports each session's last detection; the
+	// wrapper observes and forwards, never filters, so the caller's callback
+	// semantics are untouched.
+	inner := sc.Engine.OnDetection
+	sc.Engine.OnDetection = func(d core.Detection) {
+		s.detCount.Add(1)
+		s.lastDet.Store(&LastDetection{
+			PID: d.PID, Score: d.Score, Union: d.Union,
+			OpIndex: d.OpIndex, AtNs: time.Now().UnixNano(),
+		})
+		if inner != nil {
+			inner(d)
+		}
 	}
 	s.overlay = newOverlaySource(sc.Source)
 	s.eng = core.New(sc.Engine, s.overlay)
@@ -215,6 +250,9 @@ func (s *Session) Submit(ctx context.Context, ops ...Op) error {
 		return fmt.Errorf("host: session %q: %w", s.id, ErrSessionClosed)
 	}
 	b := batch{ops: ops}
+	if s.spans != nil {
+		b.enq = time.Now()
+	}
 	select {
 	case s.queue <- b:
 		s.satStreak.Store(0)
@@ -224,6 +262,7 @@ func (s *Session) Submit(ctx context.Context, ops ...Op) error {
 	// Saturated: count the wait, grow the streak, maybe degrade, then
 	// block until the worker makes room.
 	s.host.backpressures.Inc()
+	s.host.bpCount.Add(1)
 	s.noteSaturation()
 	select {
 	case s.queue <- b:
@@ -248,8 +287,12 @@ func (s *Session) TrySubmit(ops ...Op) error {
 	if s.closed {
 		return fmt.Errorf("host: session %q: %w", s.id, ErrSessionClosed)
 	}
+	b := batch{ops: ops}
+	if s.spans != nil {
+		b.enq = time.Now()
+	}
 	select {
-	case s.queue <- batch{ops: ops}:
+	case s.queue <- b:
 		s.satStreak.Store(0)
 		return nil
 	default:
@@ -274,6 +317,7 @@ func (s *Session) submitDirect(ops []Op) error {
 // noteSaturation records one saturated submission and fires the one-shot
 // degrade transition when the streak crosses the threshold.
 func (s *Session) noteSaturation() {
+	s.saturations.Add(1)
 	if s.degradeAfter < 0 {
 		return
 	}
@@ -287,6 +331,7 @@ func (s *Session) noteSaturation() {
 	// the decision.
 	s.eng.SetPayloadBlind(true)
 	s.host.degrades.Inc()
+	s.host.degCount.Add(1)
 	s.degGauge.Set(1)
 }
 
@@ -373,13 +418,22 @@ func (s *Session) unregisterTelemetry() {
 	}
 }
 
-// worker drains the queue, applying batches in submission order.
+// worker drains the queue, applying batches in submission order. When the
+// session is traced, the time a sampled batch spent enqueued becomes an
+// ingest-lane queue-wait span — the leading edge of the causal picture the
+// engine's dispatch/measure/award spans complete.
 func (s *Session) worker() {
 	defer close(s.done)
 	for b := range s.queue {
 		if b.flushed != nil {
 			close(b.flushed)
 			continue
+		}
+		if !b.enq.IsZero() && s.spans.Sample() {
+			s.spans.Record(telemetry.Span{
+				Name: "queue-wait", Cat: "ingest", Lane: s.id,
+				Detail: fmt.Sprintf("ops=%d depth=%d", len(b.ops), len(s.queue)),
+			}, b.enq, time.Since(b.enq))
 		}
 		s.apply(b.ops)
 	}
@@ -390,29 +444,43 @@ func (s *Session) worker() {
 // after. After degradation it strips read/write payloads, counting every
 // shed byte, before the event reaches the scoreboard.
 func (s *Session) apply(ops []Op) {
+	sl := s.host.slow
 	for i := range ops {
 		op := &ops[i]
-		s.overlay.install(op.Pre)
-		if op.PreEvent != nil {
-			s.eng.PreEvent(*op.PreEvent)
-		} else {
-			s.eng.PreEvent(op.Event)
+		if sl == nil {
+			s.applyOne(op)
+			continue
 		}
-		s.overlay.install(op.Post)
-		if ev := op.Event; ev.Kind != 0 {
-			if s.degraded.Load() && len(ev.Data) > 0 && (ev.Kind == core.EvRead || ev.Kind == core.EvWrite) {
-				n := int64(len(ev.Data))
-				s.shedBytes.Add(n)
-				s.shed.Add(n)
-				ev.Data = nil
-			}
-			s.eng.Handle(ev)
+		t0 := time.Now()
+		s.applyOne(op)
+		if d := time.Since(t0); d >= sl.threshold {
+			sl.note(s.id, op, d, t0)
 		}
-		s.overlay.evict(op.Evict)
 	}
 	s.ingested.Add(int64(len(ops)))
 	s.events.Add(int64(len(ops)))
 	s.lastActive.Store(time.Now().UnixNano())
+}
+
+// applyOne runs a single op through the engine.
+func (s *Session) applyOne(op *Op) {
+	s.overlay.install(op.Pre)
+	if op.PreEvent != nil {
+		s.eng.PreEvent(*op.PreEvent)
+	} else {
+		s.eng.PreEvent(op.Event)
+	}
+	s.overlay.install(op.Post)
+	if ev := op.Event; ev.Kind != 0 {
+		if s.degraded.Load() && len(ev.Data) > 0 && (ev.Kind == core.EvRead || ev.Kind == core.EvWrite) {
+			n := int64(len(ev.Data))
+			s.shedBytes.Add(n)
+			s.shed.Add(n)
+			ev.Data = nil
+		}
+		s.eng.Handle(ev)
+	}
+	s.overlay.evict(op.Evict)
 }
 
 // overlaySource is the session's ContentSource: an ID-keyed overlay of

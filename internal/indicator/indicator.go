@@ -18,7 +18,11 @@
 // the engine; it sees the engine only through the Context interface.
 package indicator
 
-import "sort"
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
 
 // ID identifies one behavioural indicator. IDs order the dispatch of units
 // that share a hook, so scoring is a function of the registry's contents,
@@ -307,6 +311,21 @@ func (r *Registry) IDs() []ID {
 
 // Len returns the number of registered units.
 func (r *Registry) Len() int { return len(r.Units()) }
+
+// Fingerprint returns a stable hash of the registry's canonical
+// declaration set: IDs, names, classes, feature needs, hooks and the
+// once-latch of every unit, in canonical order. Two registries score
+// identically structured pipelines iff their fingerprints match (point
+// values live in the engine config, not the registry), which is what audit
+// bundles record to tie a verdict to the unit set that produced it.
+func (r *Registry) Fingerprint() string {
+	h := fnv.New64a()
+	for _, u := range r.Units() {
+		d := u.Decl()
+		fmt.Fprintf(h, "%d:%s:%d:%d:%v:%t;", d.ID, d.Name, d.Class, d.Features, d.Hooks, d.Once)
+	}
+	return fmt.Sprintf("reg1-%016x", h.Sum64())
+}
 
 // Primaries lists the paper's three primary indicators — the set whose
 // union triggers accelerated detection under the default policy. The list

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"sync/atomic"
+	"time"
 )
 
 // FireEvent is one indicator firing captured by the flight recorder: the
@@ -32,6 +33,11 @@ type FireEvent struct {
 	ScoreAfter float64 `json:"scoreAfter"`
 	// Union reports the group's union-indication state after the award.
 	Union bool `json:"union"`
+	// At is the wall-clock capture time in Unix nanoseconds, stamped only
+	// when the recorder's EnableTimestamps was called. Zero (and omitted)
+	// by default, so recorded traces stay deterministic and byte-comparable
+	// across live and replay runs.
+	At int64 `json:"at,omitempty"`
 }
 
 // FlightRecorder is a lock-free ring buffer of FireEvents. Writers claim a
@@ -40,8 +46,9 @@ type FireEvent struct {
 // when the buffer wraps, the oldest events are overwritten. A nil
 // FlightRecorder drops everything.
 type FlightRecorder struct {
-	slots []atomic.Pointer[FireEvent]
-	pos   atomic.Uint64
+	slots      []atomic.Pointer[FireEvent]
+	pos        atomic.Uint64
+	timestamps atomic.Bool
 }
 
 // DefaultFlightCapacity is the default ring size — comfortably larger than
@@ -58,10 +65,25 @@ func NewFlightRecorder(capacity int) *FlightRecorder {
 	return &FlightRecorder{slots: make([]atomic.Pointer[FireEvent], capacity)}
 }
 
+// EnableTimestamps makes the recorder stamp every subsequent event's At
+// field with the wall-clock capture time. Off by default: timestamps make
+// traces non-deterministic, so the conformance suites (which compare
+// traces structurally) and the golden tests leave them disabled, while
+// audit consumers that want time-to-detection turn them on.
+func (r *FlightRecorder) EnableTimestamps() {
+	if r == nil {
+		return
+	}
+	r.timestamps.Store(true)
+}
+
 // Record captures one event. The event's Seq is assigned by the recorder.
 func (r *FlightRecorder) Record(ev FireEvent) {
 	if r == nil {
 		return
+	}
+	if r.timestamps.Load() {
+		ev.At = time.Now().UnixNano()
 	}
 	seq := r.pos.Add(1)
 	ev.Seq = seq
@@ -84,6 +106,21 @@ func (r *FlightRecorder) Truncated() bool {
 		return false
 	}
 	return r.pos.Load() > uint64(len(r.slots))
+}
+
+// Dropped returns how many events the ring has overwritten. Consumers that
+// treat Events() or a Trace as a complete history must check it: a
+// non-zero count means the oldest firings were silently clipped by the
+// wraparound and any prefix-sum over the remaining events undercounts.
+func (r *FlightRecorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	n := r.pos.Load()
+	if c := uint64(len(r.slots)); n > c {
+		return n - c
+	}
+	return 0
 }
 
 // Events returns every buffered event in capture order. Safe to call while
@@ -114,13 +151,16 @@ type Trace struct {
 	// Truncated reports that the ring wrapped at some point, so the oldest
 	// firings (of any group) may be missing.
 	Truncated bool `json:"truncated,omitempty"`
+	// Dropped is the recorder's overwritten-event count at extraction time
+	// (all groups combined): how much history the wraparound clipped.
+	Dropped uint64 `json:"dropped,omitempty"`
 	// Events are the group's firings in capture order.
 	Events []FireEvent `json:"events"`
 }
 
 // Trace extracts the ordered event history of one scoring group.
 func (r *FlightRecorder) Trace(group int) Trace {
-	t := Trace{Group: group, Truncated: r.Truncated()}
+	t := Trace{Group: group, Truncated: r.Truncated(), Dropped: r.Dropped()}
 	for _, ev := range r.Events() {
 		if ev.Group != group {
 			continue
@@ -136,11 +176,11 @@ func (r *FlightRecorder) Trace(group int) Trace {
 func (r *FlightRecorder) Traces() []Trace {
 	byGroup := make(map[int]*Trace)
 	var groups []int
-	truncated := r.Truncated()
+	truncated, dropped := r.Truncated(), r.Dropped()
 	for _, ev := range r.Events() {
 		t, ok := byGroup[ev.Group]
 		if !ok {
-			t = &Trace{Group: ev.Group, Truncated: truncated}
+			t = &Trace{Group: ev.Group, Truncated: truncated, Dropped: dropped}
 			byGroup[ev.Group] = t
 			groups = append(groups, ev.Group)
 		}

@@ -11,12 +11,14 @@ import (
 //	/metrics       Prometheus text exposition
 //	/debug/vars    expvar-style JSON (metrics + memstats)
 //	/debug/flight  flight-recorder traces as JSON (when fr is non-nil)
+//	/debug/trace   span-tracer buffer as Chrome trace-event JSON (when tr
+//	               is non-nil) — load it into chrome://tracing or Perfetto
 //	/debug/pprof/  the standard Go profiling endpoints
 //
-// fr may be nil (no flight endpoint). The pprof handlers are mounted on the
-// returned mux explicitly, so importing this package does not pollute
-// http.DefaultServeMux.
-func Handler(reg *Registry, fr *FlightRecorder) http.Handler {
+// fr and tr may be nil (the corresponding endpoint is not mounted). The
+// pprof handlers are mounted on the returned mux explicitly, so importing
+// this package does not pollute http.DefaultServeMux.
+func Handler(reg *Registry, fr *FlightRecorder, tr *SpanTracer) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -32,6 +34,12 @@ func Handler(reg *Registry, fr *FlightRecorder) http.Handler {
 			_ = WriteTraces(w, fr.Traces())
 		})
 	}
+	if tr != nil {
+		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_ = tr.WriteChromeTrace(w)
+		})
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -40,15 +48,15 @@ func Handler(reg *Registry, fr *FlightRecorder) http.Handler {
 	return mux
 }
 
-// Serve listens on addr and serves Handler(reg, fr) in a background
+// Serve listens on addr and serves Handler(reg, fr, tr) in a background
 // goroutine. It returns the server (Close to stop) and the bound address —
 // useful with ":0" — or an error if the listener cannot be opened.
-func Serve(addr string, reg *Registry, fr *FlightRecorder) (*http.Server, string, error) {
+func Serve(addr string, reg *Registry, fr *FlightRecorder, tr *SpanTracer) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
-	srv := &http.Server{Handler: Handler(reg, fr)}
+	srv := &http.Server{Handler: Handler(reg, fr, tr)}
 	go func() { _ = srv.Serve(ln) }()
 	return srv, ln.Addr().String(), nil
 }

@@ -1,0 +1,223 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTracerRecordOrder(t *testing.T) {
+	tr := NewSpanTracer(64, 1)
+	base := time.Now()
+	for i := 0; i < 10; i++ {
+		tr.Record(Span{Name: "measure", Cat: "measure"}, base.Add(time.Duration(i)*time.Millisecond), time.Millisecond)
+	}
+	if got := tr.Recorded(); got != 10 {
+		t.Fatalf("Recorded() = %d, want 10", got)
+	}
+	if got := tr.Dropped(); got != 0 {
+		t.Fatalf("Dropped() = %d, want 0", got)
+	}
+	spans := tr.Spans()
+	if len(spans) != 10 {
+		t.Fatalf("Spans() = %d, want 10", len(spans))
+	}
+	for i, sp := range spans {
+		if sp.Seq != uint64(i+1) {
+			t.Fatalf("span %d: seq %d, want %d", i, sp.Seq, i+1)
+		}
+		if sp.Dur != time.Millisecond.Nanoseconds() {
+			t.Fatalf("span %d: dur %d, want 1ms", i, sp.Dur)
+		}
+		if i > 0 && sp.Start <= spans[i-1].Start {
+			t.Fatalf("span %d: start %d not after %d", i, sp.Start, spans[i-1].Start)
+		}
+	}
+}
+
+func TestSpanTracerWraparoundCountsDropped(t *testing.T) {
+	const capacity = 16
+	tr := NewSpanTracer(capacity, 1)
+	const total = 50
+	now := time.Now()
+	for i := 0; i < total; i++ {
+		tr.Record(Span{Name: "op write", Cat: "dispatch"}, now, 0)
+	}
+	if got := tr.Recorded(); got != total {
+		t.Fatalf("Recorded() = %d, want %d", got, total)
+	}
+	if got := tr.Dropped(); got != total-capacity {
+		t.Fatalf("Dropped() = %d, want %d — overwritten spans must be counted", got, total-capacity)
+	}
+	spans := tr.Spans()
+	if len(spans) != capacity {
+		t.Fatalf("Spans() = %d, want ring capacity %d", len(spans), capacity)
+	}
+	// Survivors are exactly the newest `capacity` spans, in order.
+	for i, sp := range spans {
+		if want := uint64(total - capacity + i + 1); sp.Seq != want {
+			t.Fatalf("span %d: seq %d, want %d", i, sp.Seq, want)
+		}
+	}
+}
+
+func TestSpanTracerSamplingRate(t *testing.T) {
+	tr := NewSpanTracer(16, 4)
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		if tr.Sample() {
+			hits++
+		}
+	}
+	if hits != 250 {
+		t.Fatalf("1000 Sample() calls at 1/4 hit %d times, want exactly 250", hits)
+	}
+}
+
+func TestSpanTracerNilSafe(t *testing.T) {
+	var tr *SpanTracer
+	if tr.Sample() {
+		t.Fatal("nil tracer sampled")
+	}
+	tr.Record(Span{Name: "x"}, time.Now(), 0) // must not panic
+	if tr.Recorded() != 0 || tr.Dropped() != 0 || tr.Spans() != nil {
+		t.Fatal("nil tracer not inert")
+	}
+}
+
+func TestSpanTracerConcurrentRecord(t *testing.T) {
+	tr := NewSpanTracer(1024, 1)
+	var wg sync.WaitGroup
+	const workers = 8
+	const perWorker = 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			now := time.Now()
+			for i := 0; i < perWorker; i++ {
+				tr.Record(Span{Name: "measure", Cat: "measure", Group: w}, now, 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Recorded(); got != workers*perWorker {
+		t.Fatalf("Recorded() = %d, want %d", got, workers*perWorker)
+	}
+	spans := tr.Spans()
+	if len(spans) != 1024 {
+		t.Fatalf("Spans() = %d, want 1024 (full ring)", len(spans))
+	}
+	seen := make(map[uint64]bool, len(spans))
+	for _, sp := range spans {
+		if seen[sp.Seq] {
+			t.Fatalf("duplicate seq %d", sp.Seq)
+		}
+		seen[sp.Seq] = true
+	}
+}
+
+func TestWriteChromeTraceFormat(t *testing.T) {
+	tr := NewSpanTracer(16, 1)
+	base := time.Now()
+	tr.Record(Span{Name: "queue-wait", Cat: "ingest", Lane: "docs", Detail: "ops=3"}, base, 2*time.Millisecond)
+	tr.Record(Span{Name: "op write", Cat: "dispatch", Group: 7, OpIndex: 12, Path: "/docs/a.txt"}, base.Add(2*time.Millisecond), time.Millisecond)
+	tr.Record(Span{Name: "policy", Cat: "policy", Group: 7, OpIndex: 12}, base.Add(3*time.Millisecond), 0)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+
+	// Two lanes ("docs" and the default "engine") → two metadata events with
+	// deterministic 1-based pids in sorted lane order.
+	pidFor := make(map[string]int)
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			if ev.Name != "process_name" {
+				t.Fatalf("metadata event named %q", ev.Name)
+			}
+			pidFor[ev.Args["name"].(string)] = ev.Pid
+		}
+	}
+	if pidFor["docs"] != 1 || pidFor["engine"] != 2 {
+		t.Fatalf("lane pids = %v, want docs=1 engine=2 (sorted)", pidFor)
+	}
+
+	var complete []int
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			complete = append(complete, i)
+		}
+	}
+	if len(complete) != 3 {
+		t.Fatalf("complete events = %d, want 3", len(complete))
+	}
+	qw := doc.TraceEvents[complete[0]]
+	if qw.Pid != pidFor["docs"] || qw.Dur != 2000 || qw.Args["detail"] != "ops=3" {
+		t.Fatalf("queue-wait event wrong: %+v", qw)
+	}
+	op := doc.TraceEvents[complete[1]]
+	if op.Pid != pidFor["engine"] || op.Tid != 7 || op.Args["path"] != "/docs/a.txt" {
+		t.Fatalf("dispatch event wrong: %+v", op)
+	}
+	if op.Ts <= qw.Ts {
+		t.Fatalf("timestamps not monotonic: %g then %g", qw.Ts, op.Ts)
+	}
+}
+
+func TestFlightRecorderDroppedCount(t *testing.T) {
+	const capacity = 8
+	fr := NewFlightRecorder(capacity)
+	for i := 0; i < capacity; i++ {
+		fr.Record(FireEvent{Group: 1, Points: 1})
+	}
+	if got := fr.Dropped(); got != 0 {
+		t.Fatalf("Dropped() = %d before wrap, want 0", got)
+	}
+	if tr := fr.Trace(1); tr.Dropped != 0 {
+		t.Fatalf("Trace.Dropped = %d before wrap, want 0", tr.Dropped)
+	}
+	for i := 0; i < 5; i++ {
+		fr.Record(FireEvent{Group: 1, Points: 1})
+	}
+	if got := fr.Dropped(); got != 5 {
+		t.Fatalf("Dropped() = %d after wrapping 5, want 5", got)
+	}
+	if tr := fr.Trace(1); tr.Dropped != 5 || !tr.Truncated {
+		t.Fatalf("Trace = {Dropped: %d, Truncated: %v}, want {5, true}", tr.Dropped, tr.Truncated)
+	}
+}
+
+func TestFlightRecorderTimestampsOptIn(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	fr.Record(FireEvent{Group: 1, Points: 1})
+	if ev := fr.Events()[0]; ev.At != 0 {
+		t.Fatalf("At = %d without EnableTimestamps, want 0 (conformance traces compare bit-exactly)", ev.At)
+	}
+	fr2 := NewFlightRecorder(8)
+	fr2.EnableTimestamps()
+	before := time.Now().UnixNano()
+	fr2.Record(FireEvent{Group: 1, Points: 1})
+	if ev := fr2.Events()[0]; ev.At < before {
+		t.Fatalf("At = %d, want >= %d with timestamps enabled", ev.At, before)
+	}
+}

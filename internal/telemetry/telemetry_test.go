@@ -212,7 +212,17 @@ func TestWritePrometheusGolden(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter(`engine_indicator_fires_total{indicator="similarity"}`).Add(3)
 	reg.Counter(`engine_indicator_fires_total{indicator="type-change"}`).Add(2)
+	reg.Counter("engine_content_read_failures_total").Add(1)
+	reg.Counter("engine_audit_bundles_total").Add(2)
 	reg.Gauge("engine_measure_pool_capacity").Set(4)
+	// The span tracer's accounting series, exactly as the engine registers
+	// them (core.registerObsSeries).
+	tr := NewSpanTracer(4, 1)
+	for i := 0; i < 6; i++ {
+		tr.Record(Span{Name: "measure"}, time.Now(), 0)
+	}
+	reg.GaugeFunc("engine_spans_recorded_total", func() float64 { return float64(tr.Recorded()) })
+	reg.GaugeFunc("engine_spans_dropped_total", func() float64 { return float64(tr.Dropped()) })
 	h := reg.Histogram("demo_seconds", []float64{0.1, 1})
 	h.Observe(0.05)
 	h.Observe(0.5)
@@ -227,11 +237,19 @@ demo_seconds_bucket{le="1"} 2
 demo_seconds_bucket{le="+Inf"} 3
 demo_seconds_sum 5.55
 demo_seconds_count 3
+# TYPE engine_audit_bundles_total counter
+engine_audit_bundles_total 2
+# TYPE engine_content_read_failures_total counter
+engine_content_read_failures_total 1
 # TYPE engine_indicator_fires_total counter
 engine_indicator_fires_total{indicator="similarity"} 3
 engine_indicator_fires_total{indicator="type-change"} 2
 # TYPE engine_measure_pool_capacity gauge
 engine_measure_pool_capacity 4
+# TYPE engine_spans_dropped_total gauge
+engine_spans_dropped_total 2
+# TYPE engine_spans_recorded_total gauge
+engine_spans_recorded_total 6
 `
 	if got := buf.String(); got != want {
 		t.Fatalf("Prometheus text mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
@@ -301,7 +319,9 @@ func TestHTTPEndpoints(t *testing.T) {
 	reg.Counter("hits_total").Inc()
 	fr := NewFlightRecorder(8)
 	fr.Record(FireEvent{Group: 1, Indicator: "deletion", Points: 6})
-	srv, addr, err := Serve("127.0.0.1:0", reg, fr)
+	tr := NewSpanTracer(8, 1)
+	tr.Record(Span{Name: "op write", Cat: "dispatch", Group: 1}, time.Now(), time.Millisecond)
+	srv, addr, err := Serve("127.0.0.1:0", reg, fr, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,6 +362,20 @@ func TestHTTPEndpoints(t *testing.T) {
 	}
 	if len(traces) != 1 || traces[0].TotalPoints != 6 {
 		t.Fatalf("/debug/flight = %+v", traces)
+	}
+	body, ct = get("/debug/trace")
+	var chrome struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &chrome); err != nil {
+		t.Fatalf("/debug/trace not Chrome trace JSON: %v", err)
+	}
+	// One metadata event for the lane plus the recorded span.
+	if len(chrome.TraceEvents) != 2 {
+		t.Fatalf("/debug/trace has %d events, want 2", len(chrome.TraceEvents))
+	}
+	if !strings.Contains(ct, "application/json") {
+		t.Fatalf("/debug/trace content-type = %q", ct)
 	}
 	body, _ = get("/debug/pprof/cmdline")
 	if body == "" {
