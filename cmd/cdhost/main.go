@@ -12,6 +12,15 @@
 //	cdhost -selftest -trace-out /tmp/spans.json \
 //	       -audit-out /tmp/audit.jsonl               # ...and keep the causal
 //	                                                 # trace + audit bundle
+//
+// Sessions become durable with -checkpoint-dir: each session checkpoints its
+// complete scoring state there and write-ahead-logs every ingested op batch,
+// so a crashed host restarted with -restore resumes every session exactly —
+// scoreboards, detection latches and traces included. -selftest-recover
+// demonstrates the full cycle: it ingests two thirds of a deterministic
+// attack durably, abandons the host mid-flight, recovers into a fresh host,
+// finishes the attack, and verifies the outcome is bit-identical to an
+// uninterrupted run.
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"reflect"
 	"sort"
 	"strings"
 	"sync"
@@ -65,17 +75,27 @@ func run(args []string) error {
 		traceSample = fs.Int("trace-sample", 1, "record one in N operations when tracing (1 = every operation)")
 		auditOut    = fs.String("audit-out", "", "append one JSONL detection audit bundle per detection to this file")
 		slowMs      = fs.Int("slow-ms", 0, "log ingested ops slower than this many milliseconds to the introspection snapshot (0 = off)")
+		ckptDir     = fs.String("checkpoint-dir", "", "make sessions durable: checkpoint files and write-ahead logs live here")
+		ckptEvery   = fs.Int("checkpoint-every", 0, "auto-checkpoint a session every N ingested ops (0 = checkpoint only on shutdown)")
+		restore     = fs.Bool("restore", false, "recover session state from -checkpoint-dir on open (checkpoint + WAL-tail replay)")
+		recoverTest = fs.Bool("selftest-recover", false, "run the crash-and-recover selftest: durable ingest, simulated crash, bit-identical recovery")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *restore && *ckptDir == "" {
+		return fmt.Errorf("-restore requires -checkpoint-dir")
+	}
 	cfg := watchConfig{
-		interval: *interval,
-		queue:    *queue,
-		reg:      telemetry.NewRegistry(),
-		telAddr:  *telAddr,
-		traceOut: *traceOut,
-		slowOp:   time.Duration(*slowMs) * time.Millisecond,
+		interval:  *interval,
+		queue:     *queue,
+		reg:       telemetry.NewRegistry(),
+		telAddr:   *telAddr,
+		traceOut:  *traceOut,
+		slowOp:    time.Duration(*slowMs) * time.Millisecond,
+		ckptDir:   *ckptDir,
+		ckptEvery: *ckptEvery,
+		restore:   *restore,
 	}
 	if *traceOut != "" {
 		cfg.spans = telemetry.NewSpanTracer(telemetry.DefaultSpanCapacity, *traceSample)
@@ -91,6 +111,9 @@ func run(args []string) error {
 		defer func() {
 			fmt.Printf("audit: %d bundle(s) written to %s\n", sink.Emitted(), *auditOut)
 		}()
+	}
+	if *recoverTest {
+		return runRecoverSelftest(cfg)
 	}
 	if *selftest {
 		return runSelftest(cfg)
@@ -114,6 +137,10 @@ type watchConfig struct {
 	traceOut string
 	sink     audit.Sink
 	slowOp   time.Duration
+	// Durability knobs (-checkpoint-dir, -checkpoint-every, -restore).
+	ckptDir   string
+	ckptEvery int
+	restore   bool
 	// attack, if non-nil, runs in the background once watching has started;
 	// exitOnAlert stops at the first alert (both selftest hooks).
 	attack      func() error
@@ -150,6 +177,9 @@ func watch(cfg watchConfig) error {
 		QueueDepth:      cfg.queue,
 		Telemetry:       cfg.reg,
 		SlowOpThreshold: cfg.slowOp,
+		CheckpointDir:   cfg.ckptDir,
+		CheckpointEvery: cfg.ckptEvery,
+		Restore:         cfg.restore,
 	})
 	if cfg.traceOut != "" {
 		defer dumpSpans(cfg.traceOut, cfg.spans)
@@ -410,6 +440,152 @@ func runSelftest(cfg watchConfig) error {
 		return checkIntrospection(h, addr, len(dirs))
 	}
 	return watch(cfg)
+}
+
+// recoverCipher is a deterministic high-entropy keystream for file id, so
+// every selftest run replays byte-identical "ciphertext".
+func recoverCipher(id uint64, n int) []byte {
+	s := id*0x9e3779b97f4a7c15 + 0x6a09e667f3bcc909
+	out := make([]byte, n)
+	for i := range out {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		out[i] = byte(s >> 32)
+	}
+	return out
+}
+
+// recoverWorkload builds a deterministic n-file in-place encryption attack
+// as host ops: each op stages the file's low-entropy pre-version for the
+// destructive-open snapshot and its ciphertext for the close-time
+// measurement, which is exactly the stream a feeder would produce.
+func recoverWorkload(pid, n int) []host.Op {
+	const size = 2048
+	ops := make([]host.Op, 0, n)
+	for id := uint64(1); id <= uint64(n); id++ {
+		path := fmt.Sprintf("/docs/doc%03d.txt", id)
+		line := fmt.Sprintf("document %d: plain readable prose with very little entropy.\n", id)
+		plain := []byte(strings.Repeat(line, size/len(line)+1))[:size]
+		ops = append(ops, host.Op{
+			PreEvent: &core.Event{Kind: core.EvOpen, PID: pid, Path: path, FileID: id,
+				Flags: core.EvWriteIntent, Size: int64(len(plain))},
+			Pre:   map[uint64][]byte{id: plain},
+			Event: core.Event{Kind: core.EvClose, PID: pid, Path: path, FileID: id, Wrote: true},
+			Post:  map[uint64][]byte{id: recoverCipher(id, size)},
+		})
+	}
+	return ops
+}
+
+// submitAll feeds ops to a session in fixed-size batches.
+func submitAll(sess *host.Session, ops []host.Op, batch int) error {
+	ctx := context.Background()
+	for len(ops) > 0 {
+		n := min(batch, len(ops))
+		if err := sess.Submit(ctx, ops[:n]...); err != nil {
+			return err
+		}
+		ops = ops[n:]
+	}
+	return nil
+}
+
+// runRecoverSelftest exercises the durable-session cycle end to end with a
+// deterministic synthetic attack (no real filesystem involved): durable
+// ingest of two thirds of an in-place encryption run, a simulated crash —
+// the host is simply abandoned mid-flight, no shutdown of any kind — then
+// recovery into a fresh host from the checkpoint + WAL tail, the rest of
+// the attack, and a bit-identical comparison against an uninterrupted
+// reference run.
+func runRecoverSelftest(cfg watchConfig) error {
+	const pid, files, batch = 4242, 60, 5
+	every := cfg.ckptEvery
+	if every == 0 {
+		every = 16
+	}
+	dir := cfg.ckptDir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "cdhost-recover-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+	}
+	ops := recoverWorkload(pid, files)
+	engCfg := func() core.Config { return core.DefaultConfig("/docs") }
+
+	// Reference: the same attack through a non-durable host, no crash.
+	href := host.New(host.Config{})
+	sref, err := href.Open("victim", host.SessionConfig{Engine: engCfg()})
+	if err != nil {
+		return err
+	}
+	if err := submitAll(sref, ops, batch); err != nil {
+		return err
+	}
+	want, err := href.Close("victim")
+	if err != nil {
+		return err
+	}
+	if len(want.Detections) == 0 {
+		return fmt.Errorf("selftest workload fired no detections; recovery would prove nothing")
+	}
+	fmt.Printf("reference run: %d ops, %d detection(s), final score %.1f\n",
+		want.Ingested, len(want.Detections), want.Detections[0].Score)
+
+	// Phase 1: durable ingest of the first 2/3, then crash.
+	cut := (files * 2 / 3 / batch) * batch
+	h1 := host.New(host.Config{CheckpointDir: dir, CheckpointEvery: every})
+	s1, err := h1.Open("victim", host.SessionConfig{Engine: engCfg()})
+	if err != nil {
+		return err
+	}
+	if err := submitAll(s1, ops[:cut], batch); err != nil {
+		return err
+	}
+	if err := s1.Flush(context.Background()); err != nil {
+		return err
+	}
+	if err := s1.DurabilityErr(); err != nil {
+		return fmt.Errorf("phase 1 durability: %w", err)
+	}
+	fmt.Printf("phase 1: ingested %d/%d ops durably (checkpoint every %d), now crashing the host\n",
+		cut, len(ops), every)
+
+	// Phase 2: recover into a fresh host and finish the attack.
+	h2 := host.New(host.Config{CheckpointDir: dir, CheckpointEvery: every, Restore: true})
+	s2, err := h2.Open("victim", host.SessionConfig{Engine: engCfg()})
+	if err != nil {
+		return fmt.Errorf("restore: %w", err)
+	}
+	if got := s2.Engine().OpIndex(); got != int64(cut) {
+		return fmt.Errorf("restored engine resumed at op %d, want %d", got, cut)
+	}
+	fmt.Printf("phase 2: restored session at op %d, finishing the attack\n", cut)
+	if err := submitAll(s2, ops[cut:], batch); err != nil {
+		return err
+	}
+	got, err := h2.Close("victim")
+	if err != nil {
+		return err
+	}
+	if err := s2.DurabilityErr(); err != nil {
+		return fmt.Errorf("phase 2 durability: %w", err)
+	}
+
+	switch {
+	case !reflect.DeepEqual(got.Reports, want.Reports):
+		return fmt.Errorf("recovered scoreboard diverged from the uninterrupted run")
+	case !reflect.DeepEqual(got.Detections, want.Detections):
+		return fmt.Errorf("recovered detections diverged from the uninterrupted run")
+	case got.Ingested != want.Ingested:
+		return fmt.Errorf("recovered run ingested %d ops, reference %d", got.Ingested, want.Ingested)
+	}
+	fmt.Printf("recovered run is bit-identical to the uninterrupted run: %d ops, %d detection(s), score %.1f\n",
+		got.Ingested, len(got.Detections), got.Detections[0].Score)
+	return nil
 }
 
 // checkIntrospection fetches /debug/sessions from the live endpoint and

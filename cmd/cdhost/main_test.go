@@ -101,3 +101,27 @@ func TestRunRequiresDirs(t *testing.T) {
 		t.Fatal("no -dir and no -selftest accepted")
 	}
 }
+
+// TestRecoverSelftest runs the crash-and-recover selftest end to end: it
+// must complete without error (the selftest itself errors on any divergence
+// between the recovered and uninterrupted runs), both with its built-in
+// defaults and with an explicit checkpoint directory + every-op cadence.
+func TestRecoverSelftest(t *testing.T) {
+	if err := run([]string{"-selftest-recover"}); err != nil {
+		t.Fatalf("recover selftest: %v", err)
+	}
+	dir := t.TempDir()
+	if err := run([]string{"-selftest-recover", "-checkpoint-dir", dir, "-checkpoint-every", "1"}); err != nil {
+		t.Fatalf("recover selftest (every-op): %v", err)
+	}
+	if ckpts, err := filepath.Glob(filepath.Join(dir, "*.ckpt")); err != nil || len(ckpts) == 0 {
+		t.Fatalf("no checkpoint file left in -checkpoint-dir (err=%v)", err)
+	}
+}
+
+// TestRestoreRequiresCheckpointDir pins the flag contract.
+func TestRestoreRequiresCheckpointDir(t *testing.T) {
+	if err := run([]string{"-restore", "-dir", t.TempDir()}); err == nil {
+		t.Fatal("-restore without -checkpoint-dir accepted")
+	}
+}

@@ -1,33 +1,30 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 
 	"cryptodrop/internal/corpus"
 	"cryptodrop/internal/experiments"
 	"cryptodrop/internal/ransomware"
+	"cryptodrop/internal/snapshot"
 	"cryptodrop/internal/telemetry"
 	"cryptodrop/internal/trace"
 )
 
-// TestReplayTraceOutRoundTrip captures an attack trace, replays it through
-// the command with -trace-out, and checks the dumped flight-recorder JSON
-// explains the replayed detection: a detection trace exists, parses back,
-// and its ordered events sum to a score past the paper's union threshold.
-func TestReplayTraceOutRoundTrip(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full capture+replay cycle")
-	}
-	dir := t.TempDir()
+// captureAttackTrace records one detected Class A attack over the Seed-7
+// test corpus into dir and returns the trace path. Every cdreplay test
+// replays against `-seed 7 -files 200 -dirs 20 -scale 0.25`.
+func captureAttackTrace(t *testing.T, dir string) string {
+	t.Helper()
 	tracePath := filepath.Join(dir, "attack.jsonl")
-	outPath := filepath.Join(dir, "flight.json")
-
-	// Capture: run one Class A sample against a small corpus, recording the
-	// operation stream — the same capture path cmd/cryptodrop -trace uses.
 	spec := corpus.Spec{Seed: 7, Files: 200, Dirs: 20, SizeScale: 0.25}
 	var sample ransomware.Sample
 	found := false
@@ -63,16 +60,32 @@ func TestReplayTraceOutRoundTrip(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
+	return tracePath
+}
+
+// replayArgs are the corpus flags matching captureAttackTrace's machine.
+var replayArgs = []string{"-seed", "7", "-files", "200", "-dirs", "20", "-scale", "0.25"}
+
+// TestReplayTraceOutRoundTrip captures an attack trace, replays it through
+// the command with -trace-out, and checks the dumped flight-recorder JSON
+// explains the replayed detection: a detection trace exists, parses back,
+// and its ordered events sum to a score past the paper's union threshold.
+func TestReplayTraceOutRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full capture+replay cycle")
+	}
+	dir := t.TempDir()
+	tracePath := captureAttackTrace(t, dir)
+	outPath := filepath.Join(dir, "flight.json")
 
 	// Replay through the command with flight-recorder dumping and full
 	// pipeline span tracing on.
 	spansPath := filepath.Join(dir, "spans.json")
-	args := []string{
+	args := append([]string{
 		"-trace", tracePath,
-		"-seed", "7", "-files", "200", "-dirs", "20", "-scale", "0.25",
 		"-trace-out", outPath,
 		"-spans-out", spansPath,
-	}
+	}, replayArgs...)
 	if err := run(args); err != nil {
 		t.Fatalf("cdreplay run: %v", err)
 	}
@@ -147,5 +160,70 @@ func TestReplayTraceOutRoundTrip(t *testing.T) {
 func TestReplayRequiresTrace(t *testing.T) {
 	if err := run(nil); err == nil {
 		t.Fatal("missing -trace accepted")
+	}
+}
+
+// TestReplayCheckpointResumeRoundTrip pins the cdreplay resume contract:
+// a checkpointing replay emits resumable checkpoints, and resuming from ANY
+// of them reproduces the straight-through replay's flight-trace dump byte
+// for byte. A resume under drifted tuning flags is refused.
+func TestReplayCheckpointResumeRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full capture+replay cycle")
+	}
+	dir := t.TempDir()
+	tracePath := captureAttackTrace(t, dir)
+
+	// Straight-through reference dump.
+	refOut := filepath.Join(dir, "ref.json")
+	if err := run(append([]string{"-trace", tracePath, "-trace-out", refOut}, replayArgs...)); err != nil {
+		t.Fatalf("reference replay: %v", err)
+	}
+	want, err := os.ReadFile(refOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Checkpointing replay: same verdicts, plus emitted checkpoints.
+	ckDir := filepath.Join(dir, "ck")
+	ckOut := filepath.Join(dir, "ck.json")
+	if err := run(append([]string{"-trace", tracePath, "-trace-out", ckOut,
+		"-checkpoint-dir", ckDir, "-checkpoint-every", "40"}, replayArgs...)); err != nil {
+		t.Fatalf("checkpointing replay: %v", err)
+	}
+	if got, err := os.ReadFile(ckOut); err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("chunked replay dump diverged from straight-through (err=%v)", err)
+	}
+	ckpts, err := filepath.Glob(filepath.Join(ckDir, "ckpt-*.cdck"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ckpts) < 2 {
+		t.Fatalf("only %d checkpoints emitted; the resume loop needs at least 2", len(ckpts))
+	}
+	sort.Strings(ckpts)
+
+	// Resume from every emitted checkpoint (the final one included: a pure
+	// restore with an empty tail) and demand the identical dump.
+	for i, ck := range ckpts {
+		out := filepath.Join(dir, fmt.Sprintf("resume-%d.json", i))
+		if err := run(append([]string{"-trace", tracePath, "-trace-out", out,
+			"-resume", ck}, replayArgs...)); err != nil {
+			t.Fatalf("resume from %s: %v", ck, err)
+		}
+		got, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("resume from %s diverged from the straight-through replay", ck)
+		}
+	}
+
+	// Drifted tuning flags → typed refusal, not silent divergence.
+	err = run(append([]string{"-trace", tracePath, "-threshold", "100",
+		"-resume", ckpts[0]}, replayArgs...))
+	if !errors.Is(err, snapshot.ErrMismatch) {
+		t.Fatalf("drifted resume: got %v, want ErrMismatch", err)
 	}
 }

@@ -30,11 +30,13 @@
 //
 // Failures wrap typed sentinels, so callers dispatch with errors.Is:
 //
-//	ErrSuspended       operation vetoed: the acting process family is suspended pending review
-//	ErrSessionClosed   submit/flush on a host session that was closed or evicted
-//	ErrOverloaded      non-blocking submit found a session's ingest queue full
-//	ErrSessionExists   Host.Open with a session ID already in use
-//	ErrHostClosed      Host.Open after Shutdown
+//	ErrSuspended          operation vetoed: the acting process family is suspended pending review
+//	ErrSessionClosed      submit/flush on a host session that was closed or evicted
+//	ErrOverloaded         non-blocking submit found a session's ingest queue full
+//	ErrSessionExists      Host.Open with a session ID already in use
+//	ErrHostClosed         Host.Open after Shutdown
+//	ErrSnapshotMismatch   restore refused: the snapshot was sealed under a different indicator registry or scoring configuration
+//	ErrSnapshotCorrupt    restore refused: snapshot bytes fail structural or checksum validation
 package cryptodrop
 
 import (
@@ -68,6 +70,16 @@ var (
 	ErrOverloaded    = host.ErrOverloaded
 	ErrSessionExists = host.ErrSessionExists
 	ErrHostClosed    = host.ErrHostClosed
+)
+
+// Sentinel errors of the durability layer (WithCheckpoint,
+// HostConfig.CheckpointDir): a refused restore dispatches on these with
+// errors.Is. A mismatch additionally carries the diverging identity field
+// ("registry" or "config") retrievable via errors.As on
+// *snapshot.MismatchError.
+var (
+	ErrSnapshotMismatch = core.ErrSnapshotMismatch
+	ErrSnapshotCorrupt  = core.ErrSnapshotCorrupt
 )
 
 // Re-exported engine types forming the public API surface.
@@ -251,10 +263,13 @@ const DefaultProtectedRoot = corpus.DefaultRoot
 type Option func(*options)
 
 type options struct {
-	cfg           core.Config
-	onDetection   func(Detection)
-	enforce       bool
-	familyScoring bool
+	cfg             core.Config
+	onDetection     func(Detection)
+	enforce         bool
+	familyScoring   bool
+	checkpointDir   string
+	checkpointEvery int
+	restore         bool
 }
 
 // WithRoot sets the protected documents directory (default
@@ -376,6 +391,37 @@ func WithIncrementalEntropy() Option {
 	return func(o *options) { o.cfg.IncrementalEntropy = true }
 }
 
+// WithCheckpoint makes the monitor's session durable: its complete scoring
+// state — scoreboard, file-state cache, detection latches, flight-recorder
+// trace — checkpoints into dir, recoverable with WithRestore. The monitor
+// drives its engine through the filesystem filter chain, not through
+// Session.Submit, so its durability is checkpoint-granular: state persists
+// on Close and on each Monitor.Checkpoint call (which requires no in-flight
+// filesystem operations, the same quiescence Close has). The write-ahead
+// log and the every interval engage for operations submitted through the
+// session's op-ingest path (Session.Submit), where every ingested op is
+// logged before it is applied and recovery replays the tail — host services
+// feeding Ops get crash-exact recovery, per-op. Durability I/O failures
+// never interrupt scoring; they surface through Session.DurabilityErr and
+// explicit Checkpoint calls.
+func WithCheckpoint(dir string, every int) Option {
+	return func(o *options) {
+		o.checkpointDir = dir
+		o.checkpointEvery = every
+	}
+}
+
+// WithRestore makes NewMonitor recover the session state persisted by a
+// previous WithCheckpoint run: the last checkpoint is restored (after
+// verifying it was sealed under the same indicator registry and scoring
+// configuration — ErrSnapshotMismatch otherwise) and the write-ahead log
+// tail is replayed, reproducing scoreboards, detections and flight traces
+// bit for bit. Without WithRestore the monitor starts fresh, replacing any
+// state a previous run left in the checkpoint directory.
+func WithRestore() Option {
+	return func(o *options) { o.restore = true }
+}
+
 // WithDetectionHandler registers a callback invoked once per detection,
 // after the process family has been suspended.
 func WithDetectionHandler(fn func(Detection)) Option {
@@ -435,9 +481,8 @@ type Monitor struct {
 	hst   *host.Host
 	sess  *host.Session
 
-	mu         sync.Mutex
-	exempt     map[int]bool
-	detections []Detection
+	mu     sync.Mutex
+	exempt map[int]bool
 
 	onDetection func(Detection)
 	enforce     bool
@@ -489,7 +534,13 @@ func NewMonitor(fsys *vfs.FS, procs *proc.Table, opts ...Option) (*Monitor, erro
 	if o.familyScoring {
 		o.cfg.FamilyOf = procs.RootOf
 	}
-	m.hst = host.New(host.Config{Telemetry: o.cfg.Telemetry, MeasureCache: o.cfg.MeasureCache})
+	m.hst = host.New(host.Config{
+		Telemetry:       o.cfg.Telemetry,
+		MeasureCache:    o.cfg.MeasureCache,
+		CheckpointDir:   o.checkpointDir,
+		CheckpointEvery: o.checkpointEvery,
+		Restore:         o.restore,
+	})
 	sess, err := m.hst.Open(MonitorSessionID, host.SessionConfig{
 		Engine: o.cfg,
 		Source: vfsadapter.Source(fsys),
@@ -513,17 +564,15 @@ func NewMonitor(fsys *vfs.FS, procs *proc.Table, opts ...Option) (*Monitor, erro
 	return m, nil
 }
 
-// handleDetection suspends the flagged family and records the detection.
+// handleDetection suspends the flagged family and forwards to the user's
+// callback. The detection record itself lives in the engine, where it is
+// part of the checkpointable session state.
 func (m *Monitor) handleDetection(d Detection) {
 	if m.enforce {
 		m.procs.SuspendFamily(d.PID)
 	}
-	m.mu.Lock()
-	m.detections = append(m.detections, d)
-	cb := m.onDetection
-	m.mu.Unlock()
-	if cb != nil {
-		cb(d)
+	if m.onDetection != nil {
+		m.onDetection(d)
 	}
 }
 
@@ -555,14 +604,9 @@ func (m *Monitor) Allow(pid int) error {
 // relative altitude.
 func (m *Monitor) Chain() *filter.Chain { return m.chain }
 
-// Detections returns all detections in occurrence order.
-func (m *Monitor) Detections() []Detection {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]Detection, len(m.detections))
-	copy(out, m.detections)
-	return out
-}
+// Detections returns all detections in occurrence order, including any
+// restored from a checkpoint (WithRestore).
+func (m *Monitor) Detections() []Detection { return m.sess.Engine().Detections() }
 
 // Report returns the scoreboard snapshot for pid.
 func (m *Monitor) Report(pid int) (ProcessReport, bool) { return m.sess.Engine().Report(pid) }
@@ -575,6 +619,12 @@ func (m *Monitor) OpCount() int64 { return m.sess.Engine().OpIndex() }
 
 // Session exposes the host session the monitor's engine runs in.
 func (m *Monitor) Session() *Session { return m.sess }
+
+// Checkpoint commits the session's complete scoring state to the
+// WithCheckpoint directory and truncates its write-ahead log, blocking until
+// the checkpoint is durably on disk or ctx expires. A no-op returning nil
+// when the monitor was built without WithCheckpoint.
+func (m *Monitor) Checkpoint(ctx context.Context) error { return m.sess.Checkpoint(ctx) }
 
 // Close detaches the monitor from the filesystem and shuts its host down,
 // returning the final session report.

@@ -1,7 +1,9 @@
 package cryptodrop_test
 
 import (
+	"context"
 	"errors"
+	"reflect"
 	"testing"
 
 	"cryptodrop"
@@ -305,5 +307,95 @@ func TestFamilyScoringAggregates(t *testing.T) {
 	}
 	if famScore == 0 || famDetections == 0 {
 		t.Fatalf("family scoring did not aggregate: score %.1f, detections %d", famScore, famDetections)
+	}
+}
+
+// xorEncryptInPlace rewrites p with a deterministic keystream XOR of its
+// content — the minimal in-place encryption the engine scores on.
+func xorEncryptInPlace(t *testing.T, fs *vfs.FS, pid int, p string) {
+	t.Helper()
+	h, err := fs.Open(pid, p, vfs.ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content, err := h.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := uint64(len(content))*2654435761 + 0x9e3779b97f4a7c15
+	enc := make([]byte, len(content))
+	for i := range content {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		enc[i] = content[i] ^ byte(state)
+	}
+	h.SeekTo(0)
+	if _, err := h.Write(enc); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMonitorCheckpointRestore pins the facade durability contract: a
+// monitor checkpointed mid-attack and abandoned (the crash) restores into a
+// fresh monitor that finishes the attack with scoreboards, detections and
+// op counts bit-identical to an uninterrupted run on an identical machine.
+func TestMonitorCheckpointRestore(t *testing.T) {
+	const files = 60
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	// Uninterrupted reference.
+	fsRef, mRef, procsRef, monRef := newVictim(t, cryptodrop.WithoutEnforcement())
+	pidRef := procsRef.Spawn("attacker")
+	for _, e := range mRef.Entries[:files] {
+		xorEncryptInPlace(t, fsRef, pidRef, e.Path)
+	}
+	wantReports := monRef.Reports()
+	wantDets := monRef.Detections()
+	if len(wantDets) == 0 {
+		t.Fatal("reference attack fired no detections")
+	}
+
+	// Durable run: encrypt half, checkpoint, crash (the monitor is simply
+	// abandoned — no Close).
+	fs, m, procs, mon := newVictim(t, cryptodrop.WithoutEnforcement(),
+		cryptodrop.WithCheckpoint(dir, 0))
+	pid := procs.Spawn("attacker")
+	for _, e := range m.Entries[:files/2] {
+		xorEncryptInPlace(t, fs, pid, e.Path)
+	}
+	if err := mon.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	opsAtCrash := mon.OpCount()
+
+	// Recover on the same machine and finish the attack.
+	mon2, err := cryptodrop.NewMonitor(fs, procs, cryptodrop.WithRoot(m.Root),
+		cryptodrop.WithoutEnforcement(), cryptodrop.WithCheckpoint(dir, 0), cryptodrop.WithRestore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mon2.OpCount(); got != opsAtCrash {
+		t.Fatalf("restored monitor at op %d, want %d", got, opsAtCrash)
+	}
+	for _, e := range m.Entries[files/2 : files] {
+		xorEncryptInPlace(t, fs, pid, e.Path)
+	}
+	if !reflect.DeepEqual(mon2.Reports(), wantReports) {
+		t.Fatalf("restored reports diverge:\ngot  %+v\nwant %+v", mon2.Reports(), wantReports)
+	}
+	if !reflect.DeepEqual(mon2.Detections(), wantDets) {
+		t.Fatalf("restored detections diverge:\ngot  %+v\nwant %+v", mon2.Detections(), wantDets)
+	}
+
+	// A drifted configuration must refuse the restore with the typed error.
+	if _, err := cryptodrop.NewMonitor(vfs.New(), proc.NewTable(), cryptodrop.WithRoot(m.Root),
+		cryptodrop.WithNonUnionThreshold(150),
+		cryptodrop.WithCheckpoint(dir, 0), cryptodrop.WithRestore()); !errors.Is(err, cryptodrop.ErrSnapshotMismatch) {
+		t.Fatalf("drifted restore: got %v, want ErrSnapshotMismatch", err)
 	}
 }

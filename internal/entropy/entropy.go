@@ -264,3 +264,59 @@ func (t *DeltaTracker) Reads() int { return t.read.Ops() }
 
 // Writes returns the number of write operations observed.
 func (t *DeltaTracker) Writes() int { return t.write.Ops() }
+
+// MeanState is the complete internal state of a WeightedMean, exposed for
+// the snapshot/restore contract. The float fields must travel as exact bit
+// patterns: the mean is a quotient of running sums, and restoring rounded
+// values would make post-restore scores diverge from an uninterrupted run.
+type MeanState struct {
+	SumWeighted float64
+	SumWeights  float64
+	Ops         int
+	Bytes       int64
+	Unweighted  bool
+}
+
+// State captures the mean's internal state for serialization.
+func (m *WeightedMean) State() MeanState {
+	return MeanState{
+		SumWeighted: m.sumWeighted,
+		SumWeights:  m.sumWeights,
+		Ops:         m.ops,
+		Bytes:       m.bytes,
+		Unweighted:  m.unweighted,
+	}
+}
+
+// SetState overwrites the mean's internal state from a captured snapshot.
+func (m *WeightedMean) SetState(s MeanState) {
+	m.sumWeighted = s.SumWeighted
+	m.sumWeights = s.SumWeights
+	m.ops = s.Ops
+	m.bytes = s.Bytes
+	m.unweighted = s.Unweighted
+}
+
+// State captures both means for serialization: read first, then write.
+func (t *DeltaTracker) State() (read, write MeanState) {
+	return t.read.State(), t.write.State()
+}
+
+// SetState overwrites both means from a captured snapshot.
+func (t *DeltaTracker) SetState(read, write MeanState) {
+	t.read.SetState(read)
+	t.write.SetState(write)
+}
+
+// Counts returns the histogram's bucket counts and total for serialization.
+// The returned array is a copy.
+func (h *Histogram) Counts() (freq [256]int, total int) {
+	return h.freq, h.total
+}
+
+// SetCounts overwrites the histogram's buckets and total from a captured
+// snapshot.
+func (h *Histogram) SetCounts(freq [256]int, total int) {
+	h.freq = freq
+	h.total = total
+}

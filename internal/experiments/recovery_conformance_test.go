@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"cryptodrop/internal/benign"
+	"cryptodrop/internal/core"
+	"cryptodrop/internal/corpus"
+	"cryptodrop/internal/host"
+	"cryptodrop/internal/ransomware"
+	"cryptodrop/internal/telemetry"
+	"cryptodrop/internal/trace"
+	"cryptodrop/internal/vfs"
+)
+
+// TestRecoveryConformance64Sessions is the fleet-scale crash-recovery proof:
+// 64 concurrent durable sessions ingest the first ~60% of their recorded op
+// streams, the host is abandoned mid-flight with no shutdown of any kind
+// (the crash), a second host restores every session from its checkpoint and
+// WAL tail, and the remaining 40% is ingested there. Every recovered
+// session's scoreboard, detection list and flight-recorder trace must be
+// bit-identical to a standalone engine that replayed the same stream with
+// no crash — including sessions whose detection latched before the crash.
+// Run under -race in CI.
+func TestRecoveryConformance64Sessions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64 durable sessions over captured traces")
+	}
+	spec := corpus.Spec{Seed: 2016, Files: 120, Dirs: 15, SizeScale: 0.2}
+	runner, err := NewRunner(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same trace pool as the host conformance suite: one ransomware sample
+	// per behavioural class plus two benign applications, cycled over the
+	// sessions. The standalone expectations are computed crash-free.
+	var pool []*hostWorkload
+	classes := map[ransomware.Class]ransomware.Sample{}
+	for _, s := range ransomware.Roster(spec.Seed) {
+		if _, ok := classes[s.Profile.Class]; !ok {
+			classes[s.Profile.Class] = s
+		}
+	}
+	for _, sample := range classes {
+		sample := sample
+		records := captureTrace(t, runner, sample.ID, func(fs *vfs.FS, pid int, root string) error {
+			_, err := sample.Run(fs, pid, root, func() bool { return false })
+			return err
+		})
+		pool = append(pool, &hostWorkload{name: "ransomware/" + sample.ID, records: records})
+	}
+	for _, name := range []string{"Microsoft Word", "ImageMagick"} {
+		w, ok := benign.ByName(name)
+		if !ok {
+			t.Fatalf("no benign workload %q", name)
+		}
+		records := captureTrace(t, runner, w.Name, w.Run)
+		pool = append(pool, &hostWorkload{name: "benign/" + w.Name, records: records})
+	}
+	for _, w := range pool {
+		expectStandalone(t, spec, w)
+	}
+
+	const sessions = 64
+	const batchSize = 16
+	ckptDir := t.TempDir()
+	ctx := context.Background()
+
+	// Build each session's self-contained op stream once; both phases slice
+	// it. Ops carry every needed content snapshot, so no live ContentSource
+	// has to survive the crash.
+	assigned := make([]*hostWorkload, sessions)
+	allOps := make([][]host.Op, sessions)
+	cuts := make([]int, sessions)
+	engineCfg := make([]func(fr *telemetry.FlightRecorder) core.Config, sessions)
+	for i := 0; i < sessions; i++ {
+		w := pool[i%len(pool)]
+		assigned[i] = w
+
+		seedFS := vfs.New()
+		m, err := corpus.Build(seedFS, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayer := trace.NewEventReplayer()
+		if err := replayer.SeedFromFS(seedFS); err != nil {
+			t.Fatal(err)
+		}
+		ops, res := replayer.BuildHostOps(w.records)
+		if res.Applied != w.applied {
+			t.Fatalf("session %d: BuildHostOps applied %d records, standalone replay applied %d",
+				i, res.Applied, w.applied)
+		}
+		allOps[i] = ops
+		cuts[i] = len(ops) * 3 / 5
+		root := m.Root
+		engineCfg[i] = func(fr *telemetry.FlightRecorder) core.Config {
+			cfg := core.DefaultConfig(root)
+			cfg.FlightRecorder = fr
+			return cfg
+		}
+	}
+
+	submit := func(sess *host.Session, ops []host.Op, wg *sync.WaitGroup) {
+		defer wg.Done()
+		for len(ops) > 0 {
+			n := batchSize
+			if n > len(ops) {
+				n = len(ops)
+			}
+			if err := sess.Submit(ctx, ops[:n]...); err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+			ops = ops[n:]
+		}
+		if err := sess.Flush(ctx); err != nil {
+			t.Errorf("flush: %v", err)
+		}
+		if err := sess.DurabilityErr(); err != nil {
+			t.Errorf("durability: %v", err)
+		}
+	}
+
+	// Phase 1: durable ingest of each session's prefix, then crash — the
+	// host is simply abandoned (its workers leak harmlessly; a real crash
+	// would not run them either).
+	h1 := host.New(host.Config{
+		QueueDepth: 4, Telemetry: telemetry.NewRegistry(),
+		CheckpointDir: ckptDir, CheckpointEvery: 50,
+	})
+	var wg1 sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		fr := telemetry.NewFlightRecorder(telemetry.DefaultFlightCapacity)
+		sess, err := h1.Open(fmt.Sprintf("s%02d", i), host.SessionConfig{
+			Engine:       engineCfg[i](fr),
+			QueueDepth:   4,
+			DegradeAfter: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg1.Add(1)
+		go submit(sess, allOps[i][:cuts[i]], &wg1)
+	}
+	wg1.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Phase 2: restore every session into a fresh host — fresh engines,
+	// fresh flight recorders (the snapshot carries the flight state) — and
+	// finish the streams.
+	h2 := host.New(host.Config{
+		QueueDepth: 4, Telemetry: telemetry.NewRegistry(),
+		CheckpointDir: ckptDir, CheckpointEvery: 50, Restore: true,
+	})
+	flights := make([]*telemetry.FlightRecorder, sessions)
+	var wg2 sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		flights[i] = telemetry.NewFlightRecorder(telemetry.DefaultFlightCapacity)
+		sess, err := h2.Open(fmt.Sprintf("s%02d", i), host.SessionConfig{
+			Engine:       engineCfg[i](flights[i]),
+			QueueDepth:   4,
+			DegradeAfter: -1,
+		})
+		if err != nil {
+			t.Fatalf("restore session %d: %v", i, err)
+		}
+		if got := sess.Ingested(); got != int64(cuts[i]) {
+			t.Fatalf("session %d restored at op %d, want %d", i, got, cuts[i])
+		}
+		wg2.Add(1)
+		go submit(sess, allOps[i][cuts[i]:], &wg2)
+	}
+	wg2.Wait()
+	finals, err := h2.Shutdown(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(finals) != sessions {
+		t.Fatalf("shutdown returned %d reports, want %d", len(finals), sessions)
+	}
+
+	byID := make(map[string]host.SessionReport, len(finals))
+	for _, r := range finals {
+		byID[r.ID] = r
+	}
+	for i := 0; i < sessions; i++ {
+		w := assigned[i]
+		got, ok := byID[fmt.Sprintf("s%02d", i)]
+		if !ok {
+			t.Fatalf("no final report for session %d", i)
+		}
+		if got.Ingested != int64(len(allOps[i])) {
+			t.Fatalf("session %d (%s): ingested %d ops across both lives, want %d",
+				i, w.name, got.Ingested, len(allOps[i]))
+		}
+		if !reflect.DeepEqual(w.reports, got.Reports) {
+			t.Fatalf("session %d (%s): recovered scoreboards diverge:\n standalone: %+v\n recovered:  %+v",
+				i, w.name, w.reports, got.Reports)
+		}
+		if !reflect.DeepEqual(w.dets, got.Detections) {
+			t.Fatalf("session %d (%s): recovered detections diverge:\n standalone: %+v\n recovered:  %+v",
+				i, w.name, w.dets, got.Detections)
+		}
+		for pid, want := range w.flights {
+			if gotTrace := flights[i].Trace(pid); !reflect.DeepEqual(want, gotTrace) {
+				t.Fatalf("session %d (%s) pid %d: recovered flight traces diverge:\n standalone: %+v\n recovered:  %+v",
+					i, w.name, pid, want, gotTrace)
+			}
+		}
+	}
+}

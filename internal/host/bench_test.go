@@ -33,9 +33,16 @@ func BenchmarkSessionIngest(b *testing.B) {
 }
 
 func benchSessionIngest(b *testing.B, direct bool) {
+	benchSessionIngestHost(b, direct, Config{}, 16)
+}
+
+// benchSessionIngestHost is the shared ingest-bench body, parameterised on
+// the host configuration (the durability benches pass checkpoint settings)
+// and the batch size (1 turns every Submit into a single-op batch — the
+// checkpoint-every-op worst case).
+func benchSessionIngestHost(b *testing.B, direct bool, hcfg Config, batchSize int) {
 	const root = "/Users/victim/Documents"
 	const nfiles = 64
-	const batchSize = 16
 	doc := corpus.Generate("docx", 7, 16<<10)
 	cipher := make([]byte, 16<<10)
 	rand.New(rand.NewSource(42)).Read(cipher)
@@ -64,7 +71,7 @@ func benchSessionIngest(b *testing.B, direct bool) {
 	}
 	ring = ring[:10*batchSize]
 
-	h := New(Config{})
+	h := New(hcfg)
 	sess, err := h.Open("bench", SessionConfig{
 		Engine:       core.DefaultConfig(root),
 		Source:       benchSource{content: doc},

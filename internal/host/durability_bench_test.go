@@ -1,0 +1,119 @@
+package host
+
+// Benchmarks for the durability layer. BenchmarkSessionIngestDurable runs
+// the standard ingest workload under four regimes: "off" is the control
+// (identical to BenchmarkSessionIngest/direct — the configuration whose
+// overhead vs the pre-PR baseline must stay ≤3%), "wal" write-ahead-logs
+// every batch, "ckpt" adds interval checkpoints on top, and "every-op"
+// checkpoints after every single op — the pathological worst case, priced
+// so nobody ships it by accident. BenchmarkSessionRestore measures recovery
+// latency: open-with-Restore from a checkpoint alone and from a checkpoint
+// plus a WAL tail that must replay through the engine.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+
+	"cryptodrop/internal/core"
+)
+
+func BenchmarkSessionIngestDurable(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		benchSessionIngestHost(b, true, Config{}, 16)
+	})
+	b.Run("wal", func(b *testing.B) {
+		benchSessionIngestHost(b, true, Config{CheckpointDir: b.TempDir()}, 16)
+	})
+	b.Run("ckpt-every-4096", func(b *testing.B) {
+		benchSessionIngestHost(b, true, Config{CheckpointDir: b.TempDir(), CheckpointEvery: 4096}, 16)
+	})
+	b.Run("every-op", func(b *testing.B) {
+		benchSessionIngestHost(b, true, Config{CheckpointDir: b.TempDir(), CheckpointEvery: 1}, 1)
+	})
+}
+
+// stageCrashState runs a durable session through ckptOps encryption ops, a
+// forced checkpoint, then tailOps more ops that land only in the WAL, and
+// abandons the host — leaving dir exactly as a crash would.
+func stageCrashState(b *testing.B, dir string, ckptOps, tailOps int) {
+	b.Helper()
+	ctx := context.Background()
+	h := New(Config{CheckpointDir: dir})
+	sess, err := h.Open("bench", sessionBenchConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ops := encryptionWorkload(9, ckptOps+tailOps)
+	if err := sess.Submit(ctx, ops[:ckptOps]...); err != nil {
+		b.Fatal(err)
+	}
+	if err := sess.Checkpoint(ctx); err != nil {
+		b.Fatal(err)
+	}
+	if err := sess.Submit(ctx, ops[ckptOps:]...); err != nil {
+		b.Fatal(err)
+	}
+	if err := sess.Flush(ctx); err != nil {
+		b.Fatal(err)
+	}
+	if err := sess.DurabilityErr(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func sessionBenchConfig() SessionConfig {
+	return SessionConfig{Engine: core.DefaultConfig("/docs"), DegradeAfter: -1}
+}
+
+func BenchmarkSessionRestore(b *testing.B) {
+	for _, tail := range []int{0, 256} {
+		b.Run(fmt.Sprintf("walTail=%d", tail), func(b *testing.B) {
+			// Pristine post-crash state, staged once. A restore with a WAL
+			// tail rewrites the checkpoint and truncates the log, so each
+			// iteration restores from a fresh copy.
+			pristine := b.TempDir()
+			stageCrashState(b, pristine, 256, tail)
+			ckptSrc, walSrc := checkpointPaths(pristine, "bench")
+			ckptBytes, err := os.ReadFile(ckptSrc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			walBytes, err := os.ReadFile(walSrc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			work := b.TempDir()
+			ckptDst, walDst := checkpointPaths(work, "bench")
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if err := os.WriteFile(ckptDst, ckptBytes, 0o644); err != nil {
+					b.Fatal(err)
+				}
+				if err := os.WriteFile(walDst, walBytes, 0o644); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+
+				h := New(Config{CheckpointDir: work, Restore: true})
+				sess, err := h.Open("bench", sessionBenchConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+
+				b.StopTimer()
+				if got := sess.Ingested(); got != int64(256+tail) {
+					b.Fatalf("restored at op %d, want %d", got, 256+tail)
+				}
+				if _, err := h.Close("bench"); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}

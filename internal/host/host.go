@@ -122,6 +122,29 @@ type Config struct {
 	// Snapshot / the introspection endpoint. Zero disables the log — and
 	// with it the per-op clock reads — entirely.
 	SlowOpThreshold time.Duration
+	// CheckpointDir, when set, makes every session durable: the session
+	// writes a sealed checkpoint file (<id>.ckpt) plus a write-ahead log of
+	// ingested op batches (<id>.wal) under this directory. A crashed host
+	// reopened with Restore recovers each session bit-identically —
+	// scoreboards, detections and flight traces — by restoring the last
+	// checkpoint and replaying the WAL tail. Empty (the default) disables
+	// durability entirely; the ingest path then pays nothing.
+	CheckpointDir string
+	// CheckpointEvery, when positive, checkpoints a durable session after at
+	// least this many ingested ops (at batch boundaries, where the engine is
+	// quiescent) and truncates its WAL. Zero checkpoints only on session
+	// close, Shutdown, and explicit Session.Checkpoint calls — the WAL alone
+	// then carries recovery.
+	CheckpointEvery int
+	// Restore makes Open recover a session's state from an existing
+	// checkpoint and WAL tail under CheckpointDir before accepting new work.
+	// Open fails with an error wrapping core.ErrSnapshotMismatch when the
+	// on-disk state was produced by a differently-configured pipeline, and
+	// with core.ErrSnapshotCorrupt when the checkpoint is damaged (a torn
+	// WAL tail, by contrast, is expected crash debris and is dropped
+	// silently). Without Restore, Open starts fresh and truncates any stale
+	// files for that session ID.
+	Restore bool
 }
 
 // Host owns a set of detector sessions. All methods are safe for concurrent
@@ -199,7 +222,10 @@ func (h *Host) Open(id string, sc SessionConfig) (*Session, error) {
 	if _, ok := h.sessions[id]; ok {
 		return nil, fmt.Errorf("host: open %q: %w", id, ErrSessionExists)
 	}
-	s := newSession(h, id, sc)
+	s, err := newSession(h, id, sc)
+	if err != nil {
+		return nil, err
+	}
 	h.sessions[id] = s
 	h.open.Set(int64(len(h.sessions)))
 	h.opens.Inc()

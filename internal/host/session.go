@@ -3,11 +3,13 @@ package host
 import (
 	"context"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"cryptodrop/internal/core"
+	"cryptodrop/internal/snapshot"
 	"cryptodrop/internal/telemetry"
 )
 
@@ -84,12 +86,15 @@ type SessionReport struct {
 	ShedBytes int64
 }
 
-// batch is one queue element: a slice of ops, or a flush marker.
+// batch is one queue element: a slice of ops, or a flush/checkpoint marker.
 type batch struct {
 	ops []Op
 	// flushed, when non-nil, marks a barrier: the worker closes it once
 	// every earlier batch has been applied.
 	flushed chan struct{}
+	// ckpt, when non-nil, asks the worker to checkpoint between batches
+	// (where the engine is quiescent) and report the result.
+	ckpt chan error
 	// enq is the submission time, stamped only when the session has a span
 	// tracer — it feeds the queue-wait span, and staying zero otherwise keeps
 	// the clock read off the untraced ingest path.
@@ -139,6 +144,19 @@ type Session struct {
 	// ingest-side queue-wait span to the causal picture the engine records.
 	spans *telemetry.SpanTracer
 
+	// Durability (Config.CheckpointDir). ckptPath empty means the session is
+	// not durable. wal and sinceCkpt are touched only on the applying
+	// goroutine — the worker for queued sessions, under directMu for direct
+	// ones — so they need no further locking; durErr records the first
+	// durability I/O failure for any goroutine to read.
+	ckptPath        string
+	walPath         string
+	checkpointEvery int
+	wal             *os.File
+	sinceCkpt       int
+	durMu           sync.Mutex
+	durErr          error
+
 	// Per-session telemetry handles (nil-safe).
 	events   *telemetry.Counter
 	shed     *telemetry.Counter
@@ -147,7 +165,7 @@ type Session struct {
 	telNames []string
 }
 
-func newSession(h *Host, id string, sc SessionConfig) *Session {
+func newSession(h *Host, id string, sc SessionConfig) (*Session, error) {
 	depth := sc.QueueDepth
 	if depth <= 0 {
 		depth = h.cfg.QueueDepth
@@ -213,12 +231,204 @@ func newSession(h *Host, id string, sc SessionConfig) *Session {
 	if !s.direct && s.queue == nil {
 		s.queue = make(chan batch, depth)
 	}
+	if dir := h.cfg.CheckpointDir; dir != "" {
+		if err := s.openDurable(dir, h.cfg.CheckpointEvery, h.cfg.Restore); err != nil {
+			s.unregisterTelemetry()
+			return nil, err
+		}
+	}
 	if s.direct {
 		close(s.done)
 	} else {
 		go s.worker()
 	}
-	return s
+	return s, nil
+}
+
+// openDurable arms the session's checkpoint/WAL machinery and, when restore
+// is set, recovers state from disk: restore the last checkpoint (verifying
+// the pipeline identity first), replay the WAL tail through the engine, and
+// immediately write a merged checkpoint so the WAL starts empty. Detections
+// in the replayed tail re-fire OnDetection — at-least-once across a crash —
+// while checkpointed detections never re-fire (their processes carry the
+// detected latch). Runs before the worker starts, so the engine is private
+// to this goroutine.
+func (s *Session) openDurable(dir string, every int, restore bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("host: session %q: checkpoint dir: %w", s.id, err)
+	}
+	s.ckptPath, s.walPath = checkpointPaths(dir, s.id)
+	s.checkpointEvery = every
+
+	var records []walRecord
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if restore {
+		records = readWAL(s.walPath)
+	} else {
+		// Fresh start: drop any stale state under this session ID.
+		os.Remove(s.ckptPath)
+		flags |= os.O_TRUNC
+	}
+	wal, err := os.OpenFile(s.walPath, flags, 0o644)
+	if err != nil {
+		return fmt.Errorf("host: session %q: open wal: %w", s.id, err)
+	}
+	s.wal = wal
+	if !restore {
+		return nil
+	}
+
+	base := int64(0)
+	if data, err := os.ReadFile(s.ckptPath); err == nil {
+		c, cerr := decodeCheckpoint(data, s.checkpointIdentity())
+		if cerr != nil {
+			wal.Close()
+			return fmt.Errorf("host: restore session %q: %w", s.id, cerr)
+		}
+		if rerr := s.eng.Restore(c.engine); rerr != nil {
+			wal.Close()
+			return fmt.Errorf("host: restore session %q: %w", s.id, rerr)
+		}
+		s.ingested.Store(c.ingested)
+		s.shedBytes.Store(c.shedBytes)
+		s.saturations.Store(c.saturations)
+		s.detCount.Store(c.detCount)
+		if c.degraded {
+			// The degrade latch is one-way; restore it before any replayed
+			// op so payload shedding resumes exactly where it stopped.
+			s.degraded.Store(true)
+			s.eng.SetPayloadBlind(true)
+			s.degGauge.Set(1)
+		}
+		s.overlay.install(c.overlay)
+		base = c.ingested
+	} else if !os.IsNotExist(err) {
+		wal.Close()
+		return fmt.Errorf("host: restore session %q: %w", s.id, err)
+	}
+
+	// Replay the WAL tail: records fully covered by the checkpoint are
+	// skipped; a record the checkpoint split mid-batch replays only its
+	// uncovered suffix.
+	for _, rec := range records {
+		if rec.start+int64(len(rec.ops)) <= base {
+			continue
+		}
+		ops := rec.ops
+		if rec.start < base {
+			ops = ops[base-rec.start:]
+		}
+		s.run(ops)
+	}
+	// Merge the recovered state into a fresh checkpoint so the WAL resets;
+	// a failure here is a refusal to open (recovery must leave disk clean).
+	if err := s.checkpointNow(); err != nil {
+		wal.Close()
+		return fmt.Errorf("host: restore session %q: %w", s.id, err)
+	}
+	return nil
+}
+
+// checkpointIdentity is the sealed identity of this session's checkpoints:
+// the checkpoint format version plus the engine's registry and config
+// fingerprints.
+func (s *Session) checkpointIdentity() snapshot.Header {
+	reg, cfg := s.eng.SnapshotIdentity()
+	return snapshot.Header{Version: hostSnapshotVersion, Registry: reg, Config: cfg}
+}
+
+// checkpointNow captures and commits a checkpoint, then truncates the WAL.
+// Must run with the engine quiescent: on the worker between batches, under
+// directMu, or before the worker starts.
+func (s *Session) checkpointNow() error {
+	if s.ckptPath == "" {
+		return nil
+	}
+	blob, err := s.eng.Snapshot()
+	if err != nil {
+		return err
+	}
+	sealed := encodeCheckpoint(s.checkpointIdentity(), &sessionCheckpoint{
+		degraded:    s.degraded.Load(),
+		ingested:    s.ingested.Load(),
+		shedBytes:   s.shedBytes.Load(),
+		saturations: s.saturations.Load(),
+		detCount:    s.detCount.Load(),
+		overlay:     s.overlay.snapshot(),
+		engine:      blob,
+	})
+	if err := writeCheckpointFile(s.ckptPath, sealed); err != nil {
+		return err
+	}
+	if s.wal != nil {
+		// The checkpoint covers everything the WAL holds; truncating is pure
+		// garbage collection (O_APPEND writes restart at offset 0).
+		if err := s.wal.Truncate(0); err != nil {
+			return err
+		}
+	}
+	s.sinceCkpt = 0
+	return nil
+}
+
+// noteDurErr records the first durability failure.
+func (s *Session) noteDurErr(err error) {
+	if err == nil {
+		return
+	}
+	s.durMu.Lock()
+	if s.durErr == nil {
+		s.durErr = err
+	}
+	s.durMu.Unlock()
+}
+
+// DurabilityErr returns the first checkpoint/WAL I/O failure the session
+// has hit, or nil. Scoring is never interrupted by a durability failure;
+// callers that need the crash-recovery guarantee poll this (or use the
+// error returned by an explicit Checkpoint call).
+func (s *Session) DurabilityErr() error {
+	s.durMu.Lock()
+	defer s.durMu.Unlock()
+	return s.durErr
+}
+
+// Checkpoint captures and commits a checkpoint of the session's complete
+// state and truncates its WAL, blocking until the checkpoint is durably on
+// disk or ctx expires. For queued sessions the checkpoint runs on the
+// worker between batches — after every op queued before the call. A no-op
+// returning nil when the host has no CheckpointDir.
+func (s *Session) Checkpoint(ctx context.Context) error {
+	if s.ckptPath == "" {
+		return nil
+	}
+	if s.direct {
+		s.directMu.Lock()
+		defer s.directMu.Unlock()
+		if s.isClosed() {
+			return fmt.Errorf("host: session %q: checkpoint: %w", s.id, ErrSessionClosed)
+		}
+		return s.checkpointNow()
+	}
+	s.qmu.RLock()
+	if s.closed {
+		s.qmu.RUnlock()
+		return fmt.Errorf("host: session %q: checkpoint: %w", s.id, ErrSessionClosed)
+	}
+	marker := batch{ckpt: make(chan error, 1)}
+	select {
+	case s.queue <- marker:
+		s.qmu.RUnlock()
+	case <-ctx.Done():
+		s.qmu.RUnlock()
+		return fmt.Errorf("host: session %q: checkpoint: %w", s.id, ctx.Err())
+	}
+	select {
+	case err := <-marker.ckpt:
+		return err
+	case <-ctx.Done():
+		return fmt.Errorf("host: session %q: checkpoint: %w", s.id, ctx.Err())
+	}
 }
 
 // ID returns the session's identifier.
@@ -231,6 +441,11 @@ func (s *Session) Engine() *core.Engine { return s.eng }
 // Degraded reports whether the session has degraded to payload-blind
 // scoring. Degradation is one-way.
 func (s *Session) Degraded() bool { return s.degraded.Load() }
+
+// Ingested returns the number of ops applied to the engine so far. A
+// session opened with Restore resumes the count where its previous life
+// left off, so this is also the durable op position a recovery landed at.
+func (s *Session) Ingested() int64 { return s.ingested.Load() }
 
 // Submit queues ops for application, blocking when the session's queue is
 // full — that block is the backpressure the overload policy promises, and
@@ -398,9 +613,18 @@ func (s *Session) seal() {
 // batch and exited (immediately for direct sessions).
 func (s *Session) drained() <-chan struct{} { return s.done }
 
-// finalReport snapshots the session after its queue has drained.
+// finalReport snapshots the session after its queue has drained, committing
+// a final checkpoint (and releasing the WAL handle) for durable sessions so
+// a clean close restores without any replay.
 func (s *Session) finalReport() SessionReport {
 	s.eng.Flush()
+	if s.ckptPath != "" {
+		s.noteDurErr(s.checkpointNow())
+		if s.wal != nil {
+			s.wal.Close()
+			s.wal = nil
+		}
+	}
 	return SessionReport{
 		ID:         s.id,
 		Reports:    s.eng.Reports(),
@@ -429,6 +653,10 @@ func (s *Session) worker() {
 			close(b.flushed)
 			continue
 		}
+		if b.ckpt != nil {
+			b.ckpt <- s.checkpointNow()
+			continue
+		}
 		if !b.enq.IsZero() && s.spans.Sample() {
 			s.spans.Record(telemetry.Span{
 				Name: "queue-wait", Cat: "ingest", Lane: s.id,
@@ -439,11 +667,29 @@ func (s *Session) worker() {
 	}
 }
 
-// apply runs one batch through the engine, enforcing the Op timing
+// apply ingests one batch: for durable sessions the batch is first appended
+// to the write-ahead log (write-ahead: a crash after the append but before
+// application replays the batch on recovery), then run through the engine,
+// then counted toward the checkpoint interval. Durability I/O failures are
+// recorded (DurabilityErr) but never interrupt scoring.
+func (s *Session) apply(ops []Op) {
+	if s.wal != nil {
+		s.noteDurErr(appendWALRecord(s.wal, s.ingested.Load(), ops))
+	}
+	s.run(ops)
+	if s.ckptPath != "" {
+		s.sinceCkpt += len(ops)
+		if s.checkpointEvery > 0 && s.sinceCkpt >= s.checkpointEvery {
+			s.noteDurErr(s.checkpointNow())
+		}
+	}
+}
+
+// run applies one batch through the engine, enforcing the Op timing
 // contract: Pre content before PreEvent, Post content before Handle, Evict
 // after. After degradation it strips read/write payloads, counting every
 // shed byte, before the event reaches the scoreboard.
-func (s *Session) apply(ops []Op) {
+func (s *Session) run(ops []Op) {
 	sl := s.host.slow
 	for i := range ops {
 		op := &ops[i]
@@ -548,6 +794,21 @@ func (o *overlaySource) install(m map[uint64][]byte) {
 		o.m[id] = b
 	}
 	o.mu.Unlock()
+}
+
+// snapshot copies the overlay's current entries for a checkpoint. Staged
+// content is immutable once installed, so sharing the byte slices is safe.
+func (o *overlaySource) snapshot() map[uint64][]byte {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if len(o.m) == 0 {
+		return nil
+	}
+	m := make(map[uint64][]byte, len(o.m))
+	for id, b := range o.m {
+		m[id] = b
+	}
+	return m
 }
 
 func (o *overlaySource) evict(ids []uint64) {

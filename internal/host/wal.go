@@ -1,0 +1,200 @@
+package host
+
+import (
+	"encoding/binary"
+	"io"
+	"os"
+	"sort"
+
+	"cryptodrop/internal/core"
+	"cryptodrop/internal/snapshot"
+)
+
+// The write-ahead log records every ingested Op batch before it is applied
+// to the engine, so a crash between checkpoints loses nothing: recovery
+// restores the last checkpoint and replays the WAL tail, reproducing the
+// scoreboard bit for bit.
+//
+// On-disk format — a sequence of framed records:
+//
+//	uvarint(len(payload)) | payload | u64 FNV-64a(payload), little-endian
+//
+// where payload is
+//
+//	varint(start) | uvarint(nops) | op…
+//
+// and start is the session's ingested-op count when the batch was appended.
+// The start counter is what lets replay skip records a later checkpoint
+// already covers, including the partial-overlap case where a checkpoint
+// landed mid-batch (only the uncovered op suffix replays).
+//
+// Crash consistency: a torn tail — a record cut short by the crash, or with
+// a failed checksum — terminates the read silently. Everything before it is
+// intact (records are framed and individually checksummed), and the torn
+// record's batch was by definition never durably applied anywhere else, so
+// dropping it is the correct recovery, not data loss: the op stream resumes
+// from the producer.
+
+// walRecord is one decoded WAL entry.
+type walRecord struct {
+	// start is the session's ingested-op count when this batch was appended.
+	start int64
+	// ops is the batch, in submission order.
+	ops []Op
+}
+
+// encodeOp writes one Op.
+func encodeOp(enc *snapshot.Encoder, op *Op) {
+	encodeEvent(enc, &op.Event)
+	enc.Bool(op.PreEvent != nil)
+	if op.PreEvent != nil {
+		encodeEvent(enc, op.PreEvent)
+	}
+	encodeContentMap(enc, op.Pre)
+	encodeContentMap(enc, op.Post)
+	enc.Uvarint(uint64(len(op.Evict)))
+	for _, id := range op.Evict {
+		enc.Uvarint(id)
+	}
+}
+
+func decodeOp(d *snapshot.Decoder) Op {
+	var op Op
+	decodeEvent(d, &op.Event)
+	if d.Bool() {
+		var pre core.Event
+		decodeEvent(d, &pre)
+		op.PreEvent = &pre
+	}
+	op.Pre = decodeContentMap(d)
+	op.Post = decodeContentMap(d)
+	n := d.Count()
+	for i := 0; i < n; i++ {
+		op.Evict = append(op.Evict, d.Uvarint())
+	}
+	return op
+}
+
+// encodeEvent writes one engine event.
+func encodeEvent(enc *snapshot.Encoder, ev *core.Event) {
+	enc.Uvarint(uint64(ev.Kind))
+	enc.Varint(int64(ev.PID))
+	enc.String(ev.Path)
+	enc.String(ev.NewPath)
+	enc.Uvarint(ev.FileID)
+	enc.Uvarint(ev.ReplacedID)
+	enc.Bytes(ev.Data)
+	enc.Varint(ev.Offset)
+	enc.Varint(ev.Size)
+	enc.Uvarint(uint64(ev.Flags))
+	enc.Bool(ev.Wrote)
+}
+
+func decodeEvent(d *snapshot.Decoder, ev *core.Event) {
+	ev.Kind = core.EventKind(d.Uvarint())
+	ev.PID = int(d.Varint())
+	ev.Path = d.String()
+	ev.NewPath = d.String()
+	ev.FileID = d.Uvarint()
+	ev.ReplacedID = d.Uvarint()
+	if b := d.Bytes(); len(b) > 0 {
+		ev.Data = b
+	}
+	ev.Offset = d.Varint()
+	ev.Size = d.Varint()
+	ev.Flags = core.EventFlag(d.Uvarint())
+	ev.Wrote = d.Bool()
+}
+
+// encodeContentMap writes a file-ID → content map in sorted ID order.
+func encodeContentMap(enc *snapshot.Encoder, m map[uint64][]byte) {
+	ids := make([]uint64, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	enc.Uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		enc.Uvarint(id)
+		enc.Bytes(m[id])
+	}
+}
+
+func decodeContentMap(d *snapshot.Decoder) map[uint64][]byte {
+	n := d.Count()
+	if n == 0 {
+		return nil
+	}
+	m := make(map[uint64][]byte, n)
+	for i := 0; i < n; i++ {
+		id := d.Uvarint()
+		m[id] = d.Bytes()
+	}
+	return m
+}
+
+// walFNV is FNV-1a over data, the per-record checksum.
+func walFNV(data []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range data {
+		h = (h ^ uint64(b)) * prime64
+	}
+	return h
+}
+
+// appendWALRecord frames and appends one batch to the log. The write happens
+// before the batch is applied to the engine (write-ahead).
+func appendWALRecord(w io.Writer, start int64, ops []Op) error {
+	enc := snapshot.NewEncoder()
+	enc.Varint(start)
+	enc.Uvarint(uint64(len(ops)))
+	for i := range ops {
+		encodeOp(enc, &ops[i])
+	}
+	payload := enc.Data()
+	frame := binary.AppendUvarint(nil, uint64(len(payload)))
+	frame = append(frame, payload...)
+	var sum [8]byte
+	binary.LittleEndian.PutUint64(sum[:], walFNV(payload))
+	frame = append(frame, sum[:]...)
+	_, err := w.Write(frame)
+	return err
+}
+
+// readWAL parses every intact record from a WAL file. A torn or corrupt
+// tail terminates the read silently (see the crash-consistency note above);
+// a missing file is an empty log.
+func readWAL(path string) []walRecord {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var out []walRecord
+	for len(data) > 0 {
+		n, sz := binary.Uvarint(data)
+		if sz <= 0 || n > uint64(len(data)-sz) {
+			break // torn length or payload
+		}
+		payload := data[sz : sz+int(n)]
+		rest := data[sz+int(n):]
+		if len(rest) < 8 || walFNV(payload) != binary.LittleEndian.Uint64(rest) {
+			break // torn or corrupt record
+		}
+		data = rest[8:]
+		d := snapshot.NewDecoder(payload)
+		rec := walRecord{start: d.Varint()}
+		nops := d.Count()
+		for i := 0; i < nops; i++ {
+			rec.ops = append(rec.ops, decodeOp(d))
+		}
+		if d.Err() != nil {
+			break // checksum passed but structure is bad: treat as torn
+		}
+		out = append(out, rec)
+	}
+	return out
+}

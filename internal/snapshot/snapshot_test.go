@@ -1,0 +1,197 @@
+package snapshot
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestEncodeDecodeRoundTrip drives every primitive through an
+// encode/decode cycle, including the float bit patterns the scoring state
+// depends on (negative zero, infinities, NaN payloads, subnormals).
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	floats := []float64{
+		0, math.Copysign(0, -1), 1.5, -200.25, math.Inf(1), math.Inf(-1),
+		math.SmallestNonzeroFloat64, math.MaxFloat64, 0.1, 7.999999999,
+	}
+	e := NewEncoder()
+	e.Uvarint(0)
+	e.Uvarint(1<<63 + 17)
+	e.Varint(-1)
+	e.Varint(1 << 40)
+	for _, f := range floats {
+		e.F64(f)
+	}
+	e.F64(math.NaN())
+	e.Bool(true)
+	e.Bool(false)
+	e.String("")
+	e.String("reg1-deadbeef")
+	e.Bytes(nil)
+	e.Bytes([]byte{0, 1, 2, 255})
+
+	d := NewDecoder(e.Data())
+	if got := d.Uvarint(); got != 0 {
+		t.Fatalf("uvarint: got %d", got)
+	}
+	if got := d.Uvarint(); got != 1<<63+17 {
+		t.Fatalf("uvarint: got %d", got)
+	}
+	if got := d.Varint(); got != -1 {
+		t.Fatalf("varint: got %d", got)
+	}
+	if got := d.Varint(); got != 1<<40 {
+		t.Fatalf("varint: got %d", got)
+	}
+	for i, want := range floats {
+		got := d.F64()
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("float %d: got %x want %x", i, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+	if got := d.F64(); !math.IsNaN(got) {
+		t.Fatalf("NaN did not round-trip: %v", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("bools did not round-trip")
+	}
+	if got := d.String(); got != "" {
+		t.Fatalf("empty string: got %q", got)
+	}
+	if got := d.String(); got != "reg1-deadbeef" {
+		t.Fatalf("string: got %q", got)
+	}
+	if got := d.Bytes(); len(got) != 0 {
+		t.Fatalf("nil bytes: got %v", got)
+	}
+	if got := d.Bytes(); string(got) != string([]byte{0, 1, 2, 255}) {
+		t.Fatalf("bytes: got %v", got)
+	}
+	if d.Err() != nil {
+		t.Fatalf("decode error: %v", d.Err())
+	}
+	if d.Len() != 0 {
+		t.Fatalf("%d bytes left over", d.Len())
+	}
+}
+
+// TestEncodingDeterministic pins that encoding the same values twice
+// yields the same bytes — the property the bit-identical recovery proof
+// rests on.
+func TestEncodingDeterministic(t *testing.T) {
+	build := func() []byte {
+		e := NewEncoder()
+		e.Varint(42)
+		e.F64(199.5)
+		e.String("session")
+		e.Bytes([]byte("payload"))
+		return Seal(Header{Version: 1, Registry: "reg1-1", Config: "cfg1-2"}, e.Data())
+	}
+	a, b := build(), build()
+	if string(a) != string(b) {
+		t.Fatal("two identical encodings differ")
+	}
+}
+
+// TestSealOpenRoundTrip checks the envelope carries header and payload
+// through intact.
+func TestSealOpenRoundTrip(t *testing.T) {
+	h := Header{Version: 3, Registry: "reg1-0011223344556677", Config: "cfg1-8899aabbccddeeff"}
+	payload := []byte("engine state goes here")
+	blob := Seal(h, payload)
+	got, body, err := Open(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("header: got %+v want %+v", got, h)
+	}
+	if string(body) != string(payload) {
+		t.Fatalf("payload: got %q", body)
+	}
+}
+
+// TestOpenRejectsCorruption flips, truncates and mangles sealed snapshots
+// and requires a typed ErrCorrupt — never a panic, never a silent success.
+func TestOpenRejectsCorruption(t *testing.T) {
+	blob := Seal(Header{Version: 1, Registry: "reg1-a", Config: "cfg1-b"}, []byte("state"))
+	cases := map[string][]byte{
+		"empty":      {},
+		"short":      blob[:3],
+		"bad magic":  append([]byte("XXXX"), blob[4:]...),
+		"no payload": blob[:len(magic)+2],
+		"truncated":  blob[:len(blob)-3],
+		"trailing":   append(append([]byte{}, blob...), 0xFF),
+	}
+	for i := range blob {
+		// Flip one bit at every position; each must fail the checksum (or
+		// the magic check for the leading bytes).
+		mut := append([]byte{}, blob...)
+		mut[i] ^= 0x40
+		cases["bitflip"] = mut
+		for name, data := range cases {
+			if _, _, err := Open(data); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("%s (i=%d): got %v, want ErrCorrupt", name, i, err)
+			}
+		}
+		delete(cases, "bitflip")
+	}
+}
+
+// TestHeaderCheck covers the three verification outcomes: version skew,
+// registry drift, config drift — each with its own typed error.
+func TestHeaderCheck(t *testing.T) {
+	want := Header{Version: 1, Registry: "reg1-a", Config: "cfg1-b"}
+	if err := (Header{Version: 2, Registry: "reg1-a", Config: "cfg1-b"}).Check(want); !errors.Is(err, ErrVersion) {
+		t.Fatalf("version skew: got %v", err)
+	}
+	err := Header{Version: 1, Registry: "reg1-OTHER", Config: "cfg1-b"}.Check(want)
+	if !errors.Is(err, ErrMismatch) {
+		t.Fatalf("registry drift: got %v", err)
+	}
+	var me *MismatchError
+	if !errors.As(err, &me) || me.Field != "registry" {
+		t.Fatalf("registry drift: got %#v", err)
+	}
+	err = Header{Version: 1, Registry: "reg1-a", Config: "cfg1-OTHER"}.Check(want)
+	if !errors.As(err, &me) || me.Field != "config" {
+		t.Fatalf("config drift: got %v", err)
+	}
+	if err := want.Check(want); err != nil {
+		t.Fatalf("matching header rejected: %v", err)
+	}
+}
+
+// TestDecoderStickyAndBounded pins the two hardening properties: errors
+// are sticky (reads after a failure return zero values) and hostile length
+// fields cannot demand more bytes than the payload holds.
+func TestDecoderStickyAndBounded(t *testing.T) {
+	// A length prefix claiming 2^60 bytes over a 3-byte payload.
+	e := NewEncoder()
+	e.Uvarint(1 << 60)
+	d := NewDecoder(append(e.Data(), "abc"...))
+	if got := d.Bytes(); got != nil {
+		t.Fatalf("oversized bytes: got %v", got)
+	}
+	if !errors.Is(d.Err(), ErrCorrupt) {
+		t.Fatalf("oversized bytes: err %v", d.Err())
+	}
+	// Sticky: everything after the failure is a zero value, no panic.
+	if d.Uvarint() != 0 || d.Varint() != 0 || d.F64() != 0 || d.Bool() || d.String() != "" {
+		t.Fatal("reads after failure returned non-zero values")
+	}
+
+	// Count guard: element counts beyond the remaining bytes are rejected.
+	e2 := NewEncoder()
+	e2.Uvarint(1000)
+	d2 := NewDecoder(e2.Data())
+	if d2.Count() != 0 || !errors.Is(d2.Err(), ErrCorrupt) {
+		t.Fatalf("oversized count accepted: %v", d2.Err())
+	}
+
+	// Invalid bool byte.
+	d3 := NewDecoder([]byte{7})
+	if d3.Bool() || !errors.Is(d3.Err(), ErrCorrupt) {
+		t.Fatalf("bool byte 7 accepted: %v", d3.Err())
+	}
+}

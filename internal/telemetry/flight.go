@@ -210,3 +210,39 @@ func ReadTraces(rd io.Reader) ([]Trace, error) {
 	}
 	return out, nil
 }
+
+// Snapshot captures the recorder's buffered events (capture order) and its
+// all-time recorded count for the snapshot/restore contract. The count must
+// travel separately from the events: after a wraparound it exceeds the
+// buffer length, and restoring it is what keeps post-restore sequence
+// numbers — and therefore whole flight traces — bit-identical to an
+// uninterrupted run. Callers must be quiesced (no concurrent Record).
+func (r *FlightRecorder) Snapshot() (events []FireEvent, recorded uint64) {
+	if r == nil {
+		return nil, 0
+	}
+	return r.Events(), r.pos.Load()
+}
+
+// Restore overwrites the recorder's state from a captured snapshot: the
+// ring is cleared, each event is placed back in the slot its sequence
+// number maps to, and the recorded count resumes where the snapshot left
+// off. Events whose slots were since overwritten in the snapshot simply do
+// not reappear — exactly the state an uninterrupted recorder would have.
+// Callers must be quiesced (no concurrent Record).
+func (r *FlightRecorder) Restore(events []FireEvent, recorded uint64) {
+	if r == nil {
+		return
+	}
+	for i := range r.slots {
+		r.slots[i].Store(nil)
+	}
+	for i := range events {
+		ev := events[i]
+		if ev.Seq == 0 || ev.Seq > recorded {
+			continue
+		}
+		r.slots[(ev.Seq-1)%uint64(len(r.slots))].Store(&ev)
+	}
+	r.pos.Store(recorded)
+}

@@ -116,15 +116,38 @@ func (r *EventReplayer) Replay(eng *core.Engine, records []Record) (ReplayResult
 	return res, nil
 }
 
-// apply emits one record; it reports whether the record was applied.
+// Advance fast-forwards the content store through records without emitting
+// anything: every store mutation (writes, truncating opens, deletes, renames)
+// happens exactly as in Replay, but no engine sees the events. It exists for
+// checkpoint resume — an engine restored from a snapshot taken after record N
+// needs a ContentSource whose store has also advanced through records [0,N),
+// and Advance rebuilds that store state from the same seeded corpus. The
+// applied/skipped split matches what Replay would have reported.
+func (r *EventReplayer) Advance(records []Record) ReplayResult {
+	var res ReplayResult
+	for i := range records {
+		if r.apply(nil, &records[i]) {
+			res.Applied++
+		} else {
+			res.Skipped++
+		}
+	}
+	return res
+}
+
+// apply emits one record; it reports whether the record was applied. A nil
+// engine mutates only the content store (the Advance fast-forward path) —
+// the applied/skipped decision is identical either way.
 func (r *EventReplayer) apply(eng *core.Engine, rec *Record) bool {
 	ev := rec.event()
 	switch ev.Kind {
 	case core.EvCreate:
 		// A newly created (empty) file: register it so later writes land.
 		r.Seed(rec.Path, rec.FileID, nil)
-		eng.PreEvent(ev)
-		eng.Handle(ev)
+		if eng != nil {
+			eng.PreEvent(ev)
+			eng.Handle(ev)
+		}
 
 	case core.EvOpen:
 		f := r.byPath[rec.Path]
@@ -135,16 +158,20 @@ func (r *EventReplayer) apply(eng *core.Engine, rec *Record) bool {
 			r.Seed(rec.Path, rec.FileID, nil)
 			f = r.byPath[rec.Path]
 		}
-		// The live PreOp saw the size before any truncation; the record
-		// carries the post-truncation size. Reconstruct the pre-size from
-		// the store.
-		pre := ev
-		pre.Size = int64(len(f.data))
-		eng.PreEvent(pre)
+		if eng != nil {
+			// The live PreOp saw the size before any truncation; the record
+			// carries the post-truncation size. Reconstruct the pre-size from
+			// the store.
+			pre := ev
+			pre.Size = int64(len(f.data))
+			eng.PreEvent(pre)
+		}
 		if ev.Flags&core.EvTruncate != 0 && ev.Flags&core.EvWriteIntent != 0 {
 			f.data = nil
 		}
-		eng.Handle(ev)
+		if eng != nil {
+			eng.Handle(ev)
+		}
 
 	case core.EvRead:
 		// The payload is authoritative: it is exactly what the live engine
@@ -153,39 +180,53 @@ func (r *EventReplayer) apply(eng *core.Engine, rec *Record) bool {
 		if err != nil {
 			return false
 		}
-		ev.Data = data
-		eng.PreEvent(ev)
-		eng.Handle(ev)
+		if eng != nil {
+			ev.Data = data
+			eng.PreEvent(ev)
+			eng.Handle(ev)
+		}
 
 	case core.EvWrite:
 		data, err := base64.StdEncoding.DecodeString(rec.DataB64)
 		if err != nil {
 			return false
 		}
-		ev.Data = data
-		eng.PreEvent(ev)
+		if eng != nil {
+			ev.Data = data
+			eng.PreEvent(ev)
+		}
 		if f := r.byPath[rec.Path]; f != nil {
 			f.write(rec.Offset, data)
 		}
-		eng.Handle(ev)
+		if eng != nil {
+			eng.Handle(ev)
+		}
 
 	case core.EvClose:
 		// Emitted even for files missing from the store: the live close of
 		// a just-deleted file behaves the same way (its content read fails,
 		// so the transformation evaluation is a no-op).
-		eng.PreEvent(ev)
-		eng.Handle(ev)
+		if eng != nil {
+			eng.PreEvent(ev)
+			eng.Handle(ev)
+		}
 
 	case core.EvDelete:
-		eng.PreEvent(ev)
+		if eng != nil {
+			eng.PreEvent(ev)
+		}
 		if f := r.byPath[rec.Path]; f != nil {
 			delete(r.byPath, rec.Path)
 			delete(r.byID, f.id)
 		}
-		eng.Handle(ev)
+		if eng != nil {
+			eng.Handle(ev)
+		}
 
 	case core.EvRename:
-		eng.PreEvent(ev)
+		if eng != nil {
+			eng.PreEvent(ev)
+		}
 		if old := r.byPath[rec.NewPath]; old != nil && rec.ReplacedID != 0 {
 			delete(r.byID, old.id)
 		}
@@ -193,7 +234,9 @@ func (r *EventReplayer) apply(eng *core.Engine, rec *Record) bool {
 			delete(r.byPath, rec.Path)
 			r.byPath[rec.NewPath] = f
 		}
-		eng.Handle(ev)
+		if eng != nil {
+			eng.Handle(ev)
+		}
 
 	default:
 		return false
