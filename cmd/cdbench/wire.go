@@ -1,0 +1,341 @@
+package main
+
+// The wire-ingest load generator: cdbench's detection-service benchmark.
+//
+//	cdbench -serve :8420                     run the service half and block
+//	cdbench -exp wire                        self-contained A/B on loopback
+//	cdbench -exp wire -remote http://h:8420  drive a running cdserver
+//	cdbench -exp wire -wire-sessions 256 -json BENCH_PR9.json
+//
+// The experiment interleaves two trials per iteration — the identical
+// workload submitted in-process through host sessions, then over the wire
+// through the streaming client — and reports median sessions/sec, ops/sec
+// and p50/p99 per-batch ingest latency for each, plus the wire overhead
+// ratio. Interleaving keeps thermal and cache drift from biasing one side.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"cryptodrop"
+	"cryptodrop/internal/corpus"
+	"cryptodrop/internal/host"
+	"cryptodrop/internal/ransomware"
+	"cryptodrop/internal/server"
+	"cryptodrop/internal/server/client"
+	srvconfig "cryptodrop/internal/server/config"
+)
+
+// benchToken is the bearer token the self-contained benchmark and -serve
+// mode agree on; a remote cdserver needs a tenant with this token (override
+// with -wire-token).
+const benchToken = "bench"
+
+// wireWorkload builds the per-session op stream: n low-entropy rewrite
+// cycles of size-byte documents. Read-only, shared by every session.
+func wireWorkload(n, size int) []cryptodrop.Op {
+	ops := make([]cryptodrop.Op, 0, n)
+	for i := 0; i < n; i++ {
+		id := uint64(i + 1)
+		line := fmt.Sprintf("benchmark doc %d: steady benign prose, nothing to see.\n", i)
+		before := make([]byte, 0, size+len(line))
+		for len(before) < size {
+			before = append(before, line...)
+		}
+		before = before[:size]
+		after := append(append([]byte(nil), before...), []byte("edited\n")...)
+		ops = append(ops, cryptodrop.OpWrite(4000+i%16, fmt.Sprintf("/docs/b%05d.txt", i), id, before, after))
+	}
+	return ops
+}
+
+// benchServerConfig writes a one-tenant config file for the embedded server.
+func benchServerConfig() (string, error) {
+	f, err := os.CreateTemp("", "cdbench-tenants-*.json")
+	if err != nil {
+		return "", err
+	}
+	cfg := fmt.Sprintf(`{"tenants": [{"name": "bench", "token": %q}]}`, benchToken)
+	if _, err := f.WriteString(cfg); err != nil {
+		f.Close()
+		return "", err
+	}
+	return f.Name(), f.Close()
+}
+
+// startBenchServer runs an in-process ingest service on addr (":0" for an
+// ephemeral port) and returns its base URL and a shutdown func.
+func startBenchServer(addr string) (string, func(), error) {
+	cfgPath, err := benchServerConfig()
+	if err != nil {
+		return "", nil, err
+	}
+	loader, err := srvconfig.Load(cfgPath)
+	if err != nil {
+		os.Remove(cfgPath)
+		return "", nil, err
+	}
+	h := host.New(host.Config{})
+	srv := server.New(h, loader, server.Options{})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		os.Remove(cfgPath)
+		return "", nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	stop := func() {
+		_ = httpSrv.Close()
+		_, _ = srv.Drain(context.Background())
+		os.Remove(cfgPath)
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+// runServe is cdbench -serve: the service half of a two-machine benchmark.
+func runServe(addr string) error {
+	url, stop, err := startBenchServer(addr)
+	if err != nil {
+		return err
+	}
+	defer stop()
+	fmt.Printf("cdbench: ingest service at %s (tenant %q, token %q)\n", url, "bench", benchToken)
+	fmt.Println("cdbench: drive it with: cdbench -exp wire -remote", url)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("cdbench: draining")
+	return nil
+}
+
+// trialStats are one trial's results.
+type trialStats struct {
+	SessionsPerSec float64 `json:"sessionsPerSec"`
+	OpsPerSec      float64 `json:"opsPerSec"`
+	P50Ms          float64 `json:"p50Ms"`
+	P99Ms          float64 `json:"p99Ms"`
+}
+
+// percentile returns the q-quantile of sorted durations in milliseconds.
+func percentile(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// collectStats folds per-batch latencies and wall time into trialStats.
+func collectStats(lat []time.Duration, wall time.Duration, sessions, totalOps int) trialStats {
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return trialStats{
+		SessionsPerSec: float64(sessions) / wall.Seconds(),
+		OpsPerSec:      float64(totalOps) / wall.Seconds(),
+		P50Ms:          percentile(lat, 0.50),
+		P99Ms:          percentile(lat, 0.99),
+	}
+}
+
+// runInprocTrial submits the workload through direct host sessions: the
+// same engines, queues and batching, no network.
+func runInprocTrial(sessions, batch int, ops []cryptodrop.Op) (trialStats, error) {
+	h := host.New(host.Config{})
+	ctx := context.Background()
+	lat := make([][]time.Duration, sessions)
+	errs := make([]error, sessions)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sess, err := h.Open(fmt.Sprintf("bench-%04d", s), host.SessionConfig{
+				Engine: cryptodrop.DefaultEngineConfig("/docs"),
+			})
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			for i := 0; i < len(ops); i += batch {
+				b := ops[i:min(i+batch, len(ops))]
+				t0 := time.Now()
+				if err := sess.Submit(ctx, b...); err != nil {
+					errs[s] = err
+					return
+				}
+				lat[s] = append(lat[s], time.Since(t0))
+			}
+			errs[s] = sess.Flush(ctx)
+		}(s)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if _, err := h.Shutdown(ctx); err != nil {
+		return trialStats{}, err
+	}
+	var all []time.Duration
+	for s := range lat {
+		if errs[s] != nil {
+			return trialStats{}, fmt.Errorf("session %d: %w", s, errs[s])
+		}
+		all = append(all, lat[s]...)
+	}
+	return collectStats(all, wall, sessions, sessions*len(ops)), nil
+}
+
+// runWireTrial submits the workload through concurrent wire streams against
+// base; iter namespaces the session IDs so a reused remote server scores
+// fresh sessions each iteration.
+func runWireTrial(base string, sessions, batch, iter int, ops []cryptodrop.Op) (trialStats, error) {
+	c := client.New(base, benchToken)
+	ctx := context.Background()
+	lat := make([][]time.Duration, sessions)
+	errs := make([]error, sessions)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			st, err := c.Open(ctx, fmt.Sprintf("bench-i%02d-%04d", iter, s))
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			for i := 0; i < len(ops); i += batch {
+				b := ops[i:min(i+batch, len(ops))]
+				t0 := time.Now()
+				if err := st.Submit(ctx, b...); err != nil {
+					errs[s] = err
+					return
+				}
+				lat[s] = append(lat[s], time.Since(t0))
+			}
+			_, errs[s] = st.Flush(ctx)
+		}(s)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	var all []time.Duration
+	for s := range lat {
+		if errs[s] != nil {
+			return trialStats{}, fmt.Errorf("stream %d: %w", s, errs[s])
+		}
+		all = append(all, lat[s]...)
+	}
+	return collectStats(all, wall, sessions, sessions*len(ops)), nil
+}
+
+// median of a float slice.
+func median(v []float64) float64 {
+	sort.Float64s(v)
+	return v[len(v)/2]
+}
+
+// medianStats folds per-iteration stats into their medians.
+func medianStats(trials []trialStats) trialStats {
+	var sps, ops, p50, p99 []float64
+	for _, t := range trials {
+		sps = append(sps, t.SessionsPerSec)
+		ops = append(ops, t.OpsPerSec)
+		p50 = append(p50, t.P50Ms)
+		p99 = append(p99, t.P99Ms)
+	}
+	return trialStats{
+		SessionsPerSec: median(sps),
+		OpsPerSec:      median(ops),
+		P50Ms:          median(p50),
+		P99Ms:          median(p99),
+	}
+}
+
+// expWire is the wire-ingest benchmark experiment.
+func expWire(cfg config, _ corpus.Spec, _ []ransomware.Sample) error {
+	sessions, opsN, batch, size := cfg.wireSessions, cfg.wireOps, cfg.wireBatch, cfg.wireBytes
+	iters := cfg.wireIters
+	if cfg.quick {
+		sessions, opsN, iters = min(sessions, 32), min(opsN, 20), min(iters, 2)
+	}
+	base := cfg.remote
+	if base == "" {
+		url, stop, err := startBenchServer("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		defer stop()
+		base = url
+	}
+	ops := wireWorkload(opsN, size)
+	fmt.Printf("wire ingest A/B: %d sessions × %d ops (batch %d, %d B content), %d interleaved iterations\n",
+		sessions, opsN, batch, size, iters)
+	fmt.Printf("service: %s\n\n", base)
+
+	var inproc, wired []trialStats
+	for it := 0; it < iters; it++ {
+		in, err := runInprocTrial(sessions, batch, ops)
+		if err != nil {
+			return fmt.Errorf("in-process trial %d: %w", it, err)
+		}
+		wr, err := runWireTrial(base, sessions, batch, it, ops)
+		if err != nil {
+			return fmt.Errorf("wire trial %d: %w", it, err)
+		}
+		inproc, wired = append(inproc, in), append(wired, wr)
+		fmt.Printf("iter %d: inproc %8.1f ops/s (p50 %.3fms p99 %.3fms) | wire %8.1f ops/s (p50 %.3fms p99 %.3fms)\n",
+			it, in.OpsPerSec, in.P50Ms, in.P99Ms, wr.OpsPerSec, wr.P50Ms, wr.P99Ms)
+	}
+	mi, mw := medianStats(inproc), medianStats(wired)
+	fmt.Printf("\nmedian in-process: %8.1f sessions/s %10.1f ops/s  p50 %.3f ms  p99 %.3f ms\n",
+		mi.SessionsPerSec, mi.OpsPerSec, mi.P50Ms, mi.P99Ms)
+	fmt.Printf("median over-wire:  %8.1f sessions/s %10.1f ops/s  p50 %.3f ms  p99 %.3f ms\n",
+		mw.SessionsPerSec, mw.OpsPerSec, mw.P50Ms, mw.P99Ms)
+	// The comparable number is throughput: an in-process Submit is a queue
+	// enqueue (its p50 is microseconds by design), while a wire Submit pays
+	// framing, HTTP and the admission ladder — so the A/B ratio is ops/sec,
+	// with the latency percentiles reported per transport on their own terms.
+	slowdown := 0.0
+	if mw.OpsPerSec > 0 {
+		slowdown = mi.OpsPerSec / mw.OpsPerSec
+	}
+	fmt.Printf("wire throughput cost: %.2fx (in-process ops/s ÷ over-wire ops/s)\n", slowdown)
+
+	if cfg.jsonOut != "" {
+		out := map[string]any{
+			"bench":         "wire-ingest",
+			"goVersion":     runtime.Version(),
+			"goos":          runtime.GOOS,
+			"goarch":        runtime.GOARCH,
+			"cpus":          runtime.NumCPU(),
+			"sessions":      sessions,
+			"opsPerSession": opsN,
+			"batch":         batch,
+			"contentBytes":  size,
+			"iterations":    iters,
+			"remote":        cfg.remote != "",
+			"inprocess":     mi,
+			"wire":          mw,
+			"wireSlowdownX": slowdown,
+		}
+		f, err := os.Create(cfg.jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+		fmt.Printf("results written to %s\n", cfg.jsonOut)
+	}
+	return nil
+}

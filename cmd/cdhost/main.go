@@ -40,6 +40,7 @@ import (
 	"sync"
 	"time"
 
+	"cryptodrop"
 	"cryptodrop/internal/audit"
 	"cryptodrop/internal/core"
 	"cryptodrop/internal/corpus"
@@ -457,9 +458,10 @@ func recoverCipher(id uint64, n int) []byte {
 }
 
 // recoverWorkload builds a deterministic n-file in-place encryption attack
-// as host ops: each op stages the file's low-entropy pre-version for the
-// destructive-open snapshot and its ciphertext for the close-time
-// measurement, which is exactly the stream a feeder would produce.
+// as host ops: each op is one full rewrite cycle (cryptodrop.OpWrite)
+// staging the file's low-entropy pre-version for the destructive-open
+// snapshot and its ciphertext for the close-time measurement, which is
+// exactly the stream a feeder would produce.
 func recoverWorkload(pid, n int) []host.Op {
 	const size = 2048
 	ops := make([]host.Op, 0, n)
@@ -467,13 +469,7 @@ func recoverWorkload(pid, n int) []host.Op {
 		path := fmt.Sprintf("/docs/doc%03d.txt", id)
 		line := fmt.Sprintf("document %d: plain readable prose with very little entropy.\n", id)
 		plain := []byte(strings.Repeat(line, size/len(line)+1))[:size]
-		ops = append(ops, host.Op{
-			PreEvent: &core.Event{Kind: core.EvOpen, PID: pid, Path: path, FileID: id,
-				Flags: core.EvWriteIntent, Size: int64(len(plain))},
-			Pre:   map[uint64][]byte{id: plain},
-			Event: core.Event{Kind: core.EvClose, PID: pid, Path: path, FileID: id, Wrote: true},
-			Post:  map[uint64][]byte{id: recoverCipher(id, size)},
-		})
+		ops = append(ops, cryptodrop.OpWrite(pid, path, id, plain, recoverCipher(id, size)))
 	}
 	return ops
 }

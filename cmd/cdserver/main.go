@@ -1,0 +1,158 @@
+// Command cdserver runs the detection service: a long-lived HTTP ingest
+// plane where remote producers stream framed op batches into per-tenant
+// detector sessions on an embedded multi-session host. Tenants, bearer
+// tokens and rate limits come from a JSON config file that hot-reloads on
+// SIGHUP (and by mtime polling), so token rotation and limit tuning never
+// drop a stream.
+//
+//	cdserver -config tenants.json -addr :8420
+//	cdserver -config tenants.json -checkpoint-dir /var/lib/cryptodrop \
+//	         -checkpoint-every 256 -restore      # durable, resumable fleet
+//
+// Endpoints: POST /v1/ingest (wire streams), GET /v1/session (position),
+// POST /v1/flush, /healthz, plus the observability plane — /metrics,
+// /debug/sessions, /debug/vars, /debug/trace (with -trace-sample), pprof.
+//
+// SIGTERM or SIGINT drains gracefully: the listener stops accepting and
+// /healthz flips to 503, in-flight streams are refused with 503 + draining,
+// every ingest queue flushes, durable sessions checkpoint, and the process
+// exits 0 with a per-session summary. Restarting with -restore resumes
+// every session from its checkpointed position — producers resynchronize
+// via GET /v1/session and continue.
+//
+// A minimal config:
+//
+//	{"tenants": [
+//	  {"name": "alpha", "token": "tok-alpha", "rate_ops": 5000, "burst_ops": 10000},
+//	  {"name": "beta",  "token": "tok-beta"}
+//	]}
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cryptodrop/internal/host"
+	"cryptodrop/internal/server"
+	"cryptodrop/internal/server/config"
+	"cryptodrop/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cdserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cdserver", flag.ContinueOnError)
+	var (
+		cfgPath      = fs.String("config", "", "tenant config file (JSON; required)")
+		addr         = fs.String("addr", ":8420", "listen address")
+		root         = fs.String("root", "/", "engine protected root applied to every session")
+		queue        = fs.Int("queue", host.DefaultQueueDepth, "default per-session ingest queue depth (batches)")
+		degradeAfter = fs.Int("degrade-after", host.DefaultDegradeAfter, "consecutive queue saturations before a session degrades to payload-blind scoring")
+		ckptDir      = fs.String("checkpoint-dir", "", "make sessions durable: checkpoints + write-ahead logs live here")
+		ckptEvery    = fs.Int("checkpoint-every", 0, "auto-checkpoint a session every N ingested ops (0 = checkpoint only on drain)")
+		restore      = fs.Bool("restore", false, "recover session state from -checkpoint-dir on first contact")
+		drainWait    = fs.Duration("drain-timeout", 30*time.Second, "maximum graceful-drain wait before forced exit")
+		reloadEvery  = fs.Duration("config-poll", 10*time.Second, "poll the config file's mtime this often (0 = SIGHUP only)")
+		slowMs       = fs.Int("slow-ms", 0, "log ingested ops slower than this many milliseconds to /debug/sessions (0 = off)")
+		traceSample  = fs.Int("trace-sample", 0, "record one in N ingested ops as causal spans on /debug/trace (0 = off)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *cfgPath == "" {
+		return fmt.Errorf("-config is required")
+	}
+	if *restore && *ckptDir == "" {
+		return fmt.Errorf("-restore requires -checkpoint-dir")
+	}
+	loader, err := config.Load(*cfgPath)
+	if err != nil {
+		return err
+	}
+
+	reg := telemetry.NewRegistry()
+	var spans *telemetry.SpanTracer
+	if *traceSample > 0 {
+		spans = telemetry.NewSpanTracer(telemetry.DefaultSpanCapacity, *traceSample)
+	}
+	h := host.New(host.Config{
+		QueueDepth:      *queue,
+		DegradeAfter:    *degradeAfter,
+		Telemetry:       reg,
+		SlowOpThreshold: time.Duration(*slowMs) * time.Millisecond,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		Restore:         *restore,
+	})
+	srv := server.New(h, loader, server.Options{
+		ProtectedRoot: *root,
+		Telemetry:     reg,
+		Tracer:        spans,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	fmt.Printf("cdserver: listening on %s (%d tenant(s))\n", ln.Addr(), len(loader.Current().Tenants))
+
+	stopWatch := make(chan struct{})
+	defer close(stopWatch)
+	if *reloadEvery > 0 {
+		go loader.Watch(*reloadEvery, stopWatch, func(err error) {
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cdserver: config reload failed:", err)
+				return
+			}
+			srv.ReloadLimits()
+		})
+	}
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	term := make(chan os.Signal, 1)
+	signal.Notify(term, syscall.SIGTERM, os.Interrupt)
+
+	for {
+		select {
+		case err := <-serveErr:
+			return fmt.Errorf("serve: %w", err)
+		case <-hup:
+			if err := srv.Reload(); err != nil {
+				fmt.Fprintln(os.Stderr, "cdserver: SIGHUP reload failed (previous config stays live):", err)
+			} else {
+				fmt.Printf("cdserver: config reloaded (%d tenant(s))\n", len(loader.Current().Tenants))
+			}
+		case sig := <-term:
+			fmt.Printf("cdserver: %v — draining\n", sig)
+			ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+			defer cancel()
+			_ = httpSrv.Shutdown(ctx) // stop accepting; finish in-flight acks
+			reports, err := srv.Drain(ctx)
+			for _, rep := range reports {
+				fmt.Printf("cdserver: session %-24s ingested=%d detections=%d degraded=%v\n",
+					rep.ID, rep.Ingested, len(rep.Detections), rep.Degraded)
+			}
+			if err != nil {
+				return fmt.Errorf("drain: %w", err)
+			}
+			fmt.Printf("cdserver: drained %d session(s), exiting\n", len(reports))
+			return nil
+		}
+	}
+}

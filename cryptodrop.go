@@ -37,6 +37,15 @@
 //	ErrHostClosed         Host.Open after Shutdown
 //	ErrSnapshotMismatch   restore refused: the snapshot was sealed under a different indicator registry or scoring configuration
 //	ErrSnapshotCorrupt    restore refused: snapshot bytes fail structural or checksum validation
+//	ErrUnauthorized       detection service: the request's bearer token matched no configured tenant
+//	ErrRateLimited        detection service: the tenant's ingest budget is spent; retry after the interval the response names
+//
+// The service sentinels round-trip the wire: a remote producer using the
+// ingest client gets the same errors.Is behaviour as an in-process caller
+// (ErrOverloaded on a saturated queue, ErrSessionClosed on a gone session,
+// and so on). Context-first methods are the canonical surface; the
+// context-free spellings (Monitor.Close, Host.Close, Host.EvictIdle) remain
+// as deprecated wrappers.
 package cryptodrop
 
 import (
@@ -54,6 +63,7 @@ import (
 	"cryptodrop/internal/measurecache"
 	"cryptodrop/internal/policy"
 	"cryptodrop/internal/proc"
+	"cryptodrop/internal/server/wire"
 	"cryptodrop/internal/telemetry"
 	"cryptodrop/internal/vfs"
 	"cryptodrop/internal/vfsadapter"
@@ -70,6 +80,15 @@ var (
 	ErrOverloaded    = host.ErrOverloaded
 	ErrSessionExists = host.ErrSessionExists
 	ErrHostClosed    = host.ErrHostClosed
+)
+
+// Sentinel errors of the detection service (cmd/cdserver and its ingest
+// client): admission refusals a remote producer dispatches on. Both are
+// carried across the wire as typed codes, so errors.Is works identically on
+// either side of the connection.
+var (
+	ErrUnauthorized = wire.ErrUnauthorized
+	ErrRateLimited  = wire.ErrRateLimited
 )
 
 // Sentinel errors of the durability layer (WithCheckpoint,
@@ -626,13 +645,14 @@ func (m *Monitor) Session() *Session { return m.sess }
 // when the monitor was built without WithCheckpoint.
 func (m *Monitor) Checkpoint(ctx context.Context) error { return m.sess.Checkpoint(ctx) }
 
-// Close detaches the monitor from the filesystem and shuts its host down,
-// returning the final session report.
-func (m *Monitor) Close() (SessionReport, error) {
+// Shutdown detaches the monitor from the filesystem and shuts its host
+// down — flushing and, under WithCheckpoint, durably checkpointing the
+// session — returning the final session report. ctx bounds the wait.
+func (m *Monitor) Shutdown(ctx context.Context) (SessionReport, error) {
 	m.fs.SetInterceptor(nil)
 	m.chain.Detach("cryptodrop-enforce")
 	m.chain.Detach("cryptodrop")
-	reports, err := m.hst.Shutdown(context.Background())
+	reports, err := m.hst.Shutdown(ctx)
 	if err != nil {
 		return SessionReport{}, err
 	}
@@ -640,4 +660,12 @@ func (m *Monitor) Close() (SessionReport, error) {
 		return SessionReport{}, fmt.Errorf("monitor: %w", ErrSessionClosed)
 	}
 	return reports[0], nil
+}
+
+// Close shuts the monitor down with no deadline.
+//
+// Deprecated: use Shutdown — the context-first surface bounds how long the
+// final flush and checkpoint may take.
+func (m *Monitor) Close() (SessionReport, error) {
+	return m.Shutdown(context.Background())
 }

@@ -171,9 +171,14 @@ func (e *Engine) SetPayloadBlind(on bool) { e.payloadBlind.Store(on) }
 // PayloadBlind reports whether runtime payload-blind scoring is on.
 func (e *Engine) PayloadBlind() bool { return e.payloadBlind.Load() }
 
-// inRoot reports whether p lies under the protected root.
+// inRoot reports whether p lies under the protected root. Root "/" protects
+// the whole tree — the detection-service default, where producers pre-filter
+// paths on their side of the wire.
 func (e *Engine) inRoot(p string) bool {
 	root := e.cfg.ProtectedRoot
+	if root == "/" {
+		return strings.HasPrefix(p, "/")
+	}
 	return p == root || strings.HasPrefix(p, root+"/")
 }
 

@@ -252,17 +252,31 @@ func (h *Host) Sessions() []string {
 	return ids
 }
 
-// Close seals the session's queue, drains every queued batch, removes the
-// session from the host and returns its final report. It fails with
-// ErrSessionClosed if no session has that ID.
-func (h *Host) Close(id string) (SessionReport, error) {
+// CloseSession seals the session's queue, drains every queued batch, removes
+// the session from the host and returns its final report. The drain wait is
+// bounded by ctx: on expiry the session stays sealed and keeps draining in
+// the background, but no report is returned. It fails with ErrSessionClosed
+// if no session has that ID.
+func (h *Host) CloseSession(ctx context.Context, id string) (SessionReport, error) {
 	s, err := h.detach(id)
 	if err != nil {
 		return SessionReport{}, err
 	}
 	s.seal()
-	<-s.drained()
+	select {
+	case <-s.drained():
+	case <-ctx.Done():
+		return SessionReport{}, fmt.Errorf("host: close %q: %w", id, ctx.Err())
+	}
 	return s.finalReport(), nil
+}
+
+// Close is CloseSession without a deadline.
+//
+// Deprecated: use CloseSession — the public ingest surface is context-first,
+// so drains can be bounded like every other blocking call.
+func (h *Host) Close(id string) (SessionReport, error) {
+	return h.CloseSession(context.Background(), id)
 }
 
 // detach removes the session from the registry (so its ID is immediately
@@ -281,10 +295,13 @@ func (h *Host) detach(id string) (*Session, error) {
 	return s, nil
 }
 
-// EvictIdle closes every session that has not ingested an event for at
-// least idle, returning their final reports (sorted by session ID). Pass
-// zero to evict everything.
-func (h *Host) EvictIdle(idle time.Duration) []SessionReport {
+// EvictIdleSessions closes every session that has not ingested an event for
+// at least idle, returning the final reports of the sessions that drained
+// (sorted by session ID). Pass zero idle to evict everything. The drain
+// waits are bounded by ctx: on expiry the already-drained reports return
+// alongside ctx.Err(), and the remaining victims — sealed either way — keep
+// draining in the background.
+func (h *Host) EvictIdleSessions(ctx context.Context, idle time.Duration) ([]SessionReport, error) {
 	cutoff := time.Now().Add(-idle).UnixNano()
 	h.mu.Lock()
 	var victims []*Session
@@ -298,14 +315,33 @@ func (h *Host) EvictIdle(idle time.Duration) []SessionReport {
 	h.open.Set(int64(len(h.sessions)))
 	h.mu.Unlock()
 
+	for _, s := range victims {
+		s.seal()
+	}
+	var err error
 	reports := make([]SessionReport, 0, len(victims))
 	for _, s := range victims {
 		h.closes.Inc()
-		s.seal()
-		<-s.drained()
-		reports = append(reports, s.finalReport())
+		select {
+		case <-s.drained():
+			reports = append(reports, s.finalReport())
+		case <-ctx.Done():
+			err = fmt.Errorf("host: evict idle: %w", ctx.Err())
+		}
+		if err != nil {
+			break
+		}
 	}
 	sort.Slice(reports, func(i, j int) bool { return reports[i].ID < reports[j].ID })
+	return reports, err
+}
+
+// EvictIdle is EvictIdleSessions without a deadline.
+//
+// Deprecated: use EvictIdleSessions — the public ingest surface is
+// context-first, so drains can be bounded like every other blocking call.
+func (h *Host) EvictIdle(idle time.Duration) []SessionReport {
+	reports, _ := h.EvictIdleSessions(context.Background(), idle)
 	return reports
 }
 

@@ -43,6 +43,30 @@ type walRecord struct {
 	ops []Op
 }
 
+// EncodeOps appends a count-prefixed op sequence in the canonical op codec —
+// the exact encoding the write-ahead log frames, shared with the network
+// wire format so a wire frame and a WAL record describe ops identically.
+func EncodeOps(enc *snapshot.Encoder, ops []Op) {
+	enc.Uvarint(uint64(len(ops)))
+	for i := range ops {
+		encodeOp(enc, &ops[i])
+	}
+}
+
+// DecodeOps reads a count-prefixed op sequence written by EncodeOps. Errors
+// stick to the decoder; check d.Err after the surrounding structure.
+func DecodeOps(d *snapshot.Decoder) []Op {
+	n := d.Count()
+	if n == 0 {
+		return nil
+	}
+	ops := make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		ops = append(ops, decodeOp(d))
+	}
+	return ops
+}
+
 // encodeOp writes one Op.
 func encodeOp(enc *snapshot.Encoder, op *Op) {
 	encodeEvent(enc, &op.Event)
@@ -151,10 +175,7 @@ func walFNV(data []byte) uint64 {
 func appendWALRecord(w io.Writer, start int64, ops []Op) error {
 	enc := snapshot.NewEncoder()
 	enc.Varint(start)
-	enc.Uvarint(uint64(len(ops)))
-	for i := range ops {
-		encodeOp(enc, &ops[i])
-	}
+	EncodeOps(enc, ops)
 	payload := enc.Data()
 	frame := binary.AppendUvarint(nil, uint64(len(payload)))
 	frame = append(frame, payload...)
@@ -187,10 +208,7 @@ func readWAL(path string) []walRecord {
 		data = rest[8:]
 		d := snapshot.NewDecoder(payload)
 		rec := walRecord{start: d.Varint()}
-		nops := d.Count()
-		for i := 0; i < nops; i++ {
-			rec.ops = append(rec.ops, decodeOp(d))
-		}
+		rec.ops = DecodeOps(d)
 		if d.Err() != nil {
 			break // checksum passed but structure is bad: treat as torn
 		}

@@ -1,0 +1,44 @@
+package server_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cryptodrop/internal/server/client"
+)
+
+// BenchmarkWireIngest measures the full wire ingest path — framing, HTTP,
+// auth, admission, queue — per 8-op batch against a loopback service. The
+// batch rewrites the same files each iteration, the shape of a working set
+// under steady edits.
+func BenchmarkWireIngest(b *testing.B) {
+	dir := b.TempDir()
+	cfgPath := filepath.Join(dir, "tenants.json")
+	if err := os.WriteFile(cfgPath, []byte(`{"tenants": [{"name": "alpha", "token": "tok-alpha"}]}`), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	svc := startService(b, cfgPath, "", false)
+	defer svc.http.Close()
+	defer func() { _, _ = svc.srv.Drain(context.Background()) }()
+
+	ctx := context.Background()
+	const batch = 8
+	ops := benignOps(700, batch, 4096)
+	st, err := client.New(svc.http.URL, "tok-alpha").Open(ctx, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(batch * 4096))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Submit(ctx, ops...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if _, err := st.Flush(ctx); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,52 @@
+package client
+
+import (
+	"errors"
+	"testing"
+
+	"cryptodrop/internal/host"
+	"cryptodrop/internal/server/wire"
+)
+
+// Every ack code maps to its shared sentinel, so errors.Is dispatches the
+// same way in a remote producer as in-process.
+func TestSentinelRoundTrip(t *testing.T) {
+	cases := []struct {
+		code string
+		want error
+	}{
+		{wire.CodeUnauthorized, wire.ErrUnauthorized},
+		{wire.CodeRateLimited, wire.ErrRateLimited},
+		{wire.CodeOverloaded, host.ErrOverloaded},
+		{wire.CodeClosed, host.ErrSessionClosed},
+		{wire.CodeDraining, host.ErrHostClosed},
+		{wire.CodeBadFrame, wire.ErrBadFrame},
+		{wire.CodeGap, wire.ErrBadFrame},
+	}
+	for _, c := range cases {
+		err := ackError(429, wire.Ack{Code: c.code, Error: "x"})
+		if !errors.Is(err, c.want) {
+			t.Errorf("code %q: errors.Is(%v, %v) = false", c.code, err, c.want)
+		}
+	}
+	if err := ackError(500, wire.Ack{Error: "boom"}); err == nil {
+		t.Error("codeless refusal lost its error")
+	}
+}
+
+// Only throttle-shaped refusals are retried.
+func TestRetryable(t *testing.T) {
+	for code, want := range map[string]bool{
+		wire.CodeRateLimited:  true,
+		wire.CodeOverloaded:   true,
+		wire.CodeDraining:     true,
+		wire.CodeUnauthorized: false,
+		wire.CodeClosed:       false,
+		wire.CodeGap:          false,
+		wire.CodeBadFrame:     false,
+	} {
+		if got := retryable(code); got != want {
+			t.Errorf("retryable(%q) = %v, want %v", code, got, want)
+		}
+	}
+}

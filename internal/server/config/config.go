@@ -1,0 +1,157 @@
+// Package config loads and hot-reloads the cdserver tenant table: which
+// bearer tokens are valid, which tenant each maps to, and each tenant's
+// rate-limit and session-shape parameters. The file is JSON so operators can
+// rotate tokens or retune limits with an edit plus SIGHUP (or rely on the
+// mtime poller) — no process restart, no dropped streams.
+//
+// Only the tenant table hot-reloads. Listen address, checkpoint directory
+// and other process-level settings are flags on cdserver: changing where
+// durable state lives underneath live sessions is a restart, not a reload.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tenant is one producer principal.
+type Tenant struct {
+	// Name scopes the tenant's sessions, metrics and rate bucket.
+	Name string `json:"name"`
+	// Token is the bearer token the tenant authenticates with.
+	Token string `json:"token"`
+	// RateOps is the sustained ingest budget in ops/sec; 0 = unlimited.
+	RateOps float64 `json:"rate_ops,omitempty"`
+	// BurstOps is the token-bucket depth; defaults to max(RateOps, 1).
+	BurstOps float64 `json:"burst_ops,omitempty"`
+	// QueueDepth and DegradeAfter shape the tenant's host sessions; zero
+	// values take the host defaults.
+	QueueDepth   int `json:"queue_depth,omitempty"`
+	DegradeAfter int `json:"degrade_after,omitempty"`
+}
+
+// Config is one parsed config file.
+type Config struct {
+	Tenants []Tenant `json:"tenants"`
+
+	byToken map[string]*Tenant
+	byName  map[string]*Tenant
+}
+
+// Parse validates raw JSON into a Config.
+func Parse(data []byte) (*Config, error) {
+	var c Config
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	if len(c.Tenants) == 0 {
+		return nil, fmt.Errorf("config: no tenants defined")
+	}
+	c.byToken = make(map[string]*Tenant, len(c.Tenants))
+	c.byName = make(map[string]*Tenant, len(c.Tenants))
+	for i := range c.Tenants {
+		t := &c.Tenants[i]
+		if t.Name == "" || t.Token == "" {
+			return nil, fmt.Errorf("config: tenant %d: name and token are required", i)
+		}
+		if _, dup := c.byName[t.Name]; dup {
+			return nil, fmt.Errorf("config: duplicate tenant %q", t.Name)
+		}
+		if _, dup := c.byToken[t.Token]; dup {
+			return nil, fmt.Errorf("config: tenants share a token")
+		}
+		if t.BurstOps == 0 {
+			t.BurstOps = t.RateOps
+		}
+		c.byName[t.Name] = t
+		c.byToken[t.Token] = t
+	}
+	return &c, nil
+}
+
+// TenantByToken resolves a bearer token; nil means unauthorized.
+func (c *Config) TenantByToken(token string) *Tenant {
+	if token == "" {
+		return nil
+	}
+	return c.byToken[token]
+}
+
+// TenantByName resolves a tenant name; nil means unknown.
+func (c *Config) TenantByName(name string) *Tenant { return c.byName[name] }
+
+// Loader holds the live Config and swaps it atomically on reload, so request
+// handlers read a consistent snapshot without locking.
+type Loader struct {
+	path    string
+	current atomic.Pointer[Config]
+
+	mu    sync.Mutex
+	mtime time.Time
+}
+
+// Load reads and parses path, returning a Loader primed with it.
+func Load(path string) (*Loader, error) {
+	l := &Loader{path: path}
+	if err := l.Reload(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Current returns the live config snapshot.
+func (l *Loader) Current() *Config { return l.current.Load() }
+
+// Reload re-reads the file. A config that fails to parse leaves the previous
+// one in force and returns the error — a bad edit never takes the server's
+// auth table down.
+func (l *Loader) Reload() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	data, err := os.ReadFile(l.path)
+	if err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	c, err := Parse(data)
+	if err != nil {
+		return err
+	}
+	if st, err := os.Stat(l.path); err == nil {
+		l.mtime = st.ModTime()
+	}
+	l.current.Store(c)
+	return nil
+}
+
+// Watch polls the file's mtime every interval and reloads on change, calling
+// onReload(err) after each attempt (nil on success). It returns when stop is
+// closed. SIGHUP-triggered reloads can run concurrently; Reload serializes.
+func (l *Loader) Watch(interval time.Duration, stop <-chan struct{}, onReload func(error)) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			st, err := os.Stat(l.path)
+			if err != nil {
+				continue
+			}
+			l.mu.Lock()
+			changed := !st.ModTime().Equal(l.mtime)
+			l.mu.Unlock()
+			if !changed {
+				continue
+			}
+			err = l.Reload()
+			if onReload != nil {
+				onReload(err)
+			}
+		}
+	}
+}

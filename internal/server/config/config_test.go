@@ -1,0 +1,104 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+const sample = `{"tenants": [
+	{"name": "alpha", "token": "tok-alpha", "rate_ops": 100, "burst_ops": 50},
+	{"name": "beta", "token": "tok-beta"}
+]}`
+
+func TestParseAndLookup(t *testing.T) {
+	c, err := Parse([]byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn := c.TenantByToken("tok-alpha"); tn == nil || tn.Name != "alpha" || tn.RateOps != 100 || tn.BurstOps != 50 {
+		t.Fatalf("alpha lookup = %+v", tn)
+	}
+	if tn := c.TenantByToken("tok-beta"); tn == nil || tn.RateOps != 0 {
+		t.Fatalf("beta lookup = %+v", tn)
+	}
+	if c.TenantByToken("nope") != nil || c.TenantByToken("") != nil {
+		t.Fatal("unknown/empty token resolved")
+	}
+	if c.TenantByName("beta") == nil {
+		t.Fatal("name lookup failed")
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for name, raw := range map[string]string{
+		"empty":      `{"tenants": []}`,
+		"no-name":    `{"tenants": [{"token": "x"}]}`,
+		"no-token":   `{"tenants": [{"name": "x"}]}`,
+		"dup-name":   `{"tenants": [{"name":"a","token":"1"},{"name":"a","token":"2"}]}`,
+		"dup-token":  `{"tenants": [{"name":"a","token":"1"},{"name":"b","token":"1"}]}`,
+		"bad-syntax": `{"tenants": [`,
+	} {
+		if _, err := Parse([]byte(raw)); err == nil {
+			t.Errorf("%s: parse accepted invalid config", name)
+		}
+	}
+}
+
+// A failed reload keeps the previous config in force.
+func TestReloadKeepsLastGood(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cdserver.json")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Reload(); err == nil {
+		t.Fatal("reload of broken config succeeded")
+	}
+	if l.Current().TenantByToken("tok-alpha") == nil {
+		t.Fatal("previous config lost after failed reload")
+	}
+}
+
+// The watcher picks up an edited file.
+func TestWatchReloads(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cdserver.json")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	reloaded := make(chan error, 1)
+	go l.Watch(5*time.Millisecond, stop, func(err error) { reloaded <- err })
+
+	next := `{"tenants": [{"name": "gamma", "token": "tok-gamma"}]}`
+	if err := os.WriteFile(path, []byte(next), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Ensure the mtime moves even on coarse filesystems.
+	future := time.Now().Add(2 * time.Second)
+	_ = os.Chtimes(path, future, future)
+
+	select {
+	case err := <-reloaded:
+		if err != nil {
+			t.Fatalf("watch reload: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watcher never reloaded")
+	}
+	if l.Current().TenantByToken("tok-gamma") == nil {
+		t.Fatal("watched reload not visible")
+	}
+}

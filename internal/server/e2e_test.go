@@ -1,0 +1,315 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cryptodrop"
+	"cryptodrop/internal/host"
+	"cryptodrop/internal/server"
+	"cryptodrop/internal/server/client"
+	"cryptodrop/internal/server/config"
+	"cryptodrop/internal/server/wire"
+	"cryptodrop/internal/telemetry"
+)
+
+// e2e tenant table: alpha and beta are ordinary tenants; hot is shaped to
+// overload trivially (queue of 1 batch, degrade on the first saturation);
+// trickle is rate-starved so the second op in any burst is refused.
+const e2eTenants = `{"tenants": [
+	{"name": "alpha",   "token": "tok-alpha"},
+	{"name": "beta",    "token": "tok-beta"},
+	{"name": "hot",     "token": "tok-hot", "queue_depth": 1, "degrade_after": 1},
+	{"name": "trickle", "token": "tok-trickle", "rate_ops": 0.1, "burst_ops": 1}
+]}`
+
+// testService is one running ingest service over a durable host.
+type testService struct {
+	host *host.Host
+	srv  *server.Server
+	http *httptest.Server
+	reg  *telemetry.Registry
+}
+
+func startService(t testing.TB, cfgPath, ckptDir string, restore bool) *testService {
+	t.Helper()
+	loader, err := config.Load(cfgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	h := host.New(host.Config{
+		Telemetry:       reg,
+		CheckpointDir:   ckptDir,
+		CheckpointEvery: 8,
+		Restore:         restore,
+	})
+	srv := server.New(h, loader, server.Options{
+		ProtectedRoot:      "/docs",
+		Telemetry:          reg,
+		OverloadRetryAfter: 5 * time.Millisecond,
+	})
+	return &testService{host: h, srv: srv, http: httptest.NewServer(srv.Handler()), reg: reg}
+}
+
+// benignOps builds n distinct low-entropy rewrite ops for a tenant stream.
+func benignOps(pid, n int, size int) []cryptodrop.Op {
+	ops := make([]cryptodrop.Op, 0, n)
+	for i := 0; i < n; i++ {
+		id := uint64(i + 1)
+		line := fmt.Sprintf("file %d line of ordinary prose for the ingest stream.\n", i)
+		before := bytes.Repeat([]byte(line), size/len(line)+1)[:size]
+		after := append(append([]byte(nil), before...), []byte("appended edit\n")...)
+		ops = append(ops, cryptodrop.OpWrite(pid, fmt.Sprintf("/docs/f%04d.txt", i), id, before, after))
+	}
+	return ops
+}
+
+// TestServiceEndToEnd drives the full service contract: three tenants
+// stream concurrently, the shaped tenant is forced into overload (429 +
+// degrade, with every op still landing), drain checkpoints every session,
+// and a restarted service resumes each session at its exact position.
+func TestServiceEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	ckptDir := filepath.Join(dir, "ckpt")
+	if err := os.MkdirAll(ckptDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "tenants.json")
+	if err := os.WriteFile(cfgPath, []byte(e2eTenants), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	svc := startService(t, cfgPath, ckptDir, false)
+	defer svc.http.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// Phase 1 — three tenants stream concurrently; alpha and beta batch
+	// comfortably, hot single-frames heavy content at a one-slot queue.
+	const perTenant = 40
+	type result struct {
+		name string
+		sent int64
+		err  error
+	}
+	results := make(chan result, 3)
+	for _, tn := range []struct{ name, token string }{{"alpha", "tok-alpha"}, {"beta", "tok-beta"}} {
+		go func(name, token string) {
+			st, err := client.New(svc.http.URL, token).Open(ctx, "docs")
+			if err != nil {
+				results <- result{name, 0, err}
+				return
+			}
+			ops := benignOps(100, perTenant, 512)
+			for i := 0; i < len(ops); i += 8 {
+				if err := st.Submit(ctx, ops[i:min(i+8, len(ops))]...); err != nil {
+					results <- result{name, st.Position(), err}
+					return
+				}
+			}
+			results <- result{name, st.Position(), nil}
+		}(tn.name, tn.token)
+	}
+	// The hot tenant: one pipelined request body carrying all ops as
+	// single-op frames. The handler admits them back to back with no
+	// network round trip in between, so the one-slot queue must saturate —
+	// the first refusal 429s the stream at the acknowledged position, and
+	// the producer retransmits the rest from there. Deterministic overload,
+	// zero dropped ops.
+	go func() {
+		ops := benignOps(200, perTenant, 32<<10)
+		acked := int64(0)
+		for acked < int64(len(ops)) {
+			status, ack, err := postFrames(svc.http.URL, "tok-hot", "stress", acked, ops[acked:])
+			if err != nil {
+				results <- result{"hot", acked, err}
+				return
+			}
+			if ack.Accepted > acked {
+				acked = ack.Accepted
+			}
+			switch {
+			case status == http.StatusOK:
+			case status == http.StatusTooManyRequests:
+				time.Sleep(2 * time.Millisecond) // let the queue drain a little
+			default:
+				results <- result{"hot", acked, fmt.Errorf("HTTP %d: %s", status, ack.Error)}
+				return
+			}
+		}
+		results <- result{"hot", acked, nil}
+	}()
+	sent := map[string]int64{}
+	for i := 0; i < 3; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("tenant %s: %v", r.name, r.err)
+		}
+		sent[r.name] = r.sent
+	}
+	for name, n := range sent {
+		if n != perTenant {
+			t.Fatalf("tenant %s acknowledged %d ops, want %d", name, n, perTenant)
+		}
+	}
+
+	// The hot session must have seen real overload refusals and degraded to
+	// payload-blind scoring — and still have lost nothing.
+	if sess, ok := svc.host.Get("hot/stress"); !ok || !sess.Degraded() {
+		t.Fatalf("hot session degraded = %v (exists %v), want degraded", ok && sess.Degraded(), ok)
+	}
+	if v := svc.reg.Counter("server_overload_refusals_total").Value(); v == 0 {
+		t.Fatal("no overload 429s were served to the hot tenant")
+	}
+	hotAck, err := mustStream(t, ctx, svc.http.URL, "tok-hot", "stress").Flush(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hotAck.Ingested != perTenant || !hotAck.Degraded {
+		t.Fatalf("hot after flush: ingested=%d degraded=%v, want %d/true", hotAck.Ingested, hotAck.Degraded, perTenant)
+	}
+
+	// Typed sentinels round-trip the wire.
+	if _, err := client.New(svc.http.URL, "tok-wrong").Open(ctx, "x"); !errors.Is(err, wire.ErrUnauthorized) {
+		t.Fatalf("bad token: err = %v, want ErrUnauthorized", err)
+	}
+	tc := client.New(svc.http.URL, "tok-trickle")
+	tc.MaxAttempts = 1
+	tst, err := tc.Open(ctx, "drip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drip := benignOps(300, 2, 64)
+	if err := tst.Submit(ctx, drip[0]); err != nil {
+		t.Fatalf("first trickle op (within burst): %v", err)
+	}
+	if err := tst.Submit(ctx, drip[1]); !errors.Is(err, wire.ErrRateLimited) {
+		t.Fatalf("second trickle op: err = %v, want ErrRateLimited", err)
+	}
+	// A frame leaving a sequence gap is refused with 409/gap.
+	if status, ack := rawFrame(t, svc.http.URL, "tok-alpha", "docs", 9999); status != http.StatusConflict || ack.Code != wire.CodeGap {
+		t.Fatalf("gap frame: HTTP %d code %q, want 409 %q", status, ack.Code, wire.CodeGap)
+	}
+
+	// Phase 2 — drain: admission stops, queues flush, sessions checkpoint.
+	reports, err := svc.srv.Drain(ctx)
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if len(reports) != 4 {
+		t.Fatalf("drain reported %d sessions, want 4", len(reports))
+	}
+	if !svc.srv.Draining() {
+		t.Fatal("server not marked draining")
+	}
+	if _, err := client.New(svc.http.URL, "tok-alpha").Open(ctx, "post-drain"); !errors.Is(err, host.ErrHostClosed) {
+		t.Fatalf("open during drain: err = %v, want ErrHostClosed", err)
+	}
+	ckpts, err := filepath.Glob(filepath.Join(ckptDir, "*.ckpt"))
+	if err != nil || len(ckpts) != 4 {
+		t.Fatalf("checkpoint files after drain = %d (%v), want 4", len(ckpts), err)
+	}
+	svc.http.Close()
+
+	// Phase 3 — restart with -restore: every session resumes at the exact
+	// acknowledged position, so producers resynchronize and continue.
+	svc2 := startService(t, cfgPath, ckptDir, true)
+	defer svc2.http.Close()
+	defer func() {
+		if _, err := svc2.srv.Drain(context.Background()); err != nil {
+			t.Errorf("final drain: %v", err)
+		}
+	}()
+	for _, tn := range []struct{ token, session string }{
+		{"tok-alpha", "docs"}, {"tok-beta", "docs"}, {"tok-hot", "stress"},
+	} {
+		st, err := client.New(svc2.http.URL, tn.token).Open(ctx, tn.session)
+		if err != nil {
+			t.Fatalf("reopen %s/%s: %v", tn.token, tn.session, err)
+		}
+		if st.Position() != perTenant {
+			t.Fatalf("restored %s/%s position = %d, want %d", tn.token, tn.session, st.Position(), perTenant)
+		}
+	}
+	// And the stream continues from there: alpha appends more ops.
+	st, err := client.New(svc2.http.URL, "tok-alpha").Open(ctx, "docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	more := benignOps(101, 5, 512)
+	if err := st.Submit(ctx, more...); err != nil {
+		t.Fatalf("post-restore submit: %v", err)
+	}
+	ack, err := st.Flush(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Ingested != perTenant+5 {
+		t.Fatalf("post-restore ingested = %d, want %d", ack.Ingested, perTenant+5)
+	}
+}
+
+// mustStream opens a wire stream or fails the test.
+func mustStream(t *testing.T, ctx context.Context, base, token, session string) *client.Stream {
+	t.Helper()
+	st, err := client.New(base, token).Open(ctx, session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// postFrames posts one request body pipelining every op as its own frame,
+// sequenced from seq, and returns the server's ack.
+func postFrames(base, token, session string, seq int64, ops []cryptodrop.Op) (int, wire.Ack, error) {
+	buf := wire.AppendHeader(nil, session)
+	for i, op := range ops {
+		buf = wire.AppendFrame(buf, seq+int64(i), []cryptodrop.Op{op})
+	}
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/ingest", bytes.NewReader(buf))
+	if err != nil {
+		return 0, wire.Ack{}, err
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, wire.Ack{}, err
+	}
+	defer resp.Body.Close()
+	var ack wire.Ack
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		return resp.StatusCode, wire.Ack{}, err
+	}
+	return resp.StatusCode, ack, nil
+}
+
+// rawFrame posts one hand-built frame at an arbitrary sequence position.
+func rawFrame(t *testing.T, base, token, session string, seq int64) (int, wire.Ack) {
+	t.Helper()
+	buf := wire.AppendHeader(nil, session)
+	buf = wire.AppendFrame(buf, seq, benignOps(1, 1, 64))
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/ingest", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ack wire.Ack
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, ack
+}

@@ -1,0 +1,136 @@
+// Package ratelimit is the server's per-tenant admission throttle: a classic
+// token-bucket limiter keyed by tenant name. Each bucket refills at a steady
+// ops/sec rate up to a burst ceiling; an ingest frame spends one token per
+// op. A refused take names the wait after which it would succeed, which the
+// server surfaces as Retry-After — the client retransmits, so throttling
+// delays ops but never drops them.
+package ratelimit
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Bucket is one token bucket. Rate 0 means unlimited.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; 0 = unlimited
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// NewBucket returns a full bucket refilling at rate tokens/sec with the
+// given burst capacity. rate <= 0 disables limiting; burst < 1 is raised to
+// 1 so a single op can always eventually pass.
+func NewBucket(rate, burst float64) *Bucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &Bucket{rate: rate, burst: burst, tokens: burst, now: time.Now}
+}
+
+// SetParams updates rate and burst in place (config hot reload). The current
+// fill is clamped to the new burst; a disabled bucket refills instantly on
+// re-enable.
+func (b *Bucket) SetParams(rate, burst float64) {
+	if burst < 1 {
+		burst = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	b.rate, b.burst = rate, burst
+	if b.tokens > burst {
+		b.tokens = burst
+	}
+}
+
+// TakeN spends n tokens if the bucket holds them. On refusal it reports how
+// long until n tokens will be available, rounded up to a whole millisecond
+// so a zero wait is never reported for a real deficit.
+func (b *Bucket) TakeN(n int) (ok bool, retryAfter time.Duration) {
+	if n <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rate <= 0 {
+		return true, 0
+	}
+	b.refillLocked()
+	need := float64(n)
+	if need > b.burst {
+		// A batch larger than the bucket can never pass whole; admit it at
+		// the cost of driving the bucket negative, which throttles the
+		// stream afterward instead of wedging it forever.
+		need = b.burst
+	}
+	if b.tokens >= need {
+		b.tokens -= float64(n)
+		return true, 0
+	}
+	wait := (need - b.tokens) / b.rate
+	d := time.Duration(math.Ceil(wait*1e3)) * time.Millisecond
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	return false, d
+}
+
+// refillLocked credits tokens for elapsed time. Callers hold b.mu.
+func (b *Bucket) refillLocked() {
+	now := b.now()
+	if !b.last.IsZero() && b.rate > 0 {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+}
+
+// Registry maps tenant keys to buckets, creating each on first use with the
+// parameters the provider returns for that key. Reload re-reads parameters
+// for every live bucket — the hot-reload hook.
+type Registry struct {
+	mu      sync.Mutex
+	buckets map[string]*Bucket
+	params  func(key string) (rate, burst float64)
+}
+
+// NewRegistry returns a registry drawing per-key parameters from params.
+func NewRegistry(params func(key string) (rate, burst float64)) *Registry {
+	return &Registry{buckets: make(map[string]*Bucket), params: params}
+}
+
+// Get returns the bucket for key, creating it on first use.
+func (r *Registry) Get(key string) *Bucket {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.buckets[key]
+	if !ok {
+		rate, burst := r.params(key)
+		b = NewBucket(rate, burst)
+		r.buckets[key] = b
+	}
+	return b
+}
+
+// Reload pushes current provider parameters into every live bucket.
+func (r *Registry) Reload() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for key, b := range r.buckets {
+		b.SetParams(r.params(key))
+	}
+}
+
+// Forget drops the bucket for key (tenant removed from config).
+func (r *Registry) Forget(key string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.buckets, key)
+}

@@ -1,0 +1,172 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"cryptodrop/internal/core"
+	"cryptodrop/internal/host"
+)
+
+func sampleOps() []host.Op {
+	pre := core.Event{Kind: core.EvOpen, PID: 41, Path: "docs/a.txt", FileID: 7, Flags: core.EvWriteIntent, Size: 11}
+	return []host.Op{
+		{
+			PreEvent: &pre,
+			Pre:      map[uint64][]byte{7: []byte("hello world")},
+			Event:    core.Event{Kind: core.EvClose, PID: 41, Path: "docs/a.txt", FileID: 7, Wrote: true},
+			Post:     map[uint64][]byte{7: []byte{0x8f, 0x01, 0x22, 0xd9}},
+		},
+		{
+			Event: core.Event{Kind: core.EvRename, PID: 41, Path: "docs/a.txt", NewPath: "docs/a.txt.locked", FileID: 7},
+			Evict: []uint64{7},
+			Post:  nil,
+			Pre:   nil,
+		},
+		{Event: core.Event{Kind: core.EvDelete, PID: 41, Path: "docs/b.txt", FileID: 9}},
+	}
+}
+
+// A header and a run of frames round-trip bit-exactly through the codec, and
+// a clean end of stream surfaces as io.EOF.
+func TestStreamRoundTrip(t *testing.T) {
+	ops := sampleOps()
+	buf := AppendHeader(nil, "tenant-a/session-1")
+	buf = AppendFrame(buf, 0, ops[:2])
+	buf = AppendFrame(buf, 2, ops[2:])
+	buf = AppendFrame(buf, 3, nil) // empty heartbeat frame is legal
+
+	r := bufio.NewReader(bytes.NewReader(buf))
+	h, err := ReadHeader(r)
+	if err != nil {
+		t.Fatalf("ReadHeader: %v", err)
+	}
+	if h.Version != Version || h.Session != "tenant-a/session-1" {
+		t.Fatalf("header = %+v", h)
+	}
+	var got []host.Op
+	var seqs []int64
+	for {
+		f, err := ReadFrame(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		seqs = append(seqs, f.Seq)
+		got = append(got, f.Ops...)
+	}
+	if want := []int64{0, 2, 3}; !reflect.DeepEqual(seqs, want) {
+		t.Fatalf("seqs = %v, want %v", seqs, want)
+	}
+	if !reflect.DeepEqual(got, ops) {
+		t.Fatalf("ops did not round-trip:\n got %+v\nwant %+v", got, ops)
+	}
+}
+
+// Every truncation point of a valid stream fails with ErrBadFrame (or clean
+// EOF exactly at a frame boundary) — never a panic, never garbage ops.
+func TestTornStream(t *testing.T) {
+	full := AppendHeader(nil, "s")
+	headerLen := len(full)
+	full = AppendFrame(full, 0, sampleOps())
+	for cut := 0; cut < len(full); cut++ {
+		r := bufio.NewReader(bytes.NewReader(full[:cut]))
+		h, err := ReadHeader(r)
+		if cut < headerLen {
+			if !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("cut %d: header err = %v, want ErrBadFrame", cut, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("cut %d: header err = %v", cut, err)
+		}
+		if h.Session != "s" {
+			t.Fatalf("cut %d: session %q", cut, h.Session)
+		}
+		if _, err := ReadFrame(r); !errors.Is(err, ErrBadFrame) && err != io.EOF {
+			t.Fatalf("cut %d: frame err = %v, want ErrBadFrame or EOF", cut, err)
+		}
+	}
+}
+
+// A flipped payload bit fails the checksum.
+func TestCorruptFrame(t *testing.T) {
+	buf := AppendFrame(nil, 5, sampleOps())
+	buf[len(buf)/2] ^= 0x40
+	if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(buf))); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("err = %v, want ErrBadFrame", err)
+	}
+}
+
+// A hostile frame length beyond MaxFrameBytes is refused before allocation.
+func TestOversizedFrameRefused(t *testing.T) {
+	buf := binary.AppendUvarint(nil, MaxFrameBytes+1)
+	if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(buf))); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("err = %v, want ErrBadFrame", err)
+	}
+}
+
+// Wrong magic and unknown version are refused at the header.
+func TestHeaderValidation(t *testing.T) {
+	if _, err := ReadHeader(bufio.NewReader(bytes.NewReader([]byte("NOPE\x01\x01s")))); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+	future := append([]byte(Magic), 0x7f) // version 127
+	future = append(future, 0x01, 's')
+	if _, err := ReadHeader(bufio.NewReader(bytes.NewReader(future))); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("future version: err = %v", err)
+	}
+	empty := AppendHeader(nil, "")
+	if _, err := ReadHeader(bufio.NewReader(bytes.NewReader(empty))); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("empty session: err = %v", err)
+	}
+}
+
+// Trailing garbage inside a checksummed payload is structural corruption.
+func TestTrailingBytesRefused(t *testing.T) {
+	// Build a frame whose payload has two extra bytes after the ops.
+	inner := AppendFrame(nil, 0, nil)
+	// Decode the valid frame's payload, extend it, reframe with a fresh sum.
+	n, sz := binary.Uvarint(inner)
+	payload := append([]byte(nil), inner[sz:sz+int(n)]...)
+	payload = append(payload, 0xde, 0xad)
+	buf := binary.AppendUvarint(nil, uint64(len(payload)))
+	buf = append(buf, payload...)
+	var sum [8]byte
+	binary.LittleEndian.PutUint64(sum[:], fnv64a(payload))
+	buf = append(buf, sum[:]...)
+	if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(buf))); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("err = %v, want ErrBadFrame", err)
+	}
+}
+
+// FuzzReadFrame hammers the frame decoder with arbitrary bytes: it must
+// return a frame or an error, never panic, and every valid encode of what it
+// decoded must re-decode identically.
+func FuzzReadFrame(f *testing.F) {
+	f.Add(AppendFrame(nil, 0, sampleOps()))
+	f.Add(AppendFrame(nil, 1<<40, nil))
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ReadFrame(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		again, err := ReadFrame(bufio.NewReader(bytes.NewReader(AppendFrame(nil, fr.Seq, fr.Ops))))
+		if err != nil {
+			t.Fatalf("re-encode failed to decode: %v", err)
+		}
+		if again.Seq != fr.Seq || len(again.Ops) != len(fr.Ops) {
+			t.Fatalf("re-encode drifted: %+v vs %+v", again, fr)
+		}
+	})
+}
