@@ -13,6 +13,7 @@
 //	cdbench -exp evasion    §III-F   — indicator-evasion strategies
 //	cdbench -exp curves     §V-F     — reputation-score trajectories
 //	cdbench -exp multiproc  §IV-A    — multi-process score dilution vs family scoring
+//	cdbench -exp recovery   §VII      — files lost before vs after versioned-backend rollback
 //	cdbench -exp paper      one roster run feeding Table I/Fig 3/Fig 5/union + the rest
 //	cdbench -exp all        everything above
 //
@@ -94,7 +95,7 @@ func (cfg config) monitorOpts() ([]cryptodrop.Option, error) {
 func run(args []string) error {
 	fs := flag.NewFlagSet("cdbench", flag.ContinueOnError)
 	var cfg config
-	fs.StringVar(&cfg.exp, "exp", "all", "experiment: table1|fig3|fig4|fig5|fig6|union|smallfile|perf|ablation|evasion|paper|wire|all")
+	fs.StringVar(&cfg.exp, "exp", "all", "experiment: table1|fig3|fig4|fig5|fig6|union|smallfile|perf|ablation|evasion|recovery|paper|wire|all")
 	fs.Int64Var(&cfg.seed, "seed", 2016, "master seed for corpus and roster")
 	fs.IntVar(&cfg.files, "files", corpus.DefaultFiles, "corpus file count")
 	fs.IntVar(&cfg.dirs, "dirs", corpus.DefaultDirs, "corpus directory count")
@@ -141,11 +142,12 @@ func run(args []string) error {
 		"evasion":   expEvasion,
 		"multiproc": expMultiProc,
 		"curves":    expCurves,
+		"recovery":  expRecovery,
 		"paper":     expPaper,
 		"wire":      expWire,
 	}
 	if cfg.exp == "all" {
-		for _, name := range []string{"table1", "fig3", "fig4", "fig5", "fig6", "union", "smallfile", "perf", "ablation", "evasion", "curves", "multiproc"} {
+		for _, name := range []string{"table1", "fig3", "fig4", "fig5", "fig6", "union", "smallfile", "perf", "ablation", "evasion", "curves", "multiproc", "recovery"} {
 			fmt.Printf("\n════════ %s ════════\n", name)
 			if err := experimentsByName[name](cfg, spec, roster); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
@@ -254,6 +256,21 @@ func expPaper(cfg config, spec corpus.Spec, roster []ransomware.Sample) error {
 	}
 	fmt.Println("\n════════ Performance (§V-H) ════════")
 	return expPerf(cfg, spec, roster)
+}
+
+// expRecovery runs the detect-then-recover comparison: the roster twice,
+// detection-only vs versioned-backend rollback, rendering median files lost
+// before and after recovery per family and behavioural class.
+func expRecovery(cfg config, spec corpus.Spec, roster []ransomware.Sample) error {
+	opts, err := cfg.monitorOpts()
+	if err != nil {
+		return err
+	}
+	tbl, err := experiments.RunRecoveryExperiment(spec, roster, opts...)
+	if err != nil {
+		return err
+	}
+	return tbl.Render(os.Stdout)
 }
 
 func expTable1(cfg config, spec corpus.Spec, roster []ransomware.Sample) error {

@@ -521,7 +521,7 @@ func runRecoverSelftest(cfg watchConfig) error {
 	if err := submitAll(sref, ops, batch); err != nil {
 		return err
 	}
-	want, err := href.Close("victim")
+	want, err := href.CloseSession(context.Background(), "victim")
 	if err != nil {
 		return err
 	}
@@ -563,7 +563,7 @@ func runRecoverSelftest(cfg watchConfig) error {
 	if err := submitAll(s2, ops[cut:], batch); err != nil {
 		return err
 	}
-	got, err := h2.Close("victim")
+	got, err := h2.CloseSession(context.Background(), "victim")
 	if err != nil {
 		return err
 	}

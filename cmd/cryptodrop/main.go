@@ -45,6 +45,7 @@ func run(args []string) error {
 		dirs    = fs.Int("dirs", 150, "corpus directory count")
 		scale   = fs.Float64("scale", 0.5, "corpus size scale")
 		noStop  = fs.Bool("no-enforce", false, "record detections without suspending")
+		rollbk  = fs.Bool("recover", false, "retain pre-images and roll back encrypted files on detection")
 		verbose = fs.Bool("v", false, "print the full scoreboard")
 		traceTo = fs.String("trace", "", "record the operation stream to this JSONL file")
 		telAddr = fs.String("telemetry", "", "serve /metrics, /debug/vars and pprof on this address (e.g. :9090)")
@@ -64,7 +65,7 @@ func run(args []string) error {
 	case *app != "":
 		return runApp(spec, *app, *verbose, tel)
 	case *family != "":
-		return runFamily(spec, *family, *class, *noStop, *verbose, *traceTo, tel)
+		return runFamily(spec, *family, *class, *noStop, *rollbk, *verbose, *traceTo, tel)
 	default:
 		return errors.New("pass -family <name>, -app <name> or -list")
 	}
@@ -147,7 +148,7 @@ func pickSample(family, class string, seed int64) (ransomware.Sample, error) {
 	return ransomware.Sample{}, fmt.Errorf("no sample of family %q class %q (see -list)", family, class)
 }
 
-func runFamily(spec corpus.Spec, family, class string, noEnforce, verbose bool, traceTo string, tel telemetrySetup) error {
+func runFamily(spec corpus.Spec, family, class string, noEnforce, rollback, verbose bool, traceTo string, tel telemetrySetup) error {
 	sample, err := pickSample(family, class, spec.Seed)
 	if err != nil {
 		return err
@@ -159,6 +160,9 @@ func runFamily(spec corpus.Spec, family, class string, noEnforce, verbose bool, 
 	runner, err := experiments.NewRunner(spec, opts...)
 	if err != nil {
 		return err
+	}
+	if rollback {
+		runner.EnableRecovery()
 	}
 	tel.attach(runner)
 	if traceTo != "" {
@@ -190,9 +194,17 @@ func runFamily(spec corpus.Spec, family, class string, noEnforce, verbose bool, 
 	} else {
 		fmt.Printf("NOT detected: score %.1f\n", out.Score)
 	}
-	fmt.Printf("Files lost before suspension: %d of %d (%.2f%%)\n",
-		out.FilesLost, len(runner.Manifest().Entries),
+	lostLabel := "before suspension"
+	if rollback {
+		lostLabel = "after recovery"
+	}
+	fmt.Printf("Files lost %s: %d of %d (%.2f%%)\n",
+		lostLabel, out.FilesLost, len(runner.Manifest().Entries),
 		100*float64(out.FilesLost)/float64(len(runner.Manifest().Entries)))
+	for _, rec := range out.Recoveries {
+		fmt.Printf("Recovery: group %d — %d restored in place, %d recreated, %d failures, %d bytes\n",
+			rec.Group, rec.FilesRestored, rec.FilesRecreated, rec.Failures, rec.BytesRestored)
+	}
 	fmt.Printf("Sample accounting: %d files attacked, %d ransom notes, %d op errors\n",
 		out.Run.FilesAttacked, out.Run.NotesDropped, out.Run.OpErrors)
 	if tel.fr != nil && out.Detected {

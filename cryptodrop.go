@@ -63,9 +63,11 @@ import (
 	"cryptodrop/internal/measurecache"
 	"cryptodrop/internal/policy"
 	"cryptodrop/internal/proc"
+	"cryptodrop/internal/recovery"
 	"cryptodrop/internal/server/wire"
 	"cryptodrop/internal/telemetry"
 	"cryptodrop/internal/vfs"
+	"cryptodrop/internal/vfs/versioned"
 	"cryptodrop/internal/vfsadapter"
 )
 
@@ -148,7 +150,24 @@ type (
 	// composition, causal firing history, touched files, engine and registry
 	// identity, measurement state.
 	AuditBundle = audit.Bundle
+	// VersionStore retains copy-on-write pre-images of files modified by
+	// not-yet-cleared process groups, out of reach of shadow-copy deletion.
+	// Create with NewVersionStore and arm with WithRecovery.
+	VersionStore = versioned.Store
+	// VersionStoreStats is a snapshot of a VersionStore's retention state.
+	VersionStoreStats = versioned.Stats
+	// RecoveryOutcome summarises one detection-triggered rollback; see
+	// Monitor.Recoveries and SessionReport.Recoveries.
+	RecoveryOutcome = host.RecoveryOutcome
+	// Recoverer is the host-session rollback hook (SessionConfig.Recoverer),
+	// for host services wiring detect-then-recover without the Monitor.
+	Recoverer = host.Recoverer
 )
+
+// NewVersionStore returns a pre-image retention store bounded to roughly
+// maxBytes of retained content (<= 0: unbounded). Hand it to WithRecovery;
+// consult Stats for retention counters.
+func NewVersionStore(maxBytes int64) *VersionStore { return versioned.NewStore(maxBytes) }
 
 // The measurement ladder tiers. TierSampled is the cheap tier: header-area
 // sampling with per-process escalation to TierFull on the first indicator
@@ -289,6 +308,7 @@ type options struct {
 	checkpointDir   string
 	checkpointEvery int
 	restore         bool
+	versions        *VersionStore
 }
 
 // WithRoot sets the protected documents directory (default
@@ -441,6 +461,21 @@ func WithRestore() Option {
 	return func(o *options) { o.restore = true }
 }
 
+// WithRecovery arms detect-then-recover: every mount of the monitored
+// filesystem is wrapped with pre-image retention into vs (capture rides the
+// existing pre-operation snapshot path, first touch per suspect group and
+// file), and each detection triggers a rollback of the convicted family's
+// retained pre-images — after enforcement has suspended the family, so the
+// restored bytes are the final state. Groups that end the session without a
+// verdict are exonerated and their pre-images released; families the user
+// clears with Allow are exempted from capture entirely. Rollback outcomes
+// surface through Monitor.Recoveries, SessionReport.Recoveries and each
+// detection's AuditBundle. Detection verdicts and scores are bit-identical
+// with and without recovery armed.
+func WithRecovery(vs *VersionStore) Option {
+	return func(o *options) { o.versions = vs }
+}
+
 // WithDetectionHandler registers a callback invoked once per detection,
 // after the process family has been suspended.
 func WithDetectionHandler(fn func(Detection)) Option {
@@ -494,11 +529,12 @@ func WithAuditSink(sink AuditSink) Option {
 // synchronous with the operation stream and enforcement can veto the very
 // next operation after a detection.
 type Monitor struct {
-	fs    *vfs.FS
-	procs *proc.Table
-	chain *filter.Chain
-	hst   *host.Host
-	sess  *host.Session
+	fs       *vfs.FS
+	procs    *proc.Table
+	chain    *filter.Chain
+	hst      *host.Host
+	sess     *host.Session
+	versions *VersionStore
 
 	mu     sync.Mutex
 	exempt map[int]bool
@@ -545,6 +581,7 @@ func NewMonitor(fsys *vfs.FS, procs *proc.Table, opts ...Option) (*Monitor, erro
 		fs:          fsys,
 		procs:       procs,
 		chain:       &filter.Chain{},
+		versions:    o.versions,
 		exempt:      make(map[int]bool),
 		onDetection: o.onDetection,
 		enforce:     o.enforce,
@@ -552,6 +589,21 @@ func NewMonitor(fsys *vfs.FS, procs *proc.Table, opts ...Option) (*Monitor, erro
 	o.cfg.OnDetection = m.handleDetection
 	if o.familyScoring {
 		o.cfg.FamilyOf = procs.RootOf
+	}
+	var recoverer host.Recoverer
+	if o.versions != nil {
+		// Retention groups must resolve exactly like the engine's scoring
+		// groups, so exoneration and rollback release what capture retained.
+		if o.familyScoring {
+			o.versions.SetGroupOf(procs.RootOf)
+		} else {
+			o.versions.SetGroupOf(nil)
+		}
+		fsys.WrapMounts(func(_ string, b vfs.Backend) vfs.Backend {
+			return versioned.Wrap(b, o.versions)
+		})
+		o.cfg.OnExonerate = o.versions.Release
+		recoverer = recovery.NewCoordinator(fsys, o.versions)
 	}
 	m.hst = host.New(host.Config{
 		Telemetry:       o.cfg.Telemetry,
@@ -561,9 +613,10 @@ func NewMonitor(fsys *vfs.FS, procs *proc.Table, opts ...Option) (*Monitor, erro
 		Restore:         o.restore,
 	})
 	sess, err := m.hst.Open(MonitorSessionID, host.SessionConfig{
-		Engine: o.cfg,
-		Source: vfsadapter.Source(fsys),
-		Direct: true,
+		Engine:    o.cfg,
+		Source:    vfsadapter.Source(fsys),
+		Direct:    true,
+		Recoverer: recoverer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("open session: %w", err)
@@ -615,8 +668,20 @@ func (m *Monitor) Allow(pid int) error {
 		m.exempt[p] = true
 	}
 	m.mu.Unlock()
+	if m.versions != nil {
+		// The user cleared this program: stop retaining pre-images for it
+		// and drop what capture already holds (the family list includes the
+		// root, covering both per-PID and family scoring groups).
+		for _, p := range family {
+			m.versions.Exempt(p)
+		}
+	}
 	return nil
 }
+
+// Recoveries returns the rollback outcomes of every detection-triggered
+// recovery so far, in detection order (empty without WithRecovery).
+func (m *Monitor) Recoveries() []RecoveryOutcome { return m.sess.Recoveries() }
 
 // Chain exposes the filter chain so additional filters (anti-virus and the
 // like) can be attached; CryptoDrop's behaviour is independent of their
@@ -652,6 +717,16 @@ func (m *Monitor) Shutdown(ctx context.Context) (SessionReport, error) {
 	m.fs.SetInterceptor(nil)
 	m.chain.Detach("cryptodrop-enforce")
 	m.chain.Detach("cryptodrop")
+	if m.versions != nil {
+		// Unwrap the pre-image capture layer: the filesystem outlives the
+		// monitor, and an unmonitored volume should not keep capturing.
+		m.fs.WrapMounts(func(_ string, b vfs.Backend) vfs.Backend {
+			if vb, ok := b.(*versioned.Backend); ok {
+				return vb.Inner()
+			}
+			return b
+		})
+	}
 	reports, err := m.hst.Shutdown(ctx)
 	if err != nil {
 		return SessionReport{}, err

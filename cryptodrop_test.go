@@ -204,8 +204,10 @@ func TestThresholdOption(t *testing.T) {
 }
 
 func TestDisabledIndicatorsOption(t *testing.T) {
-	fs, m, procs, mon := newVictim(t, cryptodrop.WithDisabledIndicators(
-		cryptodrop.IndicatorTypeChange, cryptodrop.IndicatorSimilarity,
+	fs, m, procs, mon := newVictim(t, cryptodrop.WithIndicators(
+		cryptodrop.DefaultIndicators().Without(
+			cryptodrop.IndicatorTypeChange, cryptodrop.IndicatorSimilarity,
+		),
 	))
 	s := testSample(6)
 	pid := procs.Spawn(s.ID)

@@ -143,6 +143,27 @@ type Bundle struct {
 	// recorder (empty Events when none was attached). Trace.Dropped warns
 	// when the ring wrapped and the history is incomplete.
 	Trace telemetry.Trace `json:"trace"`
+	// Recovery is the rollback outcome for this detection when the session
+	// ran with detect-then-recover armed; nil otherwise (the host stamps it
+	// after the engine assembles the bundle).
+	Recovery *RecoveryRecord `json:"recovery,omitempty"`
+}
+
+// RecoveryRecord is the audit image of one detection-triggered rollback:
+// what the recovery coordinator restored from the convicted group's
+// retained pre-images.
+type RecoveryRecord struct {
+	// Group is the convicted scoring group.
+	Group int `json:"group"`
+	// FilesRestored counts pre-images written back over a surviving file ID.
+	FilesRestored int `json:"filesRestored"`
+	// FilesRecreated counts pre-images recreated at their captured path
+	// because the original file ID was gone.
+	FilesRecreated int `json:"filesRecreated"`
+	// Failures counts pre-images that could not be written back.
+	Failures int `json:"failures,omitempty"`
+	// BytesRestored is the total content written back.
+	BytesRestored int64 `json:"bytesRestored"`
 }
 
 // Sink receives completed audit bundles. Emit is called outside all engine

@@ -192,6 +192,13 @@ type Config struct {
 	// OnDetection, if set, is invoked exactly once per flagged process at
 	// the moment its score crosses the effective threshold.
 	OnDetection func(Detection)
+	// OnExonerate, if set, is invoked by ExonerateUndetected for each
+	// scoring group the engine clears without a detection — the
+	// "closed clean" verdict the recovery layer uses to release that
+	// group's retained pre-images. Like FamilyOf and OnDetection it is
+	// code, not configuration: it does not participate in the config
+	// fingerprint and never affects scoring.
+	OnExonerate func(group int)
 	// Telemetry, if set, receives the engine's metrics: per-indicator fire
 	// counters (series derived from the registry's declared names),
 	// detection counters and score distributions, measurement latency

@@ -349,6 +349,44 @@ func (e *Engine) dispatch(dets []firedDetection) {
 	}
 }
 
+// GroupOf resolves pid to its scoring group under the configured FamilyOf
+// mapping (identity when unset) — the group OnDetection verdicts,
+// exonerations and pre-image retention all key on.
+func (e *Engine) GroupOf(pid int) int {
+	if e.cfg.FamilyOf != nil {
+		return e.cfg.FamilyOf(pid)
+	}
+	return pid
+}
+
+// ExonerateUndetected invokes Config.OnExonerate, outside all engine locks
+// and in ascending group order, for every scoring group on the scoreboard
+// whose score never crossed the threshold. The session host calls it when a
+// session drains (close or idle eviction): groups that finished their run
+// without a verdict are cleared, so the recovery layer can release the
+// pre-images retained while they were suspect. Detected groups are never
+// exonerated. With OnExonerate unset this is a no-op.
+func (e *Engine) ExonerateUndetected() {
+	if e.cfg.OnExonerate == nil {
+		return
+	}
+	var groups []int
+	for i := range e.procs.shards {
+		sh := &e.procs.shards[i]
+		sh.mu.Lock()
+		for pid, ps := range sh.m {
+			if !ps.detected {
+				groups = append(groups, pid)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Ints(groups)
+	for _, g := range groups {
+		e.cfg.OnExonerate(g)
+	}
+}
+
 // handleRead folds a read payload into the entropy tracker and, when some
 // unit consumes type sniffs, the funneling sets; proc-shard lock held.
 func (e *Engine) handleRead(ps *procState, ev *Event, opIdx int64) {

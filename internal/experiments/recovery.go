@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"cryptodrop"
+	"cryptodrop/internal/corpus"
+	"cryptodrop/internal/ransomware"
+)
+
+// RecoveryRow is one family row of the detect-then-recover experiment: the
+// family's median files lost with detection only (Table I's number) next to
+// its median after pre-image rollback.
+type RecoveryRow struct {
+	// Family is the family name.
+	Family string
+	// Total is the family sample count.
+	Total int
+	// MedianLostBefore is the median files lost with detection only.
+	MedianLostBefore float64
+	// MedianLostAfter is the median files lost after rollback.
+	MedianLostAfter float64
+	// MedianRestored is the median files rolled back per sample.
+	MedianRestored float64
+	// Failures counts rollback failures across the family's samples.
+	Failures int
+	// DetectedAll reports whether every family sample was detected (in
+	// both the baseline and the recovery-armed run).
+	DetectedAll bool
+}
+
+// RecoveryClassRow aggregates the same comparison per behavioural class, the
+// acceptance view: Class A rewrites in place, Class B moves out, Class C
+// copies and deletes — recovery has to hold across all three shapes.
+type RecoveryClassRow struct {
+	// Class is the behavioural class.
+	Class ransomware.Class
+	// Total is the class sample count.
+	Total int
+	// MedianLostBefore/MedianLostAfter mirror the family rows.
+	MedianLostBefore, MedianLostAfter float64
+}
+
+// RecoveryTable summarises a paired baseline / recovery-armed roster run.
+type RecoveryTable struct {
+	// Rows are per-family results in name order.
+	Rows []RecoveryRow
+	// Classes are per-class aggregates in class order.
+	Classes []RecoveryClassRow
+	// Total is the sample count.
+	Total int
+	// OverallMedianLostBefore is Table I's headline median.
+	OverallMedianLostBefore float64
+	// OverallMedianLostAfter is the headline after rollback.
+	OverallMedianLostAfter float64
+	// DetectionRate is the fraction detected in both runs.
+	DetectionRate float64
+	// FilesRestored/FilesRecreated/Failures total the rollback accounting.
+	FilesRestored, FilesRecreated, Failures int
+}
+
+// BuildRecoveryTable pairs a detection-only roster run with a
+// recovery-armed run of the same roster (same order) and aggregates the
+// before/after comparison. The two slices must be position-aligned.
+func BuildRecoveryTable(baseline, recovered []SampleOutcome) (RecoveryTable, error) {
+	if len(baseline) != len(recovered) {
+		return RecoveryTable{}, fmt.Errorf("experiments: paired rosters differ: %d baseline vs %d recovered", len(baseline), len(recovered))
+	}
+	type agg struct {
+		row           RecoveryRow
+		before, after []int
+		restored      []int
+		detected      int
+	}
+	byFamily := make(map[string]*agg)
+	byClass := make(map[ransomware.Class]*RecoveryClassRow)
+	classLost := make(map[ransomware.Class][2][]int)
+	var order []string
+	var t RecoveryTable
+	var allBefore, allAfter []int
+	for i, base := range baseline {
+		rec := recovered[i]
+		if base.Sample.ID != rec.Sample.ID {
+			return RecoveryTable{}, fmt.Errorf("experiments: paired rosters diverge at %d: %s vs %s", i, base.Sample.ID, rec.Sample.ID)
+		}
+		fam := base.Sample.Profile.Family
+		a, ok := byFamily[fam]
+		if !ok {
+			a = &agg{row: RecoveryRow{Family: fam}}
+			byFamily[fam] = a
+			order = append(order, fam)
+		}
+		restored := 0
+		for _, r := range rec.Recoveries {
+			restored += r.FilesRestored + r.FilesRecreated
+			t.FilesRestored += r.FilesRestored
+			t.FilesRecreated += r.FilesRecreated
+			t.Failures += r.Failures
+			a.row.Failures += r.Failures
+		}
+		a.row.Total++
+		a.before = append(a.before, base.FilesLost)
+		a.after = append(a.after, rec.FilesLost)
+		a.restored = append(a.restored, restored)
+		allBefore = append(allBefore, base.FilesLost)
+		allAfter = append(allAfter, rec.FilesLost)
+		if base.Detected && rec.Detected {
+			a.detected++
+			t.DetectionRate++
+		}
+		class := base.Sample.Profile.Class
+		c, ok := byClass[class]
+		if !ok {
+			c = &RecoveryClassRow{Class: class}
+			byClass[class] = c
+		}
+		c.Total++
+		lost := classLost[class]
+		lost[0] = append(lost[0], base.FilesLost)
+		lost[1] = append(lost[1], rec.FilesLost)
+		classLost[class] = lost
+		t.Total++
+	}
+	sort.Strings(order)
+	for _, fam := range order {
+		a := byFamily[fam]
+		a.row.MedianLostBefore = median(a.before)
+		a.row.MedianLostAfter = median(a.after)
+		a.row.MedianRestored = median(a.restored)
+		a.row.DetectedAll = a.detected == a.row.Total
+		t.Rows = append(t.Rows, a.row)
+	}
+	for _, class := range []ransomware.Class{ransomware.ClassA, ransomware.ClassB, ransomware.ClassC} {
+		c, ok := byClass[class]
+		if !ok {
+			continue
+		}
+		lost := classLost[class]
+		c.MedianLostBefore = median(lost[0])
+		c.MedianLostAfter = median(lost[1])
+		t.Classes = append(t.Classes, *c)
+	}
+	t.OverallMedianLostBefore = median(allBefore)
+	t.OverallMedianLostAfter = median(allAfter)
+	if t.Total > 0 {
+		t.DetectionRate /= float64(t.Total)
+	}
+	return t, nil
+}
+
+// RunRecoveryExperiment runs the roster twice against corpora built from the
+// same spec — once detection-only (Table I's condition) and once with the
+// versioned backend and the recovery coordinator armed — and pairs the
+// outcomes. opts apply to both runs, so the comparison isolates recovery.
+func RunRecoveryExperiment(spec corpus.Spec, roster []ransomware.Sample, opts ...cryptodrop.Option) (RecoveryTable, error) {
+	base, err := NewRunner(spec, opts...)
+	if err != nil {
+		return RecoveryTable{}, err
+	}
+	baseline, err := base.RunRoster(roster, nil)
+	if err != nil {
+		return RecoveryTable{}, err
+	}
+	armed, err := NewRunner(spec, opts...)
+	if err != nil {
+		return RecoveryTable{}, err
+	}
+	armed.EnableRecovery()
+	recovered, err := armed.RunRoster(roster, nil)
+	if err != nil {
+		return RecoveryTable{}, err
+	}
+	return BuildRecoveryTable(baseline, recovered)
+}
+
+// Render writes the before/after table.
+func (t RecoveryTable) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Family\tTotal\tMedian FL (detect-only)\tMedian FL (after recovery)\tMedian restored\tDetected")
+	for _, r := range t.Rows {
+		det := "all"
+		if !r.DetectedAll {
+			det = "PARTIAL"
+		}
+		if r.Failures > 0 {
+			det += fmt.Sprintf(" (%d rollback failures)", r.Failures)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.1f\t%.1f\t%s\n",
+			r.Family, r.Total, r.MedianLostBefore, r.MedianLostAfter, r.MedianRestored, det)
+	}
+	for _, c := range t.Classes {
+		fmt.Fprintf(tw, "Class %s\t%d\t%.1f\t%.1f\t\t\n", c.Class, c.Total, c.MedianLostBefore, c.MedianLostAfter)
+	}
+	fmt.Fprintf(tw, "Overall\t%d\t%.1f\t%.1f\t\t%.0f%%\n",
+		t.Total, t.OverallMedianLostBefore, t.OverallMedianLostAfter, 100*t.DetectionRate)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "Rollback: %d files restored in place, %d recreated, %d failures\n",
+		t.FilesRestored, t.FilesRecreated, t.Failures)
+	return err
+}

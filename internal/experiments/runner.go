@@ -42,6 +42,10 @@ type Runner struct {
 	// perRunTelemetry gives every run a private registry and flight
 	// recorder and folds a TelemetrySummary into its outcome.
 	perRunTelemetry bool
+	// recovery arms every subsequent run with a fresh unbounded version
+	// store and the detect-then-recover coordinator, and folds the
+	// rollback outcomes into SampleOutcome.Recoveries.
+	recovery bool
 }
 
 // SetTraceRecorder attaches a filter (typically a trace.Recorder) to every
@@ -63,6 +67,13 @@ func (r *Runner) SetTelemetry(reg *telemetry.Registry, fr *telemetry.FlightRecor
 // Takes precedence over SetTelemetry: per-run instruments are private by
 // design, so PID-keyed flight-recorder traces cannot collide across runs.
 func (r *Runner) EnableTelemetrySummaries() { r.perRunTelemetry = true }
+
+// EnableRecovery arms every subsequent run with detect-then-recover: each
+// sample gets a private, unbounded version store, so when the monitor
+// convicts the sample its pre-images roll back before the run returns.
+// FilesLost on the outcome then measures loss AFTER recovery; the per-group
+// rollback accounting lands in SampleOutcome.Recoveries.
+func (r *Runner) EnableRecovery() { r.recovery = true }
 
 // NewRunner builds the corpus once per spec. opts are applied to every
 // monitor the runner creates.
@@ -102,6 +113,10 @@ type SampleOutcome struct {
 	// Telemetry is the run's metrics summary; set only when the runner has
 	// EnableTelemetrySummaries on.
 	Telemetry *TelemetrySummary
+	// Recoveries are the rollback outcomes for the run; set only when the
+	// runner has EnableRecovery on. With recovery armed, FilesLost counts
+	// loss after rollback.
+	Recoveries []cryptodrop.RecoveryOutcome
 }
 
 // RunSample executes one sample on a fresh clone of the corpus under a
@@ -121,6 +136,9 @@ func (r *Runner) RunSample(s ransomware.Sample) (SampleOutcome, error) {
 	if fr != nil {
 		runOpts = append(runOpts, cryptodrop.WithFlightRecorder(fr))
 	}
+	if r.recovery {
+		runOpts = append(runOpts, cryptodrop.WithRecovery(cryptodrop.NewVersionStore(0)))
+	}
 	mon, err := cryptodrop.NewMonitor(fs, procs, append(runOpts, r.opts...)...)
 	if err != nil {
 		return SampleOutcome{}, fmt.Errorf("experiments: monitor: %w", err)
@@ -139,6 +157,9 @@ func (r *Runner) RunSample(s ransomware.Sample) (SampleOutcome, error) {
 		Sample:    s,
 		FilesLost: r.countFilesLost(fs),
 		Run:       res,
+	}
+	if r.recovery {
+		out.Recoveries = mon.Recoveries()
 	}
 	if rep, ok := mon.Report(pid); ok {
 		out.Report = rep

@@ -97,7 +97,7 @@ func benchSessionIngestHost(b *testing.B, direct bool, hcfg Config, batchSize in
 		b.Fatal(err)
 	}
 	b.StopTimer()
-	if _, err := h.Close("bench"); err != nil {
+	if _, err := h.CloseSession(context.Background(), "bench"); err != nil {
 		b.Fatal(err)
 	}
 }

@@ -109,7 +109,7 @@ func BenchmarkSessionRestore(b *testing.B) {
 				if got := sess.Ingested(); got != int64(256+tail) {
 					b.Fatalf("restored at op %d, want %d", got, 256+tail)
 				}
-				if _, err := h.Close("bench"); err != nil {
+				if _, err := h.CloseSession(context.Background(), "bench"); err != nil {
 					b.Fatal(err)
 				}
 				b.StartTimer()

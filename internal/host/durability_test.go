@@ -93,7 +93,7 @@ func runReference(t *testing.T, sc SessionConfig, ops []Op, batch int) SessionRe
 		t.Fatal(err)
 	}
 	submitBatched(t, sess, ops, batch)
-	rep, err := h.Close("ref")
+	rep, err := h.CloseSession(context.Background(), "ref")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,7 +308,7 @@ func killAndRestore(t *testing.T, direct bool, every int) {
 		t.Fatalf("restored engine at op %d, want %d", got, cut)
 	}
 	submitBatched(t, s2, ops[cut:], batch)
-	rep, err := h2.Close("victim")
+	rep, err := h2.CloseSession(context.Background(), "victim")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -401,7 +401,7 @@ func TestRestorePartialWALOverlap(t *testing.T) {
 	if got := s2.Engine().OpIndex(); got != 6 {
 		t.Fatalf("restored engine at op %d, want 6 (replayed suffix only)", got)
 	}
-	rep, err := h2.Close("v")
+	rep, err := h2.CloseSession(context.Background(), "v")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -420,7 +420,7 @@ func TestRestoreIdentityMismatch(t *testing.T) {
 	if err := s1.Submit(context.Background(), encryptionWorkload(1, 3)...); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := h1.Close("v"); err != nil {
+	if _, err := h1.CloseSession(context.Background(), "v"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -447,7 +447,7 @@ func TestFreshOpenTruncatesStale(t *testing.T) {
 	if err := s1.Submit(context.Background(), encryptionWorkload(pid, 8)...); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := h1.Close("v"); err != nil {
+	if _, err := h1.CloseSession(context.Background(), "v"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -465,7 +465,7 @@ func TestFreshOpenTruncatesStale(t *testing.T) {
 	if err := s2.Submit(context.Background(), second...); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := h2.Close("v")
+	rep, err := h2.CloseSession(context.Background(), "v")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -539,7 +539,7 @@ func TestDegradedSessionRestores(t *testing.T) {
 	if err := s2.Submit(ctx, writeOp(1, 201, payload)); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := h2.Close("v")
+	rep, err := h2.CloseSession(context.Background(), "v")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -581,7 +581,7 @@ func TestCheckpointOnShutdownAndErrors(t *testing.T) {
 	if err := s.DurabilityErr(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := h2.Close("v"); err != nil {
+	if _, err := h2.CloseSession(context.Background(), "v"); err != nil {
 		t.Fatal(err)
 	}
 

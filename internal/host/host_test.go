@@ -112,7 +112,7 @@ func TestOverloadBackpressureAndDegradeOnce(t *testing.T) {
 		t.Fatalf("shed bytes counter = %d, want %d", got, len(payload))
 	}
 
-	rep, err := h.Close("tenant")
+	rep, err := h.CloseSession(context.Background(), "tenant")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +200,7 @@ func TestSubmitResetsSaturationStreak(t *testing.T) {
 	if sess.Degraded() {
 		t.Fatal("session degraded; successful submissions must reset the streak")
 	}
-	if _, err := h.Close("s"); err != nil {
+	if _, err := h.CloseSession(context.Background(), "s"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -239,7 +239,7 @@ func TestSessionLifecycle(t *testing.T) {
 	if err := a.Submit(ctx, writeOp(1, 1, []byte("hello"))); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := h.Close("a")
+	rep, err := h.CloseSession(context.Background(), "a")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +252,7 @@ func TestSessionLifecycle(t *testing.T) {
 	if err := a.Flush(ctx); !errors.Is(err, ErrSessionClosed) {
 		t.Fatalf("Flush after close = %v, want ErrSessionClosed", err)
 	}
-	if _, err := h.Close("a"); !errors.Is(err, ErrSessionClosed) {
+	if _, err := h.CloseSession(context.Background(), "a"); !errors.Is(err, ErrSessionClosed) {
 		t.Fatalf("double Close = %v, want ErrSessionClosed", err)
 	}
 	if _, ok := h.Get("a"); ok {
@@ -260,14 +260,17 @@ func TestSessionLifecycle(t *testing.T) {
 	}
 	mk("a") // ID reusable after close
 
-	// EvictIdle(0) evicts everything, final snapshots included.
+	// EvictIdleSessions(0) evicts everything, final snapshots included.
 	if err := b.Submit(ctx, writeOp(2, 2, []byte("x"))); err != nil {
 		t.Fatal(err)
 	}
 	if err := b.Flush(ctx); err != nil {
 		t.Fatal(err)
 	}
-	evicted := h.EvictIdle(0)
+	evicted, err := h.EvictIdleSessions(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(evicted) != 3 {
 		t.Fatalf("EvictIdle(0) evicted %d sessions, want 3", len(evicted))
 	}
@@ -343,7 +346,7 @@ func TestDirectSessionSynchronous(t *testing.T) {
 	if got := sess.Engine().OpIndex(); got != 1 {
 		t.Fatalf("direct session OpIndex = %d immediately after Submit, want 1", got)
 	}
-	rep, err := h.Close("direct")
+	rep, err := h.CloseSession(context.Background(), "direct")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,62 @@
+package host
+
+import "cryptodrop/internal/audit"
+
+// RecoveryOutcome summarises one rollback pass over a convicted scoring
+// group's retained pre-images — the detect-then-recover result surfaced in
+// the session report and stamped into the detection's audit bundle.
+type RecoveryOutcome struct {
+	// Group is the convicted scoring group (the detection's PID under
+	// family scoring).
+	Group int
+	// FilesRestored counts pre-images written back over a still-existing
+	// file ID.
+	FilesRestored int
+	// FilesRecreated counts pre-images whose file ID no longer existed
+	// (the attacker deleted or replaced the file) and were recreated at
+	// their captured path.
+	FilesRecreated int
+	// Failures counts pre-images that could not be written back.
+	Failures int
+	// BytesRestored is the total content written back.
+	BytesRestored int64
+}
+
+// Recoverer rolls back the damage of a convicted scoring group. The session
+// invokes it once per detection, after the caller's OnDetection callback
+// has run — so enforcement (suspending the family) is already in place
+// before rollback begins — and outside all engine locks.
+//
+// internal/recovery.Coordinator is the canonical implementation, replaying
+// the versioned store's pre-images through the filesystem's privileged
+// restore path; the host depends only on this interface so it stays
+// storage-agnostic.
+type Recoverer interface {
+	Recover(group int) RecoveryOutcome
+}
+
+// recoveryStampSink interposes on the session's audit sink, stamping each
+// bundle with the flagged group's rollback outcome before forwarding. The
+// engine emits bundles after OnDetection returns — by which point the
+// session's detection wrapper has recorded the outcome — so the stamp is
+// always current.
+type recoveryStampSink struct {
+	s     *Session
+	inner audit.Sink
+}
+
+func (rs *recoveryStampSink) Emit(b *audit.Bundle) {
+	rs.s.recMu.Lock()
+	out, ok := rs.s.recLatest[b.PID]
+	rs.s.recMu.Unlock()
+	if ok {
+		b.Recovery = &audit.RecoveryRecord{
+			Group:          out.Group,
+			FilesRestored:  out.FilesRestored,
+			FilesRecreated: out.FilesRecreated,
+			Failures:       out.Failures,
+			BytesRestored:  out.BytesRestored,
+		}
+	}
+	rs.inner.Emit(b)
+}

@@ -36,6 +36,13 @@ type SessionConfig struct {
 	// the producer is the filesystem interposition layer itself and scoring
 	// must be ordered exactly with the operation stream.
 	Direct bool
+	// Recoverer, if set, arms detect-then-recover: each detection triggers
+	// one rollback of the convicted group (after the Engine.OnDetection
+	// callback, so enforcement runs first), the outcome is appended to the
+	// session report and stamped into the detection's audit bundle, and
+	// groups that finish the session without a verdict are exonerated via
+	// Engine.OnExonerate when the session drains.
+	Recoverer Recoverer
 }
 
 // Op is one unit of ingest work: a backend-neutral engine event plus the
@@ -84,6 +91,9 @@ type SessionReport struct {
 	Ingested int64
 	// ShedBytes counts payload bytes stripped after degradation.
 	ShedBytes int64
+	// Recoveries are the rollback outcomes of every detection-triggered
+	// recovery, in detection order (empty without a Recoverer).
+	Recoveries []RecoveryOutcome
 }
 
 // batch is one queue element: a slice of ops, or a flush/checkpoint marker.
@@ -144,6 +154,14 @@ type Session struct {
 	// ingest-side queue-wait span to the causal picture the engine records.
 	spans *telemetry.SpanTracer
 
+	// recoveries accumulates rollback outcomes in detection order; recLatest
+	// keeps the most recent outcome per group for the audit-bundle stamp.
+	// Both are guarded by recMu (detections may fire from any submitting
+	// goroutine).
+	recMu      sync.Mutex
+	recoveries []RecoveryOutcome
+	recLatest  map[int]RecoveryOutcome
+
 	// Durability (Config.CheckpointDir). ckptPath empty means the session is
 	// not durable. wal and sinceCkpt are touched only on the applying
 	// goroutine — the worker for queued sessions, under directMu for direct
@@ -196,6 +214,7 @@ func newSession(h *Host, id string, sc SessionConfig) (*Session, error) {
 	// wrapper observes and forwards, never filters, so the caller's callback
 	// semantics are untouched.
 	inner := sc.Engine.OnDetection
+	rec := sc.Recoverer
 	sc.Engine.OnDetection = func(d core.Detection) {
 		s.detCount.Add(1)
 		s.lastDet.Store(&LastDetection{
@@ -204,6 +223,25 @@ func newSession(h *Host, id string, sc SessionConfig) (*Session, error) {
 		})
 		if inner != nil {
 			inner(d)
+		}
+		if rec != nil {
+			// Rollback runs after the caller's callback so enforcement
+			// (suspending the convicted family) precedes recovery — the
+			// detect-then-recover order of the paper's containment story.
+			out := rec.Recover(d.PID)
+			s.recMu.Lock()
+			s.recoveries = append(s.recoveries, out)
+			s.recLatest[d.PID] = out
+			s.recMu.Unlock()
+		}
+	}
+	if rec != nil {
+		s.recLatest = make(map[int]RecoveryOutcome)
+		if sink := sc.Engine.AuditSink; sink != nil {
+			// The engine emits each bundle right after OnDetection returns,
+			// so the group's rollback outcome is already recorded when the
+			// stamping sink sees it.
+			sc.Engine.AuditSink = &recoveryStampSink{s: s, inner: sink}
 		}
 	}
 	s.overlay = newOverlaySource(sc.Source)
@@ -615,9 +653,13 @@ func (s *Session) drained() <-chan struct{} { return s.done }
 
 // finalReport snapshots the session after its queue has drained, committing
 // a final checkpoint (and releasing the WAL handle) for durable sessions so
-// a clean close restores without any replay.
+// a clean close restores without any replay. Scoring groups that reach this
+// point without a detection are exonerated (Engine.OnExonerate) — the
+// session is over, their run was clean, so retained pre-images are released
+// whether the session closed deliberately or was idle-evicted.
 func (s *Session) finalReport() SessionReport {
 	s.eng.Flush()
+	s.eng.ExonerateUndetected()
 	if s.ckptPath != "" {
 		s.noteDurErr(s.checkpointNow())
 		if s.wal != nil {
@@ -632,7 +674,18 @@ func (s *Session) finalReport() SessionReport {
 		Degraded:   s.degraded.Load(),
 		Ingested:   s.ingested.Load(),
 		ShedBytes:  s.shedBytes.Load(),
+		Recoveries: s.Recoveries(),
 	}
+}
+
+// Recoveries returns the rollback outcomes recorded so far, in detection
+// order (empty without a SessionConfig.Recoverer).
+func (s *Session) Recoveries() []RecoveryOutcome {
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
+	out := make([]RecoveryOutcome, len(s.recoveries))
+	copy(out, s.recoveries)
+	return out
 }
 
 // unregisterTelemetry drops the per-session series from the host registry.

@@ -1,0 +1,71 @@
+// Package recovery implements the rollback half of detect-then-recover: a
+// Coordinator that, given a convicted scoring group, replays the group's
+// retained pre-images (internal/vfs/versioned) back into the filesystem
+// through its privileged restore path.
+//
+// The paper's detection engine bounds loss to the handful of files a family
+// transforms before its score crosses the threshold (Table I's median of a
+// few files); recovery closes that residual gap. By the time Recover runs,
+// enforcement has already suspended the family — the host invokes the
+// Recoverer after the caller's OnDetection callback — so rollback never
+// races the attacker's writes: the restored bytes are the final state.
+//
+// Restores bypass the interceptor the way a kernel-side restore would:
+// rollback is the analysis engine repairing the volume, not process I/O to
+// be scored, and must proceed even where the attacker left read-only
+// attributes behind.
+package recovery
+
+import (
+	"errors"
+
+	"cryptodrop/internal/host"
+	"cryptodrop/internal/vfs"
+	"cryptodrop/internal/vfs/versioned"
+)
+
+// Coordinator rolls a convicted group's files back from the versioned
+// store's pre-images. It implements host.Recoverer; wire it through
+// host.SessionConfig.Recoverer (the cryptodrop.WithRecovery option does
+// this for the facade monitor). Safe for concurrent use.
+type Coordinator struct {
+	fs    *vfs.FS
+	store *versioned.Store
+}
+
+// NewCoordinator returns a coordinator restoring into fsys from store.
+func NewCoordinator(fsys *vfs.FS, store *versioned.Store) *Coordinator {
+	return &Coordinator{fs: fsys, store: store}
+}
+
+var _ host.Recoverer = (*Coordinator)(nil)
+
+// Recover implements host.Recoverer: it takes the group's retained
+// pre-images out of the store and writes each back, in capture order.
+// Surviving file IDs are restored in place — wherever the file lives now,
+// so a file the attacker renamed still rolls back (the same stable-ID
+// tracking the detection side relies on). Pre-images whose ID is gone
+// (the file was deleted, or replaced by a rename) are recreated at their
+// captured path. Taking the images empties the group's retention set, so a
+// second Recover for the same group is a no-op reporting zero work.
+func (c *Coordinator) Recover(group int) host.RecoveryOutcome {
+	out := host.RecoveryOutcome{Group: group}
+	for _, img := range c.store.Take(group) {
+		err := c.fs.RestoreFileRawByID(img.ID, img.Data)
+		switch {
+		case err == nil:
+			out.FilesRestored++
+		case errors.Is(err, vfs.ErrNotExist):
+			if err := c.fs.RestoreFileRaw(img.Path, img.Data); err != nil {
+				out.Failures++
+				continue
+			}
+			out.FilesRecreated++
+		default:
+			out.Failures++
+			continue
+		}
+		out.BytesRestored += int64(len(img.Data))
+	}
+	return out
+}

@@ -1,0 +1,387 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// backends enumerates the configurations the router must behave identically
+// on: the default in-memory backend, an OS-dir Local at "/", and a mixed
+// tree with a Local mounted over part of the namespace.
+func backends(t *testing.T) map[string]func() *FS {
+	t.Helper()
+	return map[string]func() *FS{
+		"memory": func() *FS { return New() },
+		"local": func() *FS {
+			return NewWith(NewLocal(t.TempDir()))
+		},
+		"mounted": func() *FS {
+			fs := New()
+			if err := fs.Mount("/docs", NewLocal(t.TempDir())); err != nil {
+				t.Fatal(err)
+			}
+			return fs
+		},
+	}
+}
+
+// TestBackendRoundTrip pins basic content behaviour across every backend
+// configuration: write/read round trip, overwrite, truncate, offset growth,
+// delete, rename keeping content and file ID.
+func TestBackendRoundTrip(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			fs := mk()
+			if err := fs.MkdirAll("/docs/sub"); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.WriteFile(1, "/docs/sub/a.txt", []byte("hello world")); err != nil {
+				t.Fatal(err)
+			}
+			got, err := fs.ReadFile(1, "/docs/sub/a.txt")
+			if err != nil || string(got) != "hello world" {
+				t.Fatalf("ReadFile = %q, %v", got, err)
+			}
+			info, err := fs.Stat("/docs/sub/a.txt")
+			if err != nil || info.Size != 11 {
+				t.Fatalf("Stat = %+v, %v", info, err)
+			}
+			id := info.FileID
+
+			// Partial overwrite at an offset, then growth past the end.
+			h, err := fs.Open(1, "/docs/sub/a.txt", WriteOnly)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.SeekTo(6)
+			if _, err := h.Write([]byte("backend!")); err != nil {
+				t.Fatal(err)
+			}
+			if err := h.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got, _ = fs.ReadFile(1, "/docs/sub/a.txt")
+			if string(got) != "hello backend!" {
+				t.Fatalf("after offset write: %q", got)
+			}
+
+			// Rename keeps content and stable ID.
+			if err := fs.Rename(1, "/docs/sub/a.txt", "/docs/sub/b.txt"); err != nil {
+				t.Fatal(err)
+			}
+			info2, err := fs.Stat("/docs/sub/b.txt")
+			if err != nil || info2.FileID != id {
+				t.Fatalf("rename changed identity: %+v, %v (want id %d)", info2, err, id)
+			}
+			raw, err := fs.ReadFileRawByID(id)
+			if err != nil || string(raw) != "hello backend!" {
+				t.Fatalf("ReadFileRawByID = %q, %v", raw, err)
+			}
+
+			// Truncating reopen empties the file.
+			h, err = fs.Open(1, "/docs/sub/b.txt", WriteOnly|Truncate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := h.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if info, _ := fs.Stat("/docs/sub/b.txt"); info.Size != 0 {
+				t.Fatalf("size after truncate = %d", info.Size)
+			}
+
+			if err := fs.Delete(1, "/docs/sub/b.txt"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fs.Stat("/docs/sub/b.txt"); !errors.Is(err, ErrNotExist) {
+				t.Fatalf("stat after delete = %v", err)
+			}
+			if _, err := fs.ReadFileRawByID(id); !errors.Is(err, ErrNotExist) {
+				t.Fatalf("raw read after delete = %v", err)
+			}
+		})
+	}
+}
+
+// TestBackendOpStreamIdentical pins that the interceptor sees a bit-identical
+// op stream regardless of backend configuration — the property the
+// cross-backend conformance suite scales up to full attack traces.
+func TestBackendOpStreamIdentical(t *testing.T) {
+	workload := func(fs *FS) error {
+		if err := fs.MkdirAll("/docs"); err != nil {
+			return err
+		}
+		if err := fs.WriteFile(7, "/docs/x.txt", []byte("abcdefgh")); err != nil {
+			return err
+		}
+		if _, err := fs.ReadFile(7, "/docs/x.txt"); err != nil {
+			return err
+		}
+		if err := fs.Rename(7, "/docs/x.txt", "/docs/y.txt"); err != nil {
+			return err
+		}
+		return fs.Delete(7, "/docs/y.txt")
+	}
+	var want []string
+	for _, name := range []string{"memory", "local", "mounted"} {
+		mk := backends(t)[name]
+		fs := mk()
+		rec := &opRecorder{}
+		// Attach after building dirs so every config records the same ops.
+		fs.SetInterceptor(rec)
+		if err := workload(fs); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fs.SetInterceptor(nil)
+		if want == nil {
+			want = rec.log
+			continue
+		}
+		if !reflect.DeepEqual(rec.log, want) {
+			t.Fatalf("%s op stream diverged:\n got %v\nwant %v", name, rec.log, want)
+		}
+	}
+}
+
+type opRecorder struct{ log []string }
+
+func (r *opRecorder) PreOp(op *Op) error { return nil }
+func (r *opRecorder) PostOp(op *Op) {
+	r.log = append(r.log, fmt.Sprintf("%s %s->%s id=%d rep=%d off=%d size=%d data=%q wrote=%v",
+		op.Kind, op.Path, op.NewPath, op.FileID, op.ReplacedID, op.Offset, op.Size, op.Data, op.Wrote))
+}
+
+// TestLocalBackendPersistsToDisk pins Local's defining property: content
+// lives as real files under the backing directory, mirrored through
+// creates, writes and renames.
+func TestLocalBackendPersistsToDisk(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewWith(NewLocal(dir))
+	if err := fs.MkdirAll("/docs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(1, "/docs/a.txt", []byte("on disk")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "docs", "a.txt"))
+	if err != nil || string(data) != "on disk" {
+		t.Fatalf("backing file = %q, %v", data, err)
+	}
+	if err := fs.Rename(1, "/docs/a.txt", "/docs/b.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "docs", "a.txt")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("old backing path survived rename: %v", err)
+	}
+	data, err = os.ReadFile(filepath.Join(dir, "docs", "b.txt"))
+	if err != nil || string(data) != "on disk" {
+		t.Fatalf("renamed backing file = %q, %v", data, err)
+	}
+	if err := fs.Delete(1, "/docs/b.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "docs", "b.txt")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("backing file survived delete: %v", err)
+	}
+}
+
+// TestMountResolution pins longest-prefix routing: files land in the backend
+// whose mount prefix is the most specific match.
+func TestMountResolution(t *testing.T) {
+	fs := New()
+	users := NewMemory()
+	docs := NewMemory()
+	if err := fs.Mount("/Users", users); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mount("/Users/victim/Documents", docs); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Mounts(); !reflect.DeepEqual(got, []string{"/Users/victim/Documents", "/Users", "/"}) {
+		t.Fatalf("Mounts() = %v", got)
+	}
+	if err := fs.WriteFile(1, "/Users/victim/Documents/a.txt", []byte("doc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(1, "/Users/victim/b.txt", []byte("user")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("/tmp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(1, "/tmp/c.txt", []byte("root")); err != nil {
+		t.Fatal(err)
+	}
+	count := func(b *Memory) int { return len(b.files) }
+	if count(docs) != 1 || count(users) != 1 {
+		t.Fatalf("backend file counts: docs=%d users=%d", count(docs), count(users))
+	}
+	// Content reads back identically wherever it landed.
+	for p, want := range map[string]string{
+		"/Users/victim/Documents/a.txt": "doc",
+		"/Users/victim/b.txt":           "user",
+		"/tmp/c.txt":                    "root",
+	} {
+		got, err := fs.ReadFile(1, p)
+		if err != nil || string(got) != want {
+			t.Fatalf("ReadFile(%s) = %q, %v", p, got, err)
+		}
+	}
+}
+
+// TestMountRejections pins Mount's precondition errors: duplicate prefix,
+// and mounting over a subtree that already holds files.
+func TestMountRejections(t *testing.T) {
+	fs := New()
+	if err := fs.Mount("/data", NewMemory()); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mount("/data", NewMemory()); !errors.Is(err, ErrExist) {
+		t.Fatalf("duplicate mount = %v", err)
+	}
+	if err := fs.WriteFile(1, "/stuff/a.txt", nil); err == nil {
+		t.Fatal("write without parent dir should fail")
+	}
+	if err := fs.MkdirAll("/stuff"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(1, "/stuff/a.txt", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mount("/stuff", NewMemory()); !errors.Is(err, ErrExist) {
+		t.Fatalf("mount over populated subtree = %v", err)
+	}
+}
+
+// TestRenameAcrossMountsFails pins the typed cross-mount rename refusal:
+// a rename whose destination resolves to a different mount returns
+// ErrCrossMount, mutates nothing, and emits no interceptor events (the
+// refusal happens at the namespace layer, like renaming onto a directory).
+func TestRenameAcrossMountsFails(t *testing.T) {
+	fs := New()
+	if err := fs.Mount("/vol", NewMemory()); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("/plain"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(1, "/plain/a.txt", []byte("stay")); err != nil {
+		t.Fatal(err)
+	}
+	rec := &opRecorder{}
+	fs.SetInterceptor(rec)
+	err := fs.Rename(1, "/plain/a.txt", "/vol/a.txt")
+	if !errors.Is(err, ErrCrossMount) {
+		t.Fatalf("cross-mount rename = %v, want ErrCrossMount", err)
+	}
+	fs.SetInterceptor(nil)
+	if len(rec.log) != 0 {
+		t.Fatalf("cross-mount rename emitted ops: %v", rec.log)
+	}
+	// Source untouched, destination never created.
+	if got, err := fs.ReadFile(1, "/plain/a.txt"); err != nil || string(got) != "stay" {
+		t.Fatalf("source after failed rename = %q, %v", got, err)
+	}
+	if _, err := fs.Stat("/vol/a.txt"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("destination exists after failed rename: %v", err)
+	}
+	// Same-mount renames still work on both sides of the boundary.
+	if err := fs.WriteFile(1, "/vol/x.txt", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(1, "/vol/x.txt", "/vol/y.txt"); err != nil {
+		t.Fatalf("same-mount rename inside mount: %v", err)
+	}
+	if err := fs.Rename(1, "/plain/a.txt", "/plain/b.txt"); err != nil {
+		t.Fatalf("same-mount rename at root: %v", err)
+	}
+}
+
+// TestCloneMaterialisesLocalMounts pins Clone's backend handling: in-memory
+// mounts clone copy-on-write, Local mounts are materialised into memory, and
+// the clone is fully isolated from the original (and from the OS directory).
+func TestCloneMaterialisesLocalMounts(t *testing.T) {
+	dir := t.TempDir()
+	fs := New()
+	if err := fs.Mount("/docs", NewLocal(dir)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(1, "/docs/a.txt", []byte("original")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("/mem"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(1, "/mem/m.txt", []byte("memory")); err != nil {
+		t.Fatal(err)
+	}
+	clone := fs.Clone()
+	// Writes to the clone must not reach the original or the OS directory.
+	if err := clone.WriteFile(1, "/docs/a.txt", []byte("clone-edit")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs.ReadFile(1, "/docs/a.txt"); string(got) != "original" {
+		t.Fatalf("original changed by clone write: %q", got)
+	}
+	if data, err := os.ReadFile(filepath.Join(dir, "a.txt")); err != nil || string(data) != "original" {
+		t.Fatalf("backing file changed by clone write: %q, %v", data, err)
+	}
+	// And vice versa.
+	if err := fs.WriteFile(1, "/mem/m.txt", []byte("live-edit")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := clone.ReadFile(1, "/mem/m.txt"); string(got) != "memory" {
+		t.Fatalf("clone changed by original write: %q", got)
+	}
+	if got, _ := clone.ReadFile(1, "/docs/a.txt"); string(got) != "clone-edit" {
+		t.Fatalf("clone content = %q", got)
+	}
+}
+
+// TestRestoreFileRaw pins the privileged recovery writes: by-ID restore
+// follows the file wherever it moved, path restore recreates deleted files,
+// and neither emits interceptor events or honours read-only attributes.
+func TestRestoreFileRaw(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/docs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(1, "/docs/a.txt", []byte("v1-original")); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := fs.Stat("/docs/a.txt")
+	if err := fs.Rename(1, "/docs/a.txt", "/docs/a.txt.locked"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SetReadOnly("/docs/a.txt.locked", true); err != nil {
+		t.Fatal(err)
+	}
+	rec := &opRecorder{}
+	fs.SetInterceptor(rec)
+	if err := fs.RestoreFileRawByID(info.FileID, []byte("v1")); err != nil {
+		t.Fatalf("RestoreFileRawByID: %v", err)
+	}
+	if err := fs.RestoreFileRaw("/docs/gone/b.txt", []byte("recreated")); err != nil {
+		t.Fatalf("RestoreFileRaw: %v", err)
+	}
+	fs.SetInterceptor(nil)
+	if len(rec.log) != 0 {
+		t.Fatalf("restores emitted ops: %v", rec.log)
+	}
+	if got, err := fs.ReadFileRawByID(info.FileID); err != nil || string(got) != "v1" {
+		t.Fatalf("restored by ID = %q, %v", got, err)
+	}
+	if info2, _ := fs.Stat("/docs/a.txt.locked"); info2.Size != 2 {
+		t.Fatalf("restored size = %d, want 2", info2.Size)
+	}
+	if got, err := fs.ReadFileRaw("/docs/gone/b.txt"); err != nil || string(got) != "recreated" {
+		t.Fatalf("recreated = %q, %v", got, err)
+	}
+	if err := fs.RestoreFileRawByID(999999, []byte("x")); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("restore of unknown ID = %v", err)
+	}
+}

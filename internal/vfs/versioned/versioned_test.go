@@ -1,0 +1,316 @@
+package versioned_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cryptodrop/internal/vfs"
+	"cryptodrop/internal/vfs/versioned"
+)
+
+// wrapAll arms a filesystem's mounts with capture into a fresh store.
+func wrapAll(fs *vfs.FS, store *versioned.Store) {
+	fs.WrapMounts(func(_ string, b vfs.Backend) vfs.Backend {
+		return versioned.Wrap(b, store)
+	})
+}
+
+// TestCaptureFirstTouchWins pins the retention rule: the pre-image kept for
+// a (group, file) pair is the content before the group's FIRST destructive
+// touch, no matter how many rewrites follow.
+func TestCaptureFirstTouchWins(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.MkdirAll("/docs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(1, "/docs/a.txt", []byte("original")); err != nil {
+		t.Fatal(err)
+	}
+	store := versioned.NewStore(0)
+	wrapAll(fs, store)
+
+	for i := 0; i < 3; i++ {
+		if err := fs.WriteFile(2, "/docs/a.txt", []byte(fmt.Sprintf("encrypted-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	imgs := store.Take(2)
+	if len(imgs) != 1 {
+		t.Fatalf("retained %d pre-images, want 1", len(imgs))
+	}
+	if string(imgs[0].Data) != "original" || imgs[0].Path != "/docs/a.txt" {
+		t.Fatalf("pre-image = %q at %s, want original", imgs[0].Data, imgs[0].Path)
+	}
+	if got := store.Take(2); got != nil {
+		t.Fatalf("second Take returned %d images, want none", len(got))
+	}
+}
+
+// TestCaptureSitesCoverDestructiveOps pins that every destructive shape —
+// truncating open, in-place write, delete, rename-replace — retains the
+// victim's pre-image, and that pure reads and plain renames retain nothing.
+func TestCaptureSitesCoverDestructiveOps(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.MkdirAll("/docs"); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"/docs/trunc.txt", "/docs/write.txt", "/docs/del.txt", "/docs/victim.txt", "/docs/moved.txt"} {
+		if err := fs.WriteFile(1, p, []byte("keep:"+p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store := versioned.NewStore(0)
+	wrapAll(fs, store)
+
+	// Truncating open.
+	h, err := fs.Open(2, "/docs/trunc.txt", vfs.WriteOnly|vfs.Truncate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// In-place write without truncate.
+	h, err = fs.Open(2, "/docs/write.txt", vfs.WriteOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("XX")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Delete.
+	if err := fs.Delete(2, "/docs/del.txt"); err != nil {
+		t.Fatal(err)
+	}
+	// Rename-replace retains the replaced target, not the moved file.
+	if err := fs.Rename(2, "/docs/moved.txt", "/docs/victim.txt"); err != nil {
+		t.Fatal(err)
+	}
+	// Non-destructive traffic: read and plain rename.
+	if _, err := fs.ReadFile(2, "/docs/trunc.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(2, "/docs/victim.txt", "/docs/elsewhere.txt"); err != nil {
+		t.Fatal(err)
+	}
+
+	imgs := store.Take(2)
+	got := map[string]string{}
+	for _, img := range imgs {
+		got[img.Path] = string(img.Data)
+	}
+	want := map[string]string{
+		"/docs/trunc.txt":  "keep:/docs/trunc.txt",
+		"/docs/write.txt":  "keep:/docs/write.txt",
+		"/docs/del.txt":    "keep:/docs/del.txt",
+		"/docs/victim.txt": "keep:/docs/victim.txt",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("retained %v, want %v", got, want)
+	}
+	for p, data := range want {
+		if got[p] != data {
+			t.Fatalf("pre-image for %s = %q, want %q", p, got[p], data)
+		}
+	}
+}
+
+// TestGroupIsolationAndGroupOf pins that retention keys on the scoring
+// group: two PIDs mapped to one group share a retention set, and Take for
+// one group leaves another group's images alone.
+func TestGroupIsolationAndGroupOf(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.MkdirAll("/docs"); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"/docs/a.txt", "/docs/b.txt", "/docs/c.txt"} {
+		if err := fs.WriteFile(1, p, []byte("data")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store := versioned.NewStore(0)
+	store.SetGroupOf(func(pid int) int {
+		if pid == 20 || pid == 21 {
+			return 20 // family root
+		}
+		return pid
+	})
+	wrapAll(fs, store)
+
+	if err := fs.WriteFile(20, "/docs/a.txt", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(21, "/docs/b.txt", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(30, "/docs/c.txt", []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	if st := store.Stats(); st.Groups != 2 || st.Files != 3 {
+		t.Fatalf("stats = %+v, want 2 groups / 3 files", st)
+	}
+	if imgs := store.Take(20); len(imgs) != 2 {
+		t.Fatalf("family group retained %d, want 2", len(imgs))
+	}
+	if imgs := store.Take(30); len(imgs) != 1 {
+		t.Fatalf("solo group retained %d, want 1", len(imgs))
+	}
+}
+
+// TestExemptAndRelease pins the two clearing paths: Exempt drops retained
+// images and stops future capture; Release drops images but capture resumes
+// on the group's next destructive touch.
+func TestExemptAndRelease(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.MkdirAll("/docs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(1, "/docs/a.txt", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	store := versioned.NewStore(0)
+	wrapAll(fs, store)
+
+	if err := fs.WriteFile(5, "/docs/a.txt", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	store.Release(5)
+	if st := store.Stats(); st.Files != 0 || st.Released != 1 {
+		t.Fatalf("after release: %+v", st)
+	}
+	// Capture resumes after Release...
+	if err := fs.WriteFile(5, "/docs/a.txt", []byte("v3")); err != nil {
+		t.Fatal(err)
+	}
+	if st := store.Stats(); st.Files != 1 {
+		t.Fatalf("capture did not resume after release: %+v", st)
+	}
+	// ...but never after Exempt.
+	store.Exempt(5)
+	if err := fs.WriteFile(5, "/docs/a.txt", []byte("v4")); err != nil {
+		t.Fatal(err)
+	}
+	if st := store.Stats(); st.Files != 0 {
+		t.Fatalf("exempt group still captured: %+v", st)
+	}
+}
+
+// TestBudgetEvictsOldestGroup pins byte-budget retention: exceeding the
+// budget evicts whole groups FIFO by first capture, sparing the group that
+// is actively capturing.
+func TestBudgetEvictsOldestGroup(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.MkdirAll("/docs"); err != nil {
+		t.Fatal(err)
+	}
+	content := make([]byte, 1000)
+	for i := 0; i < 4; i++ {
+		if err := fs.WriteFile(1, fmt.Sprintf("/docs/f%d.txt", i), content); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store := versioned.NewStore(2500) // room for two 1000-byte images
+	wrapAll(fs, store)
+
+	for i := 0; i < 4; i++ {
+		pid := 100 + i
+		if err := fs.WriteFile(pid, fmt.Sprintf("/docs/f%d.txt", i), []byte("enc")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := store.Stats()
+	if st.Bytes > 2500 {
+		t.Fatalf("budget exceeded: %+v", st)
+	}
+	if st.Evicted != 2 {
+		t.Fatalf("evicted %d, want 2 (oldest groups)", st.Evicted)
+	}
+	// The newest groups survive; the oldest were evicted.
+	if imgs := store.Take(100); imgs != nil {
+		t.Fatalf("oldest group survived eviction: %d images", len(imgs))
+	}
+	if imgs := store.Take(103); len(imgs) != 1 {
+		t.Fatalf("newest group evicted: %d images", len(imgs))
+	}
+}
+
+// TestCaptureCopiesNotAliases pins that retained bytes are private copies:
+// rewriting the file after capture must not mutate the retained pre-image
+// (the in-memory backend's reads alias live storage).
+func TestCaptureCopiesNotAliases(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.MkdirAll("/docs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(1, "/docs/a.txt", []byte("AAAA")); err != nil {
+		t.Fatal(err)
+	}
+	store := versioned.NewStore(0)
+	wrapAll(fs, store)
+	// Same-size in-place overwrite reuses the backend's slice capacity —
+	// the aliasing hazard.
+	h, err := fs.Open(9, "/docs/a.txt", vfs.WriteOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("BBBB")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	imgs := store.Take(9)
+	if len(imgs) != 1 || string(imgs[0].Data) != "AAAA" {
+		t.Fatalf("pre-image = %q, want AAAA", imgs[0].Data)
+	}
+}
+
+// TestWrapUnwrapRoundTrip pins the monitor's attach/detach seam: wrapping
+// installs capture on every mount, unwrapping restores the original
+// backends, and content is untouched either way.
+func TestWrapUnwrapRoundTrip(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.Mount("/vol", vfs.NewMemory()); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("/docs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(1, "/docs/a.txt", []byte("root-vol")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(1, "/vol/b.txt", []byte("mounted-vol")); err != nil {
+		t.Fatal(err)
+	}
+	store := versioned.NewStore(0)
+	wrapAll(fs, store)
+	if err := fs.WriteFile(2, "/docs/a.txt", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(2, "/vol/b.txt", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if st := store.Stats(); st.Files != 2 {
+		t.Fatalf("both mounts should capture: %+v", st)
+	}
+	// Unwrap: capture stops, content still reads back.
+	fs.WrapMounts(func(_ string, b vfs.Backend) vfs.Backend {
+		if vb, ok := b.(*versioned.Backend); ok {
+			return vb.Inner()
+		}
+		return b
+	})
+	store.Release(2)
+	if err := fs.WriteFile(2, "/docs/a.txt", []byte("xx")); err != nil {
+		t.Fatal(err)
+	}
+	if st := store.Stats(); st.Files != 0 {
+		t.Fatalf("capture survived unwrap: %+v", st)
+	}
+	if got, _ := fs.ReadFile(1, "/vol/b.txt"); string(got) != "y" {
+		t.Fatalf("content after unwrap = %q", got)
+	}
+}

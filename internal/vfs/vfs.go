@@ -1,7 +1,22 @@
-// Package vfs implements an in-memory virtual filesystem with an
-// interposition point on every operation, substituting for the Windows
-// filesystem and the kernel minifilter attachment the paper instruments
-// (§IV-C, Fig. 2).
+// Package vfs implements the virtual filesystem layer that substitutes for
+// the Windows filesystem and the kernel minifilter attachment the paper
+// instruments (§IV-C, Fig. 2). It is structured as a mount router over
+// pluggable content backends:
+//
+//   - FS, the router, owns everything namespace- and policy-shaped: the
+//     directory tree, stable file-ID allocation, read-only attributes,
+//     rename tracking, the interceptor chain, telemetry and shadow copies.
+//     Every backend inherits those semantics unchanged.
+//   - A Backend stores content keyed by router-assigned stable file IDs.
+//     Memory (the default, behind New) keeps bytes in process with
+//     copy-on-write cloning; Local mirrors content into a real OS
+//     directory; the versioned extension (internal/vfs/versioned) wraps any
+//     backend with copy-on-write pre-image retention for detect-then-
+//     recover rollback.
+//   - Mount(prefix, backend) attaches additional backends with
+//     longest-prefix resolution, so one monitored session spans
+//     heterogeneous storage. Renames never cross a mount boundary
+//     (ErrCrossMount), matching cross-volume MoveFileEx.
 //
 // Every create/open/read/write/close/delete/rename is routed through an
 // optional Interceptor before and after execution, carrying the process ID,
@@ -134,14 +149,22 @@ type Interceptor interface {
 
 type node interface{ isNode() }
 
-type file struct {
+// entry is one file in the router namespace: identity, attributes and the
+// mount whose backend stores its content. The router tracks size itself —
+// every content mutation flows through it — so the hot path never round-
+// trips a backend Stat.
+type entry struct {
 	id       uint64
-	data     []byte
+	size     int64
 	readOnly bool
-	shared   bool // data slice shared with a clone; copy before mutating
+	m        *mount
+	// mf short-circuits the Backend interface when the mount's backend is
+	// the plain in-package Memory store (the default); nil whenever the
+	// mount is wrapped or foreign, which forces the full interface path.
+	mf *memFile
 }
 
-func (*file) isNode() {}
+func (*entry) isNode() {}
 
 type dir struct {
 	children map[string]node
@@ -151,12 +174,15 @@ func (*dir) isNode() {}
 
 func newDir() *dir { return &dir{children: make(map[string]node)} }
 
-// FS is an in-memory filesystem. The zero value is not usable; create one
-// with New. All methods are safe for concurrent use.
+// FS is the mount router: a filesystem namespace over one or more content
+// backends. The zero value is not usable; create one with New (in-memory
+// backend at "/") or NewWith. All methods are safe for concurrent use.
 type FS struct {
 	mu          sync.Mutex
 	root        *dir
 	nextID      uint64
+	mounts      []*mount
+	ids         map[uint64]*entry
 	interceptor Interceptor
 	opCounts    map[OpKind]int64
 	// shadowCopies holds volume snapshots (see shadow.go); lazily created.
@@ -168,11 +194,18 @@ type FS struct {
 	telOn    bool
 }
 
-// New returns an empty filesystem.
-func New() *FS {
+// New returns an empty filesystem backed by a single in-memory backend
+// mounted at "/".
+func New() *FS { return NewWith(NewMemory()) }
+
+// NewWith returns an empty filesystem with b mounted at "/". Additional
+// backends attach with Mount.
+func NewWith(b Backend) *FS {
 	return &FS{
 		root:     newDir(),
 		nextID:   1,
+		mounts:   []*mount{newMount("/", b)},
+		ids:      make(map[uint64]*entry),
 		opCounts: make(map[OpKind]int64),
 	}
 }
@@ -242,8 +275,8 @@ func (fs *FS) lookupDir(p string) (*dir, error) {
 	return cur, nil
 }
 
-// lookupFile resolves a file node; fs.mu must be held.
-func (fs *FS) lookupFile(p string) (*file, error) {
+// lookupEntry resolves a file entry; fs.mu must be held.
+func (fs *FS) lookupEntry(p string) (*entry, error) {
 	parent, base := splitPath(p)
 	d, err := fs.lookupDir(parent)
 	if err != nil {
@@ -253,11 +286,11 @@ func (fs *FS) lookupFile(p string) (*file, error) {
 	if !ok {
 		return nil, fmt.Errorf("%s: %w", p, ErrNotExist)
 	}
-	f, ok := n.(*file)
+	e, ok := n.(*entry)
 	if !ok {
 		return nil, fmt.Errorf("%s: %w", p, ErrIsDir)
 	}
-	return f, nil
+	return e, nil
 }
 
 // pre runs the interceptor's PreOp; fs.mu must be held (it is released
@@ -296,6 +329,15 @@ func (fs *FS) post(op *Op) {
 	fs.mu.Lock()
 }
 
+// preImage offers the entry's current content to the mount's pre-image
+// capability (the versioned extension) before a destructive mutation;
+// fs.mu must be held. Plain backends pay one nil check.
+func (fs *FS) preImage(e *entry, p string, pid int, kind OpKind) {
+	if e.m.pi != nil {
+		e.m.pi.PreImage(e.id, p, pid, kind)
+	}
+}
+
 // Mkdir creates a single directory.
 func (fs *FS) Mkdir(p string) error {
 	fs.mu.Lock()
@@ -316,6 +358,11 @@ func (fs *FS) Mkdir(p string) error {
 func (fs *FS) MkdirAll(p string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	return fs.mkdirAllLocked(p)
+}
+
+// mkdirAllLocked is MkdirAll with fs.mu held.
+func (fs *FS) mkdirAllLocked(p string) error {
 	p = clean(p)
 	if p == "/" {
 		return nil
@@ -341,7 +388,7 @@ func (fs *FS) MkdirAll(p string) error {
 // Handle is an open file descriptor bound to a process.
 type Handle struct {
 	fs     *FS
-	f      *file
+	e      *entry
 	path   string
 	pid    int
 	flags  OpenFlag
@@ -350,7 +397,9 @@ type Handle struct {
 	closed bool
 }
 
-// Open opens a file on behalf of pid. Create requires WriteOnly.
+// Open opens a file on behalf of pid. Create requires WriteOnly. A created
+// file stores its content in the backend whose mount prefix is the longest
+// match for p.
 func (fs *FS) Open(pid int, p string, flags OpenFlag) (*Handle, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -363,41 +412,55 @@ func (fs *FS) Open(pid int, p string, flags OpenFlag) (*Handle, error) {
 	if err != nil {
 		return nil, err
 	}
-	var f *file
+	var e *entry
 	created := false
 	switch n := d.children[base].(type) {
 	case nil:
 		if flags&Create == 0 {
 			return nil, fmt.Errorf("%s: %w", p, ErrNotExist)
 		}
-		f = &file{id: fs.nextID}
+		e = &entry{id: fs.nextID, m: fs.resolveMount(p)}
 		created = true
-	case *file:
-		f = n
+	case *entry:
+		e = n
 	case *dir:
 		return nil, fmt.Errorf("%s: %w", p, ErrIsDir)
 	}
-	if flags&WriteOnly != 0 && f.readOnly {
+	if flags&WriteOnly != 0 && e.readOnly {
 		return nil, fmt.Errorf("%s: %w", p, ErrReadOnly)
 	}
 	kind := OpOpen
 	if created {
 		kind = OpCreate
 	}
-	op := &Op{Kind: kind, PID: pid, Path: p, FileID: f.id, Flags: flags, Size: int64(len(f.data))}
+	op := &Op{Kind: kind, PID: pid, Path: p, FileID: e.id, Flags: flags, Size: e.size}
 	if err := fs.pre(op); err != nil {
 		return nil, err
 	}
 	if created {
+		if err := e.m.b.Open(e.id, e.m.rel(p), true, false); err != nil {
+			return nil, err
+		}
+		if e.m.mem != nil {
+			e.mf = e.m.mem.files[e.id]
+		}
 		fs.nextID++
-		d.children[base] = f
+		d.children[base] = e
+		fs.ids[e.id] = e
 	}
-	if flags&Truncate != 0 && flags&WriteOnly != 0 && len(f.data) > 0 {
-		f.data = nil
-		f.shared = false
+	if flags&Truncate != 0 && flags&WriteOnly != 0 && e.size > 0 {
+		if e.mf != nil {
+			e.mf.data, e.mf.shared = nil, false
+		} else {
+			fs.preImage(e, p, pid, OpOpen)
+			if err := e.m.b.Open(e.id, e.m.rel(p), false, true); err != nil {
+				return nil, err
+			}
+		}
+		e.size = 0
 		op.Size = 0
 	}
-	h := &Handle{fs: fs, f: f, path: p, pid: pid, flags: flags}
+	h := &Handle{fs: fs, e: e, path: p, pid: pid, flags: flags}
 	fs.post(op)
 	return h, nil
 }
@@ -411,7 +474,7 @@ func (fs *FS) Create(pid int, p string) (*Handle, error) {
 func (h *Handle) Path() string { return h.path }
 
 // FileID returns the stable identity of the open file.
-func (h *Handle) FileID() uint64 { return h.f.id }
+func (h *Handle) FileID() uint64 { return h.e.id }
 
 // Read reads up to len(buf) bytes from the current offset.
 func (h *Handle) Read(buf []byte) (int, error) {
@@ -423,19 +486,29 @@ func (h *Handle) Read(buf []byte) (int, error) {
 	if h.flags&ReadOnly == 0 {
 		return 0, fmt.Errorf("%s: handle not open for reading: %w", h.path, ErrBadFlag)
 	}
-	if h.offset >= int64(len(h.f.data)) {
+	if h.offset >= h.e.size {
 		return 0, nil
 	}
-	end := h.offset + int64(len(buf))
-	if end > int64(len(h.f.data)) {
-		end = int64(len(h.f.data))
-	}
-	op := &Op{Kind: OpRead, PID: h.pid, Path: h.path, FileID: h.f.id, Offset: h.offset, Size: int64(len(h.f.data))}
+	op := &Op{Kind: OpRead, PID: h.pid, Path: h.path, FileID: h.e.id, Offset: h.offset, Size: h.e.size}
 	if err := h.fs.pre(op); err != nil {
 		return 0, err
 	}
-	n := copy(buf, h.f.data[h.offset:end])
-	op.Data = h.f.data[h.offset : h.offset+int64(n)]
+	var data []byte
+	if f := h.e.mf; f != nil {
+		end := h.offset + int64(len(buf))
+		if end > int64(len(f.data)) {
+			end = int64(len(f.data))
+		}
+		data = f.data[h.offset:end]
+	} else {
+		var err error
+		data, _, err = h.e.m.b.Read(h.e.id, h.offset, int64(len(buf)))
+		if err != nil {
+			return 0, err
+		}
+	}
+	n := copy(buf, data)
+	op.Data = data[:n]
 	h.offset += int64(n)
 	h.fs.post(op)
 	return n, nil
@@ -444,7 +517,7 @@ func (h *Handle) Read(buf []byte) (int, error) {
 // ReadAll reads the entire file content from offset zero.
 func (h *Handle) ReadAll() ([]byte, error) {
 	h.fs.mu.Lock()
-	size := int64(len(h.f.data))
+	size := h.e.size
 	h.fs.mu.Unlock()
 	buf := make([]byte, size)
 	h.fs.mu.Lock()
@@ -467,42 +540,31 @@ func (h *Handle) Write(data []byte) (int, error) {
 	}
 	off := h.offset
 	if h.flags&Append != 0 {
-		off = int64(len(h.f.data))
+		off = h.e.size
 	}
-	op := &Op{Kind: OpWrite, PID: h.pid, Path: h.path, FileID: h.f.id, Data: data, Offset: off}
+	op := &Op{Kind: OpWrite, PID: h.pid, Path: h.path, FileID: h.e.id, Data: data, Offset: off}
 	op.Size = off + int64(len(data))
-	if int64(len(h.f.data)) > op.Size {
-		op.Size = int64(len(h.f.data))
+	if h.e.size > op.Size {
+		op.Size = h.e.size
 	}
 	if err := h.fs.pre(op); err != nil {
 		return 0, err
 	}
-	h.f.write(off, data)
+	if f := h.e.mf; f != nil {
+		f.write(off, data)
+		h.e.size = int64(len(f.data))
+	} else {
+		h.fs.preImage(h.e, h.path, h.pid, OpWrite)
+		newSize, err := h.e.m.b.Write(h.e.id, off, data)
+		if err != nil {
+			return 0, err
+		}
+		h.e.size = newSize
+	}
 	h.offset = off + int64(len(data))
 	h.wrote = true
 	h.fs.post(op)
 	return len(data), nil
-}
-
-// write stores data at off, honouring copy-on-write sharing.
-func (f *file) write(off int64, data []byte) {
-	need := off + int64(len(data))
-	if f.shared || need > int64(cap(f.data)) {
-		nd := make([]byte, max64(need, int64(len(f.data))))
-		copy(nd, f.data)
-		f.data = nd
-		f.shared = false
-	} else if need > int64(len(f.data)) {
-		f.data = f.data[:need]
-	}
-	copy(f.data[off:], data)
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // SeekTo sets the handle offset for the next read or write.
@@ -519,9 +581,14 @@ func (h *Handle) Close() error {
 	if h.closed {
 		return ErrClosed
 	}
-	op := &Op{Kind: OpClose, PID: h.pid, Path: h.path, FileID: h.f.id, Size: int64(len(h.f.data)), Wrote: h.wrote}
+	op := &Op{Kind: OpClose, PID: h.pid, Path: h.path, FileID: h.e.id, Size: h.e.size, Wrote: h.wrote}
 	if err := h.fs.pre(op); err != nil {
 		return err
+	}
+	if h.e.mf == nil {
+		if err := h.e.m.b.Close(h.e.id); err != nil {
+			return err
+		}
 	}
 	h.closed = true
 	h.fs.post(op)
@@ -550,15 +617,20 @@ func (fs *FS) Delete(pid int, p string) error {
 		}
 		delete(d.children, base)
 		return nil
-	case *file:
+	case *entry:
 		if t.readOnly {
 			return fmt.Errorf("%s: %w", p, ErrReadOnly)
 		}
-		op := &Op{Kind: OpDelete, PID: pid, Path: p, FileID: t.id, Size: int64(len(t.data))}
+		op := &Op{Kind: OpDelete, PID: pid, Path: p, FileID: t.id, Size: t.size}
 		if err := fs.pre(op); err != nil {
 			return err
 		}
+		fs.preImage(t, p, pid, OpDelete)
+		if err := t.m.b.Delete(t.id); err != nil {
+			return err
+		}
 		delete(d.children, base)
+		delete(fs.ids, t.id)
 		fs.post(op)
 		return nil
 	}
@@ -566,7 +638,9 @@ func (fs *FS) Delete(pid int, p string) error {
 }
 
 // Rename moves a file, replacing an existing destination file (Windows
-// MoveFileEx semantics). Replacing a read-only destination fails.
+// MoveFileEx semantics). Replacing a read-only destination fails, and a
+// rename whose destination resolves to a different mount fails with
+// ErrCrossMount — content does not migrate between backends.
 func (fs *FS) Rename(pid int, oldp, newp string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -583,7 +657,7 @@ func (fs *FS) Rename(pid int, oldp, newp string) error {
 	if !ok {
 		return fmt.Errorf("%s: %w", oldp, ErrNotExist)
 	}
-	f, ok := n.(*file)
+	e, ok := n.(*entry)
 	if !ok {
 		return fmt.Errorf("%s: rename of directories not supported: %w", oldp, ErrIsDir)
 	}
@@ -592,23 +666,39 @@ func (fs *FS) Rename(pid int, oldp, newp string) error {
 	if err != nil {
 		return err
 	}
-	var replaced uint64
+	if nm := fs.resolveMount(newp); nm != e.m {
+		return fmt.Errorf("vfs: rename %s -> %s: %w", oldp, newp, ErrCrossMount)
+	}
+	var replaced *entry
 	if existing, ok := nd.children[nbase]; ok {
-		ef, ok := existing.(*file)
+		ef, ok := existing.(*entry)
 		if !ok {
 			return fmt.Errorf("%s: %w", newp, ErrIsDir)
 		}
 		if ef.readOnly {
 			return fmt.Errorf("%s: %w", newp, ErrReadOnly)
 		}
-		replaced = ef.id
+		replaced = ef
 	}
-	op := &Op{Kind: OpRename, PID: pid, Path: oldp, NewPath: newp, FileID: f.id, ReplacedID: replaced, Size: int64(len(f.data))}
+	op := &Op{Kind: OpRename, PID: pid, Path: oldp, NewPath: newp, FileID: e.id, Size: e.size}
+	if replaced != nil {
+		op.ReplacedID = replaced.id
+	}
 	if err := fs.pre(op); err != nil {
 		return err
 	}
+	if replaced != nil {
+		fs.preImage(replaced, newp, pid, OpRename)
+		if err := replaced.m.b.Delete(replaced.id); err != nil {
+			return err
+		}
+		delete(fs.ids, replaced.id)
+	}
+	if err := e.m.b.Rename(e.id, e.m.rel(oldp), e.m.rel(newp)); err != nil {
+		return err
+	}
 	delete(od.children, obase)
-	nd.children[nbase] = f
+	nd.children[nbase] = e
 	fs.post(op)
 	return nil
 }
@@ -673,8 +763,8 @@ func (fs *FS) Stat(p string) (FileInfo, error) {
 		return FileInfo{}, fmt.Errorf("%s: %w", p, ErrNotExist)
 	case *dir:
 		return FileInfo{Path: p, IsDir: true}, nil
-	case *file:
-		return FileInfo{Path: p, Size: int64(len(n.data)), ReadOnly: n.readOnly, FileID: n.id}, nil
+	case *entry:
+		return FileInfo{Path: p, Size: n.size, ReadOnly: n.readOnly, FileID: n.id}, nil
 	}
 	return FileInfo{}, fmt.Errorf("%s: %w", p, ErrNotExist)
 }
@@ -699,8 +789,8 @@ func (fs *FS) List(p string) ([]FileInfo, error) {
 		switch n := d.children[name].(type) {
 		case *dir:
 			infos = append(infos, FileInfo{Path: full, IsDir: true})
-		case *file:
-			infos = append(infos, FileInfo{Path: full, Size: int64(len(n.data)), ReadOnly: n.readOnly, FileID: n.id})
+		case *entry:
+			infos = append(infos, FileInfo{Path: full, Size: n.size, ReadOnly: n.readOnly, FileID: n.id})
 		}
 	}
 	return infos, nil
@@ -729,11 +819,11 @@ func (fs *FS) Walk(root string, fn func(info FileInfo) error) error {
 func (fs *FS) SetReadOnly(p string, ro bool) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	f, err := fs.lookupFile(p)
+	e, err := fs.lookupEntry(p)
 	if err != nil {
 		return err
 	}
-	f.readOnly = ro
+	e.readOnly = ro
 	return nil
 }
 
@@ -743,12 +833,16 @@ func (fs *FS) SetReadOnly(p string, ro bool) error {
 func (fs *FS) ReadFileRaw(p string) ([]byte, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	f, err := fs.lookupFile(p)
+	e, err := fs.lookupEntry(p)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]byte, len(f.data))
-	copy(out, f.data)
+	data, _, err := e.m.b.Read(e.id, 0, -1)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
 	return out, nil
 }
 
@@ -757,12 +851,16 @@ func (fs *FS) ReadFileRaw(p string) ([]byte, error) {
 func (fs *FS) ReadFileRawByID(id uint64) ([]byte, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	f := findByID(fs.root, id)
-	if f == nil {
+	e, ok := fs.ids[id]
+	if !ok {
 		return nil, fmt.Errorf("file id %d: %w", id, ErrNotExist)
 	}
-	out := make([]byte, len(f.data))
-	copy(out, f.data)
+	data, _, err := e.m.b.Read(e.id, 0, -1)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
 	return out, nil
 }
 
@@ -775,60 +873,144 @@ func (fs *FS) ReadFileRawByID(id uint64) ([]byte, error) {
 func (fs *FS) ReadFileRawRangeByID(id uint64, off, n int64) ([]byte, int64, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	f := findByID(fs.root, id)
-	if f == nil {
+	e, ok := fs.ids[id]
+	if !ok {
 		return nil, 0, fmt.Errorf("file id %d: %w", id, ErrNotExist)
 	}
-	size := int64(len(f.data))
-	if off < 0 || off >= size || n <= 0 {
+	data, size, err := e.m.b.Read(e.id, off, n)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(data) == 0 {
 		return nil, size, nil
 	}
-	end := off + n
-	if end > size {
-		end = size
-	}
-	out := make([]byte, end-off)
-	copy(out, f.data[off:end])
+	out := make([]byte, len(data))
+	copy(out, data)
 	return out, size, nil
 }
 
-func findByID(d *dir, id uint64) *file {
-	for _, n := range d.children {
-		switch t := n.(type) {
-		case *file:
-			if t.id == id {
-				return t
-			}
-		case *dir:
-			if f := findByID(t, id); f != nil {
-				return f
-			}
+// RestoreFileRawByID overwrites the file's content without passing through
+// the interceptor — the recovery coordinator's privileged rollback write.
+// The read-only attribute is ignored, as a kernel-side restore would.
+func (fs *FS) RestoreFileRawByID(id uint64, content []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	e, ok := fs.ids[id]
+	if !ok {
+		return fmt.Errorf("file id %d: %w", id, ErrNotExist)
+	}
+	return fs.restoreEntry(e, content)
+}
+
+// RestoreFileRaw writes content at p without passing through the
+// interceptor, overwriting an existing file or recreating a deleted one
+// (with a fresh file ID) — the recovery path for files whose ID no longer
+// exists because the attacker deleted or replaced them.
+func (fs *FS) RestoreFileRaw(p string, content []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	p = clean(p)
+	if e, err := fs.lookupEntry(p); err == nil {
+		return fs.restoreEntry(e, content)
+	} else if !errors.Is(err, ErrNotExist) {
+		return err
+	}
+	parent, base := splitPath(p)
+	if err := fs.mkdirAllLocked(parent); err != nil {
+		return err
+	}
+	d, err := fs.lookupDir(parent)
+	if err != nil {
+		return err
+	}
+	e := &entry{id: fs.nextID, m: fs.resolveMount(p)}
+	if err := e.m.b.Open(e.id, e.m.rel(p), true, false); err != nil {
+		return err
+	}
+	if e.m.mem != nil {
+		e.mf = e.m.mem.files[e.id]
+	}
+	fs.nextID++
+	d.children[base] = e
+	fs.ids[e.id] = e
+	return fs.restoreEntry(e, content)
+}
+
+// restoreEntry truncates and rewrites an entry's content; fs.mu held.
+func (fs *FS) restoreEntry(e *entry, content []byte) error {
+	if err := e.m.b.Open(e.id, "", false, true); err != nil {
+		return err
+	}
+	e.size = 0
+	if len(content) > 0 {
+		size, err := e.m.b.Write(e.id, 0, content)
+		if err != nil {
+			return err
 		}
+		e.size = size
 	}
 	return nil
 }
 
 // Clone returns a copy-on-write copy of the filesystem. The clone has no
-// interceptor attached and independent operation counters. File content is
-// shared until either side writes, so cloning is cheap even for large trees.
+// interceptor attached and independent operation counters. Backends that
+// can snapshot themselves (Cloner — the in-memory backend) share content
+// until either side writes, so cloning is cheap even for large trees;
+// other backends (Local) are materialised into fresh in-memory backends,
+// so a clone is always self-contained and side-effect-free.
 func (fs *FS) Clone() *FS {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	nfs := New()
-	nfs.nextID = fs.nextID
-	nfs.root = cloneDir(fs.root)
+	nfs := &FS{
+		root:     newDir(),
+		nextID:   fs.nextID,
+		ids:      make(map[uint64]*entry, len(fs.ids)),
+		opCounts: make(map[OpKind]int64),
+	}
+	mm := make(map[*mount]*mount, len(fs.mounts))
+	materialise := make(map[*mount]bool)
+	for _, m := range fs.mounts {
+		var nb Backend
+		if c, ok := m.b.(Cloner); ok {
+			nb = c.CloneBackend()
+		}
+		if nb == nil {
+			nb = NewMemory()
+			materialise[m] = true
+		}
+		nm := newMount(m.prefix, nb)
+		mm[m] = nm
+		nfs.mounts = append(nfs.mounts, nm)
+	}
+	nfs.root = cloneDirInto(fs.root, mm, materialise, nfs)
 	return nfs
 }
 
-func cloneDir(d *dir) *dir {
+// cloneDirInto deep-copies the namespace, remapping entries onto the
+// clone's mounts and copying content into materialised backends.
+func cloneDirInto(d *dir, mm map[*mount]*mount, materialise map[*mount]bool, nfs *FS) *dir {
 	nd := newDir()
 	for name, n := range d.children {
 		switch t := n.(type) {
 		case *dir:
-			nd.children[name] = cloneDir(t)
-		case *file:
-			t.shared = true
-			nd.children[name] = &file{id: t.id, data: t.data, readOnly: t.readOnly, shared: true}
+			nd.children[name] = cloneDirInto(t, mm, materialise, nfs)
+		case *entry:
+			ne := &entry{id: t.id, size: t.size, readOnly: t.readOnly, m: mm[t.m]}
+			if materialise[t.m] {
+				data, _, err := t.m.b.Read(t.id, 0, -1)
+				if err == nil {
+					if err := ne.m.b.Open(ne.id, "", true, false); err == nil && len(data) > 0 {
+						if size, werr := ne.m.b.Write(ne.id, 0, data); werr == nil {
+							ne.size = size
+						}
+					}
+				}
+			}
+			if ne.m.mem != nil {
+				ne.mf = ne.m.mem.files[ne.id]
+			}
+			nd.children[name] = ne
+			nfs.ids[ne.id] = ne
 		}
 	}
 	return nd

@@ -1,0 +1,244 @@
+package cryptodrop_test
+
+import (
+	"context"
+	"crypto/sha256"
+	"testing"
+
+	"cryptodrop"
+	"cryptodrop/internal/corpus"
+	"cryptodrop/internal/proc"
+	"cryptodrop/internal/vfs"
+)
+
+// countLost verifies manifest hashes the way the paper does after each run:
+// an original file survives if content with its hash exists anywhere on
+// disk, regardless of path.
+func countLost(fs *vfs.FS, m *corpus.Manifest) int {
+	surviving := make(map[[32]byte]bool, len(m.Entries))
+	_ = fs.Walk("/", func(info vfs.FileInfo) error {
+		if info.IsDir {
+			return nil
+		}
+		content, err := fs.ReadFileRaw(info.Path)
+		if err != nil {
+			return nil
+		}
+		surviving[sha256.Sum256(content)] = true
+		return nil
+	})
+	lost := 0
+	for _, e := range m.Entries {
+		if !surviving[e.SHA256] {
+			lost++
+		}
+	}
+	return lost
+}
+
+// TestDetectThenRecoverRestoresFiles pins the tentpole end to end: with
+// WithRecovery armed, the files a Class A sample encrypts before detection
+// roll back from retained pre-images, so no original content is lost.
+func TestDetectThenRecoverRestoresFiles(t *testing.T) {
+	vs := cryptodrop.NewVersionStore(0)
+	fs, m, procs, mon := newVictim(t, cryptodrop.WithRecovery(vs))
+	s := testSample(11)
+	pid := procs.Spawn(s.ID)
+	res, err := s.Run(fs, pid, m.Root, func() bool { return procs.Suspended(pid) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Suspended || res.FilesAttacked == 0 {
+		t.Fatalf("sample outcome %+v: want suspension after some damage", res)
+	}
+	if lost := countLost(fs, m); lost != 0 {
+		t.Fatalf("%d files lost after recovery, want 0 (attacked %d)", lost, res.FilesAttacked)
+	}
+	recs := mon.Recoveries()
+	if len(recs) != 1 {
+		t.Fatalf("recoveries = %d, want 1", len(recs))
+	}
+	if recs[0].FilesRestored+recs[0].FilesRecreated == 0 || recs[0].Failures != 0 {
+		t.Fatalf("recovery outcome %+v: want restored files and no failures", recs[0])
+	}
+	rep, err := mon.Shutdown(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Recoveries) != 1 || rep.Recoveries[0] != recs[0] {
+		t.Fatalf("session report recoveries = %+v, want %+v", rep.Recoveries, recs)
+	}
+}
+
+// TestRecoverySurvivesShadowCopyWipe pins the out-of-band property: a
+// TeslaCrypt-style sample wipes every shadow copy before encrypting, yet the
+// version store's pre-images are untouched and rollback still restores the
+// corpus.
+func TestRecoverySurvivesShadowCopyWipe(t *testing.T) {
+	vs := cryptodrop.NewVersionStore(0)
+	fs, m, procs, _ := newVictim(t, cryptodrop.WithRecovery(vs))
+	fs.CreateShadowCopy("daily")
+	s := testSample(12)
+	s.Profile.DeleteShadowCopies = true
+	pid := procs.Spawn(s.ID)
+	res, err := s.Run(fs, pid, m.Root, func() bool { return procs.Suspended(pid) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Suspended {
+		t.Fatalf("sample not suspended: %+v", res)
+	}
+	if n := len(fs.ShadowCopies()); n != 0 {
+		t.Fatalf("%d shadow copies survived the wipe; the sample should reach them all", n)
+	}
+	if lost := countLost(fs, m); lost != 0 {
+		t.Fatalf("%d files lost: pre-images should survive the shadow wipe", lost)
+	}
+}
+
+// TestRecoveryDoesNotChangeVerdicts pins bit-identical scoring: the same
+// sample run with and without WithRecovery produces identical detections
+// (score, op index, union state) — retention rides the pre-operation path
+// and rollback happens after the verdict, so scoring never observes either.
+func TestRecoveryDoesNotChangeVerdicts(t *testing.T) {
+	run := func(arm bool) []cryptodrop.Detection {
+		opts := []cryptodrop.Option(nil)
+		if arm {
+			opts = append(opts, cryptodrop.WithRecovery(cryptodrop.NewVersionStore(0)))
+		}
+		fs, m, procs, mon := newVictim(t, opts...)
+		s := testSample(13)
+		pid := procs.Spawn(s.ID)
+		if _, err := s.Run(fs, pid, m.Root, func() bool { return procs.Suspended(pid) }); err != nil {
+			t.Fatal(err)
+		}
+		return mon.Detections()
+	}
+	plain, armed := run(false), run(true)
+	if len(plain) != 1 || len(armed) != 1 {
+		t.Fatalf("detections: plain %d, armed %d, want 1 each", len(plain), len(armed))
+	}
+	if plain[0].Score != armed[0].Score || plain[0].OpIndex != armed[0].OpIndex || plain[0].Union != armed[0].Union {
+		t.Fatalf("verdict diverged: plain %+v, armed %+v", plain[0], armed[0])
+	}
+}
+
+// TestExonerationReleasesPreImages pins the GC path: a process that modifies
+// protected files without ever being flagged holds retention only until the
+// session ends — shutdown exonerates undetected groups and the store drains.
+func TestExonerationReleasesPreImages(t *testing.T) {
+	vs := cryptodrop.NewVersionStore(0)
+	fs, m, procs, mon := newVictim(t, cryptodrop.WithRecovery(vs))
+	pid := procs.Spawn("winword.exe")
+	// A benign edit: rewrite one document in place.
+	target := m.Entries[0].Path
+	if err := fs.WriteFile(pid, target, []byte("minor edit, same document")); err != nil {
+		t.Fatal(err)
+	}
+	if st := vs.Stats(); st.Files != 1 {
+		t.Fatalf("retention after benign edit = %+v, want 1 file held", st)
+	}
+	if _, err := mon.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := vs.Stats()
+	if st.Files != 0 || st.Released == 0 {
+		t.Fatalf("retention after shutdown = %+v, want everything released", st)
+	}
+}
+
+// TestAllowExemptsFamilyFromCapture pins the operator path: once a flagged
+// family is allowed, its retained pre-images drop and no further capture
+// happens for any member.
+func TestAllowExemptsFamilyFromCapture(t *testing.T) {
+	vs := cryptodrop.NewVersionStore(0)
+	fs, m, procs, mon := newVictim(t, cryptodrop.WithRecovery(vs))
+	pid := procs.Spawn("backup-tool.exe")
+	if err := fs.WriteFile(pid, m.Entries[0].Path, []byte("rewrite 1")); err != nil {
+		t.Fatal(err)
+	}
+	if st := vs.Stats(); st.Files != 1 {
+		t.Fatalf("capture before allow = %+v", st)
+	}
+	if err := mon.Allow(pid); err != nil {
+		t.Fatal(err)
+	}
+	if st := vs.Stats(); st.Files != 0 {
+		t.Fatalf("retention after allow = %+v, want dropped", st)
+	}
+	if err := fs.WriteFile(pid, m.Entries[1].Path, []byte("rewrite 2")); err != nil {
+		t.Fatal(err)
+	}
+	if st := vs.Stats(); st.Files != 0 {
+		t.Fatalf("allowed process still captured: %+v", st)
+	}
+}
+
+// TestRecoveryAcrossMounts pins the tentpole on a heterogeneous tree: with
+// the documents root split across the default in-memory backend and a
+// second mounted backend, capture and rollback cover both sides.
+func TestRecoveryAcrossMounts(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.Mount("/Users/victim/Documents/archive", vfs.NewMemory()); err != nil {
+		t.Fatal(err)
+	}
+	m, err := corpus.Build(fs, corpus.Spec{Seed: 40, Files: 300, Dirs: 40, SizeScale: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := proc.NewTable()
+	vs := cryptodrop.NewVersionStore(0)
+	mon, err := cryptodrop.NewMonitor(fs, procs,
+		cryptodrop.WithRoot(m.Root), cryptodrop.WithRecovery(vs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed one extra document inside the mounted subtree, then attack.
+	if err := fs.WriteFile(1, "/Users/victim/Documents/archive/old.txt", []byte("archived report")); err != nil {
+		t.Fatal(err)
+	}
+	s := testSample(14)
+	s.Profile.RenameExt = "" // in-place rewrite, no cross-mount renames
+	pid := procs.Spawn(s.ID)
+	res, err := s.Run(fs, pid, m.Root, func() bool { return procs.Suspended(pid) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Suspended {
+		t.Fatalf("sample not suspended: %+v", res)
+	}
+	if lost := countLost(fs, m); lost != 0 {
+		t.Fatalf("%d files lost after cross-mount recovery", lost)
+	}
+	if recs := mon.Recoveries(); len(recs) != 1 || recs[0].Failures != 0 {
+		t.Fatalf("recoveries = %+v", recs)
+	}
+}
+
+// TestAuditBundleCarriesRecovery pins the audit surface: a detection under
+// WithRecovery emits a bundle stamped with the rollback outcome.
+func TestAuditBundleCarriesRecovery(t *testing.T) {
+	sink := &memBundleSink{}
+	vs := cryptodrop.NewVersionStore(0)
+	fs, m, procs, _ := newVictim(t,
+		cryptodrop.WithRecovery(vs), cryptodrop.WithAuditSink(sink))
+	s := testSample(15)
+	pid := procs.Spawn(s.ID)
+	if _, err := s.Run(fs, pid, m.Root, func() bool { return procs.Suspended(pid) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.bundles) != 1 {
+		t.Fatalf("audit bundles = %d, want 1", len(sink.bundles))
+	}
+	rec := sink.bundles[0].Recovery
+	if rec == nil {
+		t.Fatal("bundle has no recovery record")
+	}
+	if rec.Group != sink.bundles[0].PID || rec.FilesRestored+rec.FilesRecreated == 0 {
+		t.Fatalf("recovery record = %+v", rec)
+	}
+}
+
+type memBundleSink struct{ bundles []*cryptodrop.AuditBundle }
+
+func (s *memBundleSink) Emit(b *cryptodrop.AuditBundle) { s.bundles = append(s.bundles, b) }
